@@ -1,0 +1,32 @@
+# Convenience targets for the GLAF reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench examples figures outputs clean
+
+install:
+	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+examples:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/codegen_tour.py
+	$(PYTHON) examples/graph_kernel.py
+	$(PYTHON) examples/sarb_integration.py
+	$(PYTHON) examples/fun3d_jacobian.py
+
+figures:
+	$(PYTHON) examples/paper_figures.py
+
+outputs:
+	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+
+clean:
+	find . -name __pycache__ -type d -exec rm -rf {} +
+	rm -rf .pytest_cache .benchmarks

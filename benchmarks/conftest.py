@@ -1,0 +1,17 @@
+"""Shared fixtures for the benchmark suite."""
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def sarb_program():
+    from repro.sarb import build_sarb_program
+
+    return build_sarb_program()
+
+
+@pytest.fixture(scope="session")
+def fun3d_program():
+    from repro.fun3d import build_fun3d_program
+
+    return build_fun3d_program()

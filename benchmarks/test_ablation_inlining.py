@@ -1,0 +1,47 @@
+"""Ablation — GLAF's function-per-nested-loop structure vs the monolithic
+original (paper §4.1.2's explanation of GLAF serial trailing original
+serial: call overhead + lost cross-function compiler optimization).
+"""
+
+from repro.perf import CompilerModel, SimOptions, Simulator, i5_2400
+from repro.optimize import make_plan
+from repro.sarb import build_sarb_program, sarb_workload
+
+
+def _cycles(program, workload, *, monolithic, fusion=0.90):
+    plan = make_plan(program, "GLAF serial", threads=1)
+    compiler = CompilerModel(i5_2400, monolithic_fusion_factor=fusion)
+    sim = Simulator(plan, i5_2400, workload,
+                    SimOptions(threads=1, monolithic=monolithic),
+                    compiler=compiler)
+    return sim.run()
+
+
+def test_structure_overhead(benchmark):
+    program = build_sarb_program()
+    workload = sarb_workload()
+
+    def run():
+        glaf = _cycles(program, workload, monolithic=False)
+        mono = _cycles(program, workload, monolithic=True)
+        return glaf, mono
+
+    glaf, mono = benchmark.pedantic(run, rounds=1, iterations=1)
+    ratio = mono.total_cycles / glaf.total_cycles
+    # GLAF structure costs a single-digit percentage on SARB (paper: 0.89x,
+    # i.e. ~11% slower than the original).
+    assert 0.80 <= ratio <= 0.97
+    # The GLAF run pays call overhead; the monolithic run pays none.
+    assert glaf.call_overhead_cycles > 0
+    assert mono.call_overhead_cycles == 0
+
+
+def test_fusion_factor_controls_the_gap():
+    program = build_sarb_program()
+    workload = sarb_workload()
+    glaf = _cycles(program, workload, monolithic=False)
+    strong = _cycles(program, workload, monolithic=True, fusion=0.80)
+    weak = _cycles(program, workload, monolithic=True, fusion=1.00)
+    assert strong.total_cycles < weak.total_cycles
+    # With no fusion benefit at all, the gap reduces to call overhead only.
+    assert weak.total_cycles <= glaf.total_cycles

@@ -1,0 +1,82 @@
+"""Ablation — per-class contribution of the directive-pruning pipeline.
+
+DESIGN.md flags OMP-everywhere vs classified pruning as the central design
+choice of the Figure 5 study.  This bench isolates each pruned class's
+contribution by toggling one class at a time, confirming the paper's
+narrative: the *initialization* loops are the worst OMP candidates per
+directive, and simple loops collectively dominate the v1->v2 jump.
+"""
+
+from repro.analysis.classify import LoopClass
+from repro.optimize import Variant, directives_for_variant, make_plan
+from repro.optimize.plan import OptimizationPlan
+from repro.perf import SimOptions, i5_2400, simulate
+from repro.sarb import build_sarb_program, sarb_workload
+
+
+def _speedup_with_pruned(program, workload, pruned_classes):
+    variant = Variant(
+        name=f"ablation-{'+'.join(c.value for c in pruned_classes) or 'none'}",
+        description="ablation variant",
+        glaf_generated=True,
+        parallel=True,
+        pruned_classes=tuple(pruned_classes),
+    )
+    plan = make_plan(program, "GLAF-parallel v0", threads=4)
+    plan = OptimizationPlan(
+        program=plan.program,
+        parallel_plan=plan.parallel_plan,
+        variant=variant,
+        directives=directives_for_variant(program, plan.parallel_plan, variant),
+        tweaks=plan.tweaks,
+        threads=4,
+    )
+    base_plan = make_plan(program, "original serial", threads=1)
+    base = simulate(base_plan, i5_2400, workload,
+                    SimOptions(threads=1, monolithic=True))
+    r = simulate(plan, i5_2400, workload, SimOptions(threads=4))
+    return base.total_cycles / r.total_cycles
+
+
+def test_per_class_pruning_contributions(benchmark):
+    program = build_sarb_program()
+    workload = sarb_workload()
+
+    def run():
+        none = _speedup_with_pruned(program, workload, [])
+        out = {"none": none}
+        for cls in (LoopClass.ZERO_INIT, LoopClass.BROADCAST_INIT,
+                    LoopClass.SIMPLE_SINGLE, LoopClass.SIMPLE_DOUBLE):
+            out[cls.value] = _speedup_with_pruned(program, workload, [cls])
+        return out
+
+    res = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("ablation (speedup vs original serial):", res)
+
+    # Pruning any class on its own improves on OMP-everywhere.
+    for cls, s in res.items():
+        if cls != "none":
+            assert s > res["none"], (cls, s)
+    # The simple-single class removes the most directives, so it gives the
+    # largest single-class gain on this kernel set.
+    gains = {k: v - res["none"] for k, v in res.items() if k != "none"}
+    assert max(gains, key=gains.get) == LoopClass.SIMPLE_SINGLE.value
+
+
+def test_pruning_monotone(benchmark):
+    """Cumulative pruning (the paper's v0->v3 order) is monotone."""
+    program = build_sarb_program()
+    workload = sarb_workload()
+    order = [
+        [],
+        [LoopClass.ZERO_INIT, LoopClass.BROADCAST_INIT],
+        [LoopClass.ZERO_INIT, LoopClass.BROADCAST_INIT, LoopClass.SIMPLE_SINGLE],
+        [LoopClass.ZERO_INIT, LoopClass.BROADCAST_INIT, LoopClass.SIMPLE_SINGLE,
+         LoopClass.SIMPLE_DOUBLE],
+    ]
+
+    def run():
+        return [_speedup_with_pruned(program, workload, classes) for classes in order]
+
+    speeds = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert speeds == sorted(speeds)

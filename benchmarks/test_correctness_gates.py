@@ -1,0 +1,40 @@
+"""The paper's functional-correctness gates as benchmarks (C1, C2).
+
+These time the full validation pipelines — wrapper, side-by-side and
+splice-and-run — while asserting every path passes its gate.
+"""
+
+import numpy as np
+
+from repro.bench import format_table, run_fun3d_correctness, run_sarb_correctness
+from repro.fun3d import jac_rms, make_mesh, rms_check, run_reference as fun3d_ref
+from repro.fun3d import run_spliced as fun3d_spliced
+from repro.sarb import OUTPUT_NAMES, make_inputs
+from repro.sarb import run_reference as sarb_ref
+from repro.sarb import run_spliced as sarb_spliced
+
+
+def test_sarb_correctness_gate(benchmark):
+    inp = make_inputs()
+    ref = sarb_ref(inp)
+
+    def run():
+        return sarb_spliced(inp, variant="GLAF-parallel v3")[0]
+
+    outs = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(format_table(run_sarb_correctness()))
+    for n in OUTPUT_NAMES:
+        assert np.allclose(outs[n], ref[n], rtol=1e-10, atol=1e-12), n
+
+
+def test_fun3d_rms_gate(benchmark):
+    mesh = make_mesh(27)
+    ref = fun3d_ref(mesh)
+
+    def run():
+        return fun3d_spliced(mesh)[0]
+
+    jac = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(format_table(run_fun3d_correctness()))
+    assert rms_check(jac, ref)
+    assert abs(jac_rms(jac) - jac_rms(ref)) <= 1e-7

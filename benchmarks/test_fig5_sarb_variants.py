@@ -1,0 +1,39 @@
+"""Figure 5 — speed-up of GLAF-generated versions vs the original serial
+implementation of the SARB kernels (4 threads, i5-2400 model).
+
+Shape criteria asserted against the paper (0.89 / 0.48 / 0.66 / 1.11 / 1.41):
+
+* v0 runs well below the original serial (OMP-everywhere penalty);
+* each pruning increment improves on the previous variant;
+* the serial->parallel crossover falls between v1 and v2;
+* v3 lands in the 1.2-1.6x band and GLAF serial slightly trails 1.0.
+"""
+
+from repro.bench import format_table, run_figure5
+from repro.sarb.perffig import PAPER_FIGURE5, figure5_rows
+
+
+def test_figure5(benchmark):
+    rows = benchmark(figure5_rows)
+    print(format_table(run_figure5()))
+    d = dict(rows)
+
+    assert 0.80 <= d["GLAF serial"] <= 0.97          # paper: 0.89
+    assert 0.30 <= d["GLAF-parallel v0"] <= 0.62     # paper: 0.48
+    assert 0.50 <= d["GLAF-parallel v1"] <= 0.85     # paper: 0.66
+    assert 1.00 <= d["GLAF-parallel v2"] <= 1.35     # paper: 1.11
+    assert 1.20 <= d["GLAF-parallel v3"] <= 1.60     # paper: 1.41
+
+    # Monotone improvement along the pruning pipeline.
+    assert (d["GLAF-parallel v0"] < d["GLAF-parallel v1"]
+            < d["GLAF-parallel v2"] < d["GLAF-parallel v3"])
+    # Crossover: v1 still loses to original serial, v2 beats it.
+    assert d["GLAF-parallel v1"] < 1.0 < d["GLAF-parallel v2"]
+
+
+def test_figure5_close_to_paper(benchmark):
+    rows = benchmark(figure5_rows)
+    for name, speedup in rows:
+        paper = PAPER_FIGURE5[name]
+        # Within 25% relative of each reported bar.
+        assert abs(speedup - paper) / paper <= 0.25, (name, speedup, paper)

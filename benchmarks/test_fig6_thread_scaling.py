@@ -1,0 +1,42 @@
+"""Figure 6 — parallel scalability of GLAF-parallel v3 vs GLAF serial.
+
+Paper: 0.92 (1T), 1.24 (2T), 1.59 (4T), 0.70 (8T) on a 4-core CPU.
+Shape criteria: sub-1 at one thread (OpenMP runtime overhead), best at the
+physical core count, and a collapse below the 1-thread figure when
+oversubscribed (SMT contention + coherence on the reduction arrays).
+"""
+
+from repro.bench import format_table, run_figure6
+from repro.perf import amdahl_speedup, parallel_fraction_from_speedup
+from repro.sarb.perffig import PAPER_FIGURE6, figure6_rows
+
+
+def test_figure6(benchmark):
+    rows = benchmark(figure6_rows)
+    print(format_table(run_figure6()))
+    d = dict(rows)
+
+    assert 0.85 <= d[1] < 1.0                 # paper: 0.92
+    assert 1.05 <= d[2] <= 1.45               # paper: 1.24
+    assert 1.40 <= d[4] <= 1.75               # paper: 1.59
+    assert 0.55 <= d[8] <= 0.90               # paper: 0.70
+    assert d[1] < d[2] < d[4]                 # scaling up to physical cores
+    assert d[8] < d[1]                        # oversubscription cliff
+
+
+def test_figure6_close_to_paper(benchmark):
+    rows = benchmark(figure6_rows)
+    for threads, speedup in rows:
+        paper = PAPER_FIGURE6[threads]
+        assert abs(speedup - paper) / paper <= 0.25, (threads, speedup, paper)
+
+
+def test_figure6_amdahl_consistency():
+    """The implied parallel fraction at 2T and 4T should roughly agree —
+    the paper's Amdahl's-law explanation of the scaling cap."""
+    d = dict(figure6_rows())
+    f2 = parallel_fraction_from_speedup(d[2] / d[1], 2)
+    f4 = parallel_fraction_from_speedup(d[4] / d[1], 4)
+    assert abs(f2 - f4) < 0.25
+    # And the 4T point must respect the Amdahl bound for that fraction.
+    assert d[4] / d[1] <= amdahl_speedup(max(f2, f4), 4) * 1.05

@@ -1,0 +1,59 @@
+"""Figure 7 — FUN3D 16-thread speed-ups for all combinations of
+parallelization and no-reallocation options, plus the manual version.
+
+Paper anchors: manual 3.85x; best GLAF (parallel EdgeJP + no reallocation)
+1.67x; manual beats best GLAF by ~2.3x; fine-grained-only combinations
+collapse to deep slowdowns (down to ~1/128x).
+"""
+
+from repro.bench import format_table, run_figure7
+from repro.fun3d import Fun3DOptions
+from repro.fun3d.perffig import (
+    PAPER_FIGURE7,
+    figure7_rows,
+    simulate_baseline,
+    simulate_manual,
+    simulate_option,
+)
+
+
+def test_figure7_lattice(benchmark):
+    rows = benchmark(figure7_rows)
+    print(format_table(run_figure7()))
+    d = {r.label: r.speedup for r in rows}
+
+    manual = d["manual parallel (original, outermost)"]
+    best = d["EdgeJP | no-realloc"]
+
+    # Paper anchor bands.
+    assert 3.2 <= manual <= 4.6          # paper: 3.85
+    assert 1.3 <= best <= 2.1            # paper: 1.67
+    assert 1.9 <= manual / best <= 2.8   # paper: ~2.3
+    # Best GLAF combo is the best GLAF bar in the whole lattice.
+    glaf_speeds = {k: v for k, v in d.items() if "manual" not in k}
+    assert max(glaf_speeds, key=glaf_speeds.get) == "EdgeJP | no-realloc"
+    # Deep collapse for fine-grained-only parallelization.
+    worst = min(d.values())
+    assert worst <= 1.0 / 50.0           # paper shows bars near 1/128
+
+
+def test_figure7_mechanisms():
+    base = simulate_baseline()
+
+    def speedup(opts):
+        return base.total_cycles / simulate_option(opts).total_cycles
+
+    # No-reallocation helps every EdgeJP configuration.
+    with_realloc = speedup(Fun3DOptions(parallel_edgejp=True))
+    without = speedup(Fun3DOptions(parallel_edgejp=True, no_reallocation=True))
+    assert without > with_realloc * 2
+
+    # Coarse-grained beats fine-grained at equal realloc settings.
+    coarse = speedup(Fun3DOptions(parallel_edgejp=True, no_reallocation=True))
+    fine = speedup(Fun3DOptions(parallel_edge_loop=True, no_reallocation=True))
+    assert coarse > fine * 5
+
+    # Parallelizing ioff_search (CRITICAL early-return protocol) is the
+    # most catastrophic single option.
+    ioff = speedup(Fun3DOptions(parallel_ioff_search=True, no_reallocation=True))
+    assert ioff < fine

@@ -1,0 +1,89 @@
+"""Micro-benchmarks of the reproduction's substrates themselves.
+
+These time the machinery (not the modelled workloads): FORTRAN
+lexing/parsing, the FORTRAN interpreter's loop throughput, the GLAF IR
+interpreter, code generation, and the auto-parallelization analysis.
+Useful for tracking regressions in the framework's own performance.
+"""
+
+import numpy as np
+
+from repro.codegen import generate_fortran_module
+from repro.core import GlafBuilder, I, T_INT, T_REAL8, T_VOID, ref
+from repro.fortranlib import FortranRuntime
+from repro.fortranlib.lexer import tokenize
+from repro.fortranlib.parser import parse_source
+from repro.glafexec import ExecutionContext, Interpreter
+from repro.optimize import make_plan
+from repro.sarb import build_sarb_program
+from repro.sarb.legacy_src import full_legacy_source
+
+_KERNEL_SRC = full_legacy_source()["sarb_kernels.f90"]
+
+_LOOP_SRC = """
+REAL(KIND=8) FUNCTION busy(n)
+  INTEGER, INTENT(IN) :: n
+  INTEGER :: i
+  busy = 0.0D0
+  DO i = 1, n
+    busy = busy + SQRT(i * 1.0D0) * 0.5D0
+  END DO
+END FUNCTION busy
+"""
+
+
+def test_lexer_throughput(benchmark):
+    tokens = benchmark(tokenize, _KERNEL_SRC)
+    assert len(tokens) > 500
+
+
+def test_parser_throughput(benchmark):
+    tree = benchmark(parse_source, _KERNEL_SRC)
+    assert len(tree.modules[0].subprograms) == 6
+
+
+def test_fortran_interp_loop_throughput(benchmark):
+    rt = FortranRuntime()
+    rt.load(_LOOP_SRC)
+
+    def run():
+        return rt.call("busy", [2000])
+
+    result = benchmark(run)
+    assert result > 0
+
+
+def test_ir_interp_loop_throughput(benchmark):
+    b = GlafBuilder("bench")
+    m = b.module("M")
+    f = m.function("busy", return_type=T_VOID)
+    f.param("n", T_INT, intent="in")
+    f.param("a", T_REAL8, dims=("n",), intent="inout")
+    s = f.step()
+    s.foreach(i=(1, "n"))
+    s.formula(ref("a", I("i")), ref("a", I("i")) * 1.0001 + 0.5)
+    program = b.build()
+    ctx = ExecutionContext(program, sizes={"n": 2000})
+    interp = Interpreter(program, ctx)
+    a = np.zeros(2000)
+
+    benchmark(lambda: interp.call("busy", [2000, a]))
+    assert a[0] != 0.0
+
+
+def test_sarb_program_build(benchmark):
+    program = benchmark(build_sarb_program)
+    assert len(list(program.functions())) == 6
+
+
+def test_sarb_fortran_generation(benchmark, sarb_program):
+    plan = make_plan(sarb_program, "GLAF-parallel v0")
+    src = benchmark(generate_fortran_module, plan)
+    assert "MODULE glaf_sarb_mod" in src
+
+
+def test_sarb_analysis(benchmark, sarb_program):
+    from repro.analysis import analyze_program
+
+    plan = benchmark(analyze_program, sarb_program)
+    assert len(plan.steps) > 20

@@ -1,0 +1,46 @@
+"""Table 2 — the implementation-variant matrix.
+
+Checks that the automated pruning pipeline reproduces the paper's variant
+set and that the directive counts are strictly decreasing from v0 to v3
+while targeting exactly the documented loop classes.
+"""
+
+from repro.analysis.classify import LoopClass
+from repro.bench import format_table, run_table2
+from repro.optimize import VARIANTS, directives_for_variant, make_plan, variant_by_name
+from repro.sarb import build_sarb_program
+
+
+def _directive_counts(program):
+    plan0 = make_plan(program, "GLAF-parallel v0")
+    out = {}
+    for v in VARIANTS:
+        ds = directives_for_variant(program, plan0.parallel_plan, v)
+        out[v.name] = ds.n_directives()
+    return out
+
+
+def test_table2_matrix(benchmark, sarb_program):
+    counts = benchmark(_directive_counts, sarb_program)
+    print(format_table(run_table2()))
+    print("directive counts:", counts)
+
+    assert counts["original serial"] == 0
+    assert counts["GLAF serial"] == 0
+    v0, v1, v2, v3 = (counts[f"GLAF-parallel v{i}"] for i in range(4))
+    assert v0 > v1 > v2 > v3 > 0
+    # v3 keeps exactly the two large complex loops of the longwave model.
+    plan3 = make_plan(sarb_program, "GLAF-parallel v3")
+    kept = plan3.directives.kept_keys()
+    assert len(kept) == 2
+    assert all(fn == "longwave_entropy_model" for fn, _ in kept)
+
+
+def test_table2_pruned_classes():
+    v1 = variant_by_name("GLAF-parallel v1")
+    assert set(v1.pruned_classes) == {LoopClass.ZERO_INIT, LoopClass.BROADCAST_INIT}
+    v2 = variant_by_name("GLAF-parallel v2")
+    assert LoopClass.SIMPLE_SINGLE in v2.pruned_classes
+    v3 = variant_by_name("GLAF-parallel v3")
+    assert LoopClass.SIMPLE_DOUBLE in v3.pruned_classes
+    assert LoopClass.COMPLEX not in v3.pruned_classes

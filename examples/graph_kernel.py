@@ -1,0 +1,156 @@
+"""Generality demo: the grid abstraction on a graph workload.
+
+The paper (§2.1) claims the grid abstraction "can represent data structures
+as simple as a scalar variable or multi-dimensional array or as complex as
+C-like structs with elements of varying data types, e.g., trees or graphs
+... any discrete and finite mathematical relation."
+
+This example backs that claim with a graph kernel outside the paper's CFD /
+radiative-transfer domains: a weighted PageRank-style iteration over a CSR
+graph (built with networkx), expressed as GLAF grids and steps, then
+auto-parallelized, generated to FORTRAN, and cross-checked against both
+networkx's PageRank ordering and a NumPy reference.
+
+Run:  python examples/graph_kernel.py
+"""
+
+import networkx as nx
+import numpy as np
+
+from repro import GlafBuilder, I, T_INT, T_REAL8, T_VOID, lib, ref
+from repro.analysis import analyze_program
+from repro.codegen import generate_fortran_module
+from repro.fortranlib import FortranRuntime
+from repro.glafexec import ExecutionContext, Interpreter
+from repro.optimize import make_plan
+
+DAMPING = 0.85
+
+
+def build_program():
+    """One power-iteration sweep: rank_new(v) = (1-d)/n + d * sum over
+    in-neighbours u of rank(u)/outdeg(u), CSR-encoded like FUN3D's ioff."""
+    b = GlafBuilder("graphrank")
+    b.global_grid("row_ptr", T_INT, dims=("np1",), exists_in_module="graph_mod",
+                  comment="CSR offsets of each node's in-edges (1-based)")
+    b.global_grid("src", T_INT, dims=("nnz",), exists_in_module="graph_mod",
+                  comment="source node of each in-edge")
+    b.global_grid("outdeg", T_REAL8, dims=("n",), exists_in_module="graph_mod")
+    m = b.module("Module1")
+
+    f = m.function("rank_sweep", return_type=T_VOID,
+                   comment="one damped power-iteration sweep")
+    f.param("n", T_INT, intent="in")
+    f.param("rank", T_REAL8, dims=("n",), intent="in")
+    f.param("rank_new", T_REAL8, dims=("n",), intent="inout")
+    f.local("acc", T_REAL8)
+
+    s = f.step("base", comment="teleportation term")
+    s.foreach(v=(1, "n"))
+    s.formula(ref("rank_new", I("v")), (1.0 - DAMPING) / ref("n"))
+
+    s = f.step("gather", comment="gather in-neighbour contributions")
+    s.foreach(v=(1, "n"), e=(ref("row_ptr", I("v")), ref("row_ptr", I("v") + 1) - 1))
+    s.formula(
+        ref("rank_new", I("v")),
+        ref("rank_new", I("v"))
+        + DAMPING * ref("rank", ref("src", I("e")))
+        / lib("MAX", ref("outdeg", ref("src", I("e"))), 1.0),
+    )
+    return b.build()
+
+
+def csr_from_graph(g: nx.DiGraph):
+    """In-edge CSR (1-based) + out-degrees, node ids 0..n-1."""
+    n = g.number_of_nodes()
+    rows = [[] for _ in range(n)]
+    for u, v in g.edges():
+        rows[v].append(u)
+    row_ptr = np.ones(n + 1, dtype=np.int64)
+    src = []
+    for v in range(n):
+        row_ptr[v + 1] = row_ptr[v] + len(rows[v])
+        src.extend(sorted(rows[v]))
+    outdeg = np.array([g.out_degree(v) for v in range(n)], dtype=np.float64)
+    return row_ptr, np.array(src, dtype=np.int64) + 1, outdeg
+
+
+def reference_sweep(rank, row_ptr, src, outdeg, n):
+    new = np.full(n, (1.0 - DAMPING) / n)
+    for v in range(n):
+        for e in range(row_ptr[v] - 1, row_ptr[v + 1] - 1):
+            u = src[e] - 1
+            new[v] += DAMPING * rank[u] / max(outdeg[u], 1.0)
+    return new
+
+
+def main():
+    g = nx.gnp_random_graph(40, 0.12, seed=4, directed=True)
+    # Avoid dangling nodes so one sweep conserves probability mass (networkx
+    # handles dangling mass specially; our kernel-level demo should not).
+    for v in list(g.nodes()):
+        if g.out_degree(v) == 0:
+            g.add_edge(v, (v + 1) % g.number_of_nodes())
+    n = g.number_of_nodes()
+    row_ptr, src, outdeg = csr_from_graph(g)
+    program = build_program()
+
+    print("=== auto-parallelization of the graph kernel ===")
+    plan_analysis = analyze_program(program)
+    for sp in plan_analysis.for_function("rank_sweep"):
+        print(f"  {sp.step_name:8s} parallel={sp.parallel} reasons={sp.reasons[:1]}")
+
+    sizes = {"n": n, "np1": n + 1, "nnz": len(src)}
+    values = {"row_ptr": row_ptr, "src": src, "outdeg": outdeg}
+
+    # Iterate to (near) fixpoint through the IR interpreter.
+    ctx = ExecutionContext(program, sizes=sizes, values=values)
+    interp = Interpreter(program, ctx)
+    rank = np.full(n, 1.0 / n)
+    for _ in range(40):
+        rank_new = np.zeros(n)
+        interp.call("rank_sweep", [n, rank, rank_new])
+        rank = rank_new
+    assert np.isclose(rank.sum(), 1.0, atol=1e-6)
+
+    # Cross-check one sweep against the NumPy reference.
+    probe = np.zeros(n)
+    interp.call("rank_sweep", [n, rank, probe])
+    assert np.allclose(probe, reference_sweep(rank, row_ptr, src, outdeg, n))
+
+    # And against the generated FORTRAN.
+    plan = make_plan(program, "GLAF-parallel v0", threads=4)
+    fortran_src = generate_fortran_module(plan)
+    rt = FortranRuntime()
+    rt.load(f"""
+MODULE graph_mod
+  IMPLICIT NONE
+  INTEGER :: row_ptr({n + 1})
+  INTEGER :: src({len(src)})
+  REAL(KIND=8) :: outdeg({n})
+END MODULE graph_mod
+""")
+    rt.load(fortran_src)
+    gm = rt.modules["graph_mod"]
+    gm.variables["row_ptr"].store[...] = row_ptr
+    gm.variables["src"].store[...] = src
+    gm.variables["outdeg"].store[...] = outdeg
+    probe_f = np.zeros(n)
+    rt.call("rank_sweep", [n, rank.copy(), probe_f])
+    assert np.allclose(probe_f, probe, rtol=1e-14)
+
+    # Ordering sanity vs networkx's own PageRank.
+    nx_rank = nx.pagerank(g, alpha=DAMPING, tol=1e-12)
+    ours_top = np.argsort(rank)[::-1][:5]
+    nx_top = sorted(nx_rank, key=nx_rank.get, reverse=True)[:5]
+    print(f"\n  our top-5 nodes:      {list(map(int, ours_top))}")
+    print(f"  networkx top-5 nodes: {nx_top}")
+    overlap = len(set(map(int, ours_top)) & set(nx_top))
+    assert overlap >= 4, "ranking disagrees with networkx"
+    print(f"  top-5 overlap with networkx: {overlap}/5")
+    print("\n  grid abstraction handled a CSR graph kernel end to end "
+          "(IR = NumPy = generated FORTRAN).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,18 @@
+"""Regenerate every table and figure of the paper's evaluation section.
+
+Run:  python examples/paper_figures.py
+"""
+
+from repro.bench import EXPERIMENTS, run_and_format
+
+
+def main():
+    for exp_id in ("T1", "T2", "F5", "F6", "F7", "C1", "C2"):
+        exp = EXPERIMENTS[exp_id]
+        _, text = run_and_format(exp)
+        print(text)
+        print()
+
+
+if __name__ == "__main__":
+    main()

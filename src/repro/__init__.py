@@ -1,0 +1,70 @@
+"""GLAF reproduction: grid-based auto-parallelization and code generation
+with legacy-FORTRAN integration.
+
+Reproduction of Krommydas, Sathre, Sasanka, Feng — "A Framework for
+Auto-Parallelization and Code Generation: An Integrative Case Study with
+Legacy FORTRAN Codes" (ICPP 2018).
+
+Quick start::
+
+    from repro import GlafBuilder, T_REAL8, T_INT, T_VOID, ref, lib, I
+    from repro.optimize import make_plan
+    from repro.codegen import generate_fortran_module
+
+    b = GlafBuilder("demo")
+    m = b.module("Module1")
+    f = m.function("scale", return_type=T_VOID)
+    f.param("n", T_INT, intent="in")
+    f.param("a", T_REAL8, dims=("n",), intent="inout")
+    s = f.step()
+    s.foreach(i=(1, "n"))
+    s.formula(ref("a", I("i")), ref("a", I("i")) * 2.0)
+    program = b.build()
+    print(generate_fortran_module(make_plan(program, "GLAF-parallel v0")))
+
+Package map (see DESIGN.md):
+
+* :mod:`repro.core`        — grid/step/function internal representation + builder
+* :mod:`repro.analysis`    — auto-parallelization back-end
+* :mod:`repro.optimize`    — optimization back-end (layout, loops, pruning)
+* :mod:`repro.codegen`     — FORTRAN / C / OpenCL / Python generators
+* :mod:`repro.fortranlib`  — FORTRAN-subset parser + interpreter substrate
+* :mod:`repro.integration` — legacy-code model, interface checks, splicing
+* :mod:`repro.glafexec`    — IR interpreter (reference execution)
+* :mod:`repro.perf`        — machine/compiler/OpenMP models + simulator
+* :mod:`repro.sarb`        — Synoptic SARB case study
+* :mod:`repro.fun3d`       — FUN3D Jacobian-reconstruction case study
+* :mod:`repro.bench`       — experiment registry (tables/figures)
+"""
+
+from .core import (
+    GLOBAL_SCOPE,
+    E,
+    GlafBuilder,
+    GlafFunction,
+    GlafModule,
+    GlafProgram,
+    Grid,
+    GlafType,
+    I,
+    T_CHAR,
+    T_INT,
+    T_LOGICAL,
+    T_REAL,
+    T_REAL8,
+    T_VOID,
+    lib,
+    ref,
+    validate_program,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GlafBuilder", "GlafProgram", "GlafModule", "GlafFunction", "Grid",
+    "GlafType", "GLOBAL_SCOPE",
+    "T_INT", "T_REAL", "T_REAL8", "T_LOGICAL", "T_CHAR", "T_VOID",
+    "E", "I", "ref", "lib",
+    "validate_program",
+    "__version__",
+]

@@ -1,0 +1,29 @@
+"""GLAF auto-parallelization back-end.
+
+Parses the internal representation, identifies dependences, reductions and
+private variables, classifies loops, and produces the parallelization plan
+that guides code generation (paper §2.1, first back-end bullet).
+"""
+
+from .accesses import Access, AffineForm, affine_form, step_accesses
+from .classify import LoopClass, classify_step
+from .dependence import DepKind, Dependence, test_pair, write_is_injective
+from .parallelize import (
+    ParallelPlan,
+    StepParallelism,
+    analyze_program,
+    analyze_step,
+    callee_write_effects,
+)
+from .privatization import PrivatizationResult, classify_privates
+from .reductions import Reduction, find_reductions
+
+__all__ = [
+    "Access", "AffineForm", "affine_form", "step_accesses",
+    "LoopClass", "classify_step",
+    "DepKind", "Dependence", "test_pair", "write_is_injective",
+    "ParallelPlan", "StepParallelism", "analyze_program", "analyze_step",
+    "callee_write_effects",
+    "PrivatizationResult", "classify_privates",
+    "Reduction", "find_reductions",
+]

@@ -1,0 +1,130 @@
+"""Dependence tests.
+
+GLAF's parallelism-detection back-end decides, per step, whether executing
+the step's iterations concurrently preserves semantics.  The classic tests
+implemented here cover the paper's kernels:
+
+* **ZIV** (zero index variable): two constant index forms — dependent iff
+  equal, and equality is iteration-independent, so it never serializes.
+* **SIV/MIV distance**: identical coefficient vectors with differing
+  constants — a loop-carried dependence at constant distance (e.g.
+  ``a(i) = a(i-1)``).
+* **Different coefficients**: treated conservatively as a potential
+  loop-carried dependence (a GCD/Banerjee refinement could prove some of
+  these independent; GLAF is conservative here too).
+* **Indirect index** (non-affine): conservatively dependent.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from .accesses import Access, AffineForm
+
+__all__ = ["DepKind", "Dependence", "test_pair", "write_is_injective"]
+
+
+class DepKind(enum.Enum):
+    NONE = "none"                    # provably no cross-iteration dependence
+    LOOP_INDEPENDENT = "loop-independent"  # same-iteration only; harmless
+    LOOP_CARRIED = "loop-carried"    # serializes the loop
+    UNKNOWN = "unknown"              # conservatively treated as carried
+
+
+@dataclass(frozen=True)
+class Dependence:
+    kind: DepKind
+    grid: str
+    distance: tuple[int | None, ...] = ()   # per-dimension distance if known
+    detail: str = ""
+
+
+def _dim_relation(a: AffineForm | None, b: AffineForm | None) -> tuple[str, int | None]:
+    """Classify one dimension pair.
+
+    Returns ``(relation, distance)`` where relation is:
+
+    * ``"equal"``        — identical forms; same element in same iteration.
+    * ``"distance"``     — same coefficients, constant offset d != 0.
+    * ``"independent"``  — constant forms with different values (ZIV, never equal).
+    * ``"unknown"``      — non-affine or differing coefficients.
+    """
+    if a is None or b is None:
+        return "unknown", None
+    if a == b:
+        return "equal", 0
+    if a.coeffs == b.coeffs:
+        d = a.const - b.const
+        if not a.coeffs:
+            return "independent", None  # ZIV: constants differ -> never alias
+        return "distance", d
+    return "unknown", None
+
+
+def test_pair(w: Access, other: Access, loop_vars: tuple[str, ...]) -> Dependence:
+    """Dependence between a write and another access to the same grid."""
+    assert w.grid == other.grid and w.is_write
+    if len(w.affine) != len(other.affine):
+        # Whole-array reference vs indexed reference: conservatively carried.
+        return Dependence(DepKind.UNKNOWN, w.grid, detail="rank-mismatched reference")
+
+    if not w.affine:  # scalar grid: every iteration touches the same cell
+        if not loop_vars:
+            return Dependence(DepKind.LOOP_INDEPENDENT, w.grid, detail="scalar, no loop")
+        return Dependence(
+            DepKind.LOOP_CARRIED, w.grid, detail="scalar written in every iteration"
+        )
+
+    relations = [_dim_relation(a, b) for a, b in zip(w.affine, other.affine)]
+
+    if any(rel == "independent" for rel, _ in relations):
+        return Dependence(DepKind.NONE, w.grid, detail="ZIV: constant subscripts differ")
+
+    if any(rel == "unknown" for rel, _ in relations):
+        return Dependence(DepKind.UNKNOWN, w.grid, detail="non-affine or MIV subscript")
+
+    distances = tuple(d for _, d in relations)
+    if all(rel == "equal" for rel, _ in relations):
+        # Same element in the same iteration... but only if the subscripts
+        # actually vary with every loop variable; a pair like a(j) = a(j)
+        # inside an i-j nest collides across i.
+        used = {v for form in w.affine if form is not None for v in form.vars()}
+        missing = [v for v in loop_vars if v not in used]
+        if missing:
+            return Dependence(
+                DepKind.LOOP_CARRIED,
+                w.grid,
+                distance=distances,
+                detail=f"subscripts invariant in loop var(s) {missing}",
+            )
+        return Dependence(DepKind.LOOP_INDEPENDENT, w.grid, distance=distances)
+
+    # Same coefficients, nonzero constant distance in at least one dim.
+    return Dependence(
+        DepKind.LOOP_CARRIED,
+        w.grid,
+        distance=distances,
+        detail=f"constant dependence distance {distances}",
+    )
+
+
+def write_is_injective(w: Access, loop_vars: tuple[str, ...]) -> bool:
+    """True if distinct iterations provably write distinct elements.
+
+    Sufficient condition used by GLAF: every loop variable appears in
+    exactly one subscript dimension, with unit-magnitude... any nonzero
+    coefficient works as long as no two loop variables share a dimension
+    *and* each dimension is affine.  (A variable appearing in two dimensions
+    is still injective, but a dimension combining two variables like
+    ``a(i+j)`` is not.)
+    """
+    if not w.fully_affine:
+        return False
+    seen: set[str] = set()
+    for form in w.affine:
+        assert form is not None
+        if len(form.vars()) > 1:
+            return False
+        seen |= form.vars()
+    return all(v in seen for v in loop_vars)

@@ -1,0 +1,159 @@
+"""Reduction recognition.
+
+A statement of the form ``t = t op expr`` (or ``t = MIN(t, expr)`` /
+``t = MAX(t, expr)``) where the re-read of ``t`` uses the *same* subscripts
+as the write is a reduction over the loop, provided ``t`` is not otherwise
+read or written in the step.  GLAF's back-end identifies these and emits an
+OpenMP ``REDUCTION(op:var)`` clause; the paper notes that loops with
+"effectively more than one output" need *multiple* reduction variables in
+the clause (§4.2.1), which falls out naturally here because every qualifying
+statement contributes its own entry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.expr import BinOp, Expr, GridRef, LibCall, walk
+from ..core.step import Assign, CallStmt, IfStmt, Return, Step, walk_stmts
+
+__all__ = ["Reduction", "find_reductions"]
+
+# GLAF -> OpenMP reduction operator spellings.
+_OMP_OP = {"+": "+", "*": "*", "MIN": "MIN", "MAX": "MAX"}
+
+
+@dataclass(frozen=True)
+class Reduction:
+    grid: str
+    op: str               # OpenMP spelling: + * MIN MAX
+    indices: tuple[Expr, ...]
+
+
+def _same_ref(a: GridRef, b: GridRef) -> bool:
+    return a.grid == b.grid and a.indices == b.indices
+
+
+def _flatten(e: Expr, op: str) -> list[Expr]:
+    """Terms of an associative chain: ``a + b + c`` -> [a, b, c].
+
+    For '+', a top-level ``x - y`` contributes ``x`` and ``-y``-as-is is not
+    split further (subtraction only flattens on its left side, preserving
+    evaluation semantics).
+    """
+    if isinstance(e, BinOp) and e.op == op:
+        return _flatten(e.left, op) + _flatten(e.right, op)
+    if op == "+" and isinstance(e, BinOp) and e.op == "-":
+        return _flatten(e.left, op) + [UnOpNeg(e.right)]
+    return [e]
+
+
+def UnOpNeg(e: Expr) -> Expr:
+    from ..core.expr import UnOp
+
+    return UnOp("neg", e)
+
+
+def _rebuild(terms: list[Expr], op: str) -> Expr:
+    out = terms[0]
+    for t in terms[1:]:
+        out = BinOp(op, out, t)
+    return out
+
+
+def _match_update(stmt: Assign) -> tuple[str, Expr] | None:
+    """Match ``t = t op rest`` (associatively, so ``t = t + a + b`` counts),
+    ``t = rest op t`` and ``t = MIN/MAX(t, rest)``.
+
+    Returns ``(omp_op, rest_expr)`` or None.
+    """
+    t = stmt.target
+    e = stmt.expr
+    for op in ("+", "*"):
+        if isinstance(e, BinOp) and e.op in ((op, "-") if op == "+" else (op,)):
+            terms = _flatten(e, op)
+            self_terms = [
+                x for x in terms if isinstance(x, GridRef) and _same_ref(x, t)
+            ]
+            if len(self_terms) == 1 and len(terms) > 1:
+                rest = [x for x in terms if x is not self_terms[0]]
+                return _OMP_OP[op], _rebuild(rest, op)
+    if isinstance(e, LibCall) and e.name in ("MIN", "MAX") and len(e.args) == 2:
+        for k in (0, 1):
+            arg = e.args[k]
+            if isinstance(arg, GridRef) and _same_ref(arg, t):
+                return e.name, e.args[1 - k]
+    return None
+
+
+def find_reductions(step: Step) -> dict[str, Reduction]:
+    """Reductions in a step, keyed by grid name."""
+    updates: dict[str, list[tuple[Assign, str, Expr]]] = {}
+    other_writes: set[str] = set()
+    other_reads: set[str] = set()
+
+    matched: list[tuple[Assign, str, Expr]] = []
+    matched_ids: set[int] = set()
+
+    for s in walk_stmts(step.stmts):
+        if isinstance(s, Assign):
+            m = _match_update(s)
+            if m is not None:
+                op, rest = m
+                updates.setdefault(s.target.grid, []).append((s, op, rest))
+                matched.append((s, op, rest))
+                matched_ids.add(id(s))
+            else:
+                other_writes.add(s.target.grid)
+
+    # Reads everywhere except the self-read inside a matched update.
+    def note_reads(e: Expr) -> None:
+        for n in walk(e):
+            if isinstance(n, GridRef):
+                other_reads.add(n.grid)
+
+    for r in step.ranges:
+        note_reads(r.start), note_reads(r.end), note_reads(r.step)
+    if step.condition is not None:
+        note_reads(step.condition)
+    for s in walk_stmts(step.stmts):
+        if isinstance(s, Assign):
+            for idx in s.target.indices:
+                note_reads(idx)
+            if id(s) in matched_ids:
+                # Only the "rest" expression counts as an outside read; the
+                # self-reference is the reduction pattern itself.
+                for su, op, rest in matched:
+                    if su is s:
+                        note_reads(rest)
+                        for idx_args in _update_index_reads(su):
+                            note_reads(idx_args)
+                        break
+            else:
+                note_reads(s.expr)
+        elif isinstance(s, CallStmt):
+            for a in s.args:
+                note_reads(a)
+        elif isinstance(s, IfStmt):
+            note_reads(s.cond)
+        elif isinstance(s, Return) and s.value is not None:
+            note_reads(s.value)
+
+    out: dict[str, Reduction] = {}
+    for g, ups in updates.items():
+        if g in other_writes or g in other_reads:
+            continue
+        ops = {op for _, op, _ in ups}
+        idxs = {tuple(s.target.indices) for s, _, _ in ups}
+        if len(ops) != 1 or len(idxs) != 1:
+            continue
+        if any(isinstance(n, GridRef) and n.grid == g
+               for _, _, rest in ups for n in walk(rest)):
+            continue
+        out[g] = Reduction(grid=g, op=ops.pop(), indices=ups[0][0].target.indices)
+    return out
+
+
+def _update_index_reads(stmt: Assign) -> list[Expr]:
+    """Index expressions of the self-read inside a matched update."""
+    return [i for i in stmt.target.indices]

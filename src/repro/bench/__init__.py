@@ -1,0 +1,22 @@
+"""Benchmark harness: one registered experiment per paper table/figure."""
+
+from .experiments import (
+    EXPERIMENTS,
+    get_experiment,
+    run_figure5,
+    run_figure6,
+    run_figure7,
+    run_fun3d_correctness,
+    run_sarb_correctness,
+    run_table1,
+    run_table2,
+)
+from .harness import Experiment, ExperimentResult, format_table, run_and_format
+
+__all__ = [
+    "EXPERIMENTS", "get_experiment",
+    "run_figure5", "run_figure6", "run_figure7",
+    "run_fun3d_correctness", "run_sarb_correctness",
+    "run_table1", "run_table2",
+    "Experiment", "ExperimentResult", "format_table", "run_and_format",
+]

@@ -1,0 +1,69 @@
+"""Experiment harness: runs an experiment and prints the paper-style table.
+
+Every table and figure of the paper's evaluation section has a registered
+experiment (see :mod:`repro.bench.experiments`).  The harness renders rows
+side by side with the paper's reported values so the reproduction's shape
+criteria — orderings, crossovers, rough factors — can be eyeballed and are
+asserted in the benchmark suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+__all__ = ["ExperimentResult", "Experiment", "format_table", "run_and_format"]
+
+
+@dataclass
+class ExperimentResult:
+    experiment_id: str
+    title: str
+    headers: list[str]
+    rows: list[list[object]]
+    notes: str = ""
+
+    def column(self, name: str) -> list[object]:
+        i = self.headers.index(name)
+        return [r[i] for r in self.rows]
+
+    def as_dict(self, key_col: int = 0, val_col: int = 1) -> dict:
+        return {r[key_col]: r[val_col] for r in self.rows}
+
+
+@dataclass(frozen=True)
+class Experiment:
+    experiment_id: str
+    title: str
+    paper_ref: str
+    run: Callable[[], ExperimentResult]
+    description: str = ""
+
+
+def _fmt(v: object) -> str:
+    if isinstance(v, float):
+        if v != 0 and abs(v) < 0.01:
+            return f"{v:.5f}"
+        return f"{v:.3f}"
+    return str(v)
+
+
+def format_table(result: ExperimentResult) -> str:
+    rows = [[_fmt(v) for v in row] for row in result.rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in rows)) if rows else len(h)
+        for i, h in enumerate(result.headers)
+    ]
+    lines = [f"== {result.experiment_id}: {result.title} =="]
+    lines.append("  ".join(h.ljust(w) for h, w in zip(result.headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(r, widths)))
+    if result.notes:
+        lines.append(result.notes)
+    return "\n".join(lines)
+
+
+def run_and_format(exp: Experiment) -> tuple[ExperimentResult, str]:
+    result = exp.run()
+    return result, format_table(result)

@@ -1,0 +1,162 @@
+"""Command-line interface.
+
+``python -m repro <command>``:
+
+* ``experiments [IDS...]`` — run registered paper experiments (default all)
+  and print their tables.
+* ``generate PROJECT.json --target {fortran,c,opencl,python} --variant V``
+  — load a saved GLAF project and print generated code.
+* ``analyze PROJECT.json`` — print per-step loop classes and
+  parallelization verdicts.
+* ``sloc PROJECT.json`` — per-subprogram SLOC of the generated FORTRAN.
+* ``variants`` — list the Table-2 pruning variants.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="GLAF reproduction (ICPP 2018) command-line tools",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    exp = sub.add_parser("experiments", help="run paper experiments")
+    exp.add_argument("ids", nargs="*", help="experiment ids (default: all)")
+
+    gen = sub.add_parser("generate", help="generate code from a project file")
+    gen.add_argument("project", help="path to a saved GLAF project JSON")
+    gen.add_argument("--target", choices=["fortran", "c", "opencl", "python"],
+                     default="fortran")
+    gen.add_argument("--variant", default="GLAF-parallel v0",
+                     help='pruning variant (e.g. "GLAF serial", "GLAF-parallel v3")')
+    gen.add_argument("--threads", type=int, default=4)
+
+    ana = sub.add_parser("analyze", help="print loop classes and verdicts")
+    ana.add_argument("project")
+
+    sloc = sub.add_parser("sloc", help="SLOC of the generated FORTRAN")
+    sloc.add_argument("project")
+
+    sub.add_parser("variants", help="list Table-2 variants")
+    return p
+
+
+def _load_program(path: str):
+    from .core.project import load_project
+    from .core.validate import validate_program
+
+    program = load_project(path)
+    validate_program(program)
+    return program
+
+
+def _cmd_experiments(args) -> int:
+    from .bench import EXPERIMENTS, run_and_format
+
+    ids = args.ids or list(EXPERIMENTS)
+    unknown = [i for i in ids if i not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment id(s): {', '.join(unknown)}; "
+              f"available: {', '.join(EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    for exp_id in ids:
+        _, text = run_and_format(EXPERIMENTS[exp_id])
+        print(text)
+        print()
+    return 0
+
+
+def _cmd_generate(args) -> int:
+    from .codegen import (
+        generate_c_source,
+        generate_fortran_module,
+        generate_opencl,
+        generate_python_source,
+    )
+    from .optimize import make_plan
+
+    program = _load_program(args.project)
+    plan = make_plan(program, args.variant, threads=args.threads)
+    if args.target == "fortran":
+        print(generate_fortran_module(plan), end="")
+    elif args.target == "c":
+        print(generate_c_source(plan), end="")
+    elif args.target == "python":
+        print(generate_python_source(plan), end="")
+    else:
+        out = generate_opencl(plan)
+        print(out.kernels_source, end="")
+        print("/* launch plan:")
+        for launch in out.launch_plan:
+            print(f"   {launch.kind:6s} {launch.name}")
+        print("*/")
+    return 0
+
+
+def _cmd_analyze(args) -> int:
+    from .analysis import analyze_program, classify_step
+
+    program = _load_program(args.project)
+    plan = analyze_program(program)
+    for fn in program.functions():
+        print(f"{'SUBROUTINE' if fn.is_subroutine else 'FUNCTION'} {fn.name}")
+        for i, step in enumerate(fn.steps):
+            sp = plan.get(fn.name, i)
+            flags = []
+            if sp.reductions:
+                flags.append("reduction(" + ",".join(sp.reductions) + ")")
+            if sp.atomic:
+                flags.append("atomic(" + ",".join(sp.atomic) + ")")
+            if sp.collapse > 1:
+                flags.append(f"collapse({sp.collapse})")
+            print(f"  step {i} {step.name:24s} class={classify_step(step).value:15s}"
+                  f" parallel={'yes' if sp.parallel else 'no ':3s} "
+                  + " ".join(flags))
+            if not sp.parallel and sp.reasons:
+                print(f"       reason: {sp.reasons[0]}")
+    return 0
+
+
+def _cmd_sloc(args) -> int:
+    from .codegen import generate_fortran_module, module_unit_slocs
+    from .optimize import make_plan
+
+    program = _load_program(args.project)
+    src = generate_fortran_module(make_plan(program, "GLAF-parallel v0"))
+    for name, n in module_unit_slocs(src).items():
+        print(f"{name:32s} {n:6d}")
+    return 0
+
+
+def _cmd_variants(args) -> int:
+    from .optimize import VARIANTS
+
+    for v in VARIANTS:
+        print(f"{v.name:18s} {v.description}")
+    return 0
+
+
+_COMMANDS = {
+    "experiments": _cmd_experiments,
+    "generate": _cmd_generate,
+    "analyze": _cmd_analyze,
+    "sloc": _cmd_sloc,
+    "variants": _cmd_variants,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

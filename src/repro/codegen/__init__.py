@@ -1,0 +1,17 @@
+"""GLAF automatic code generation back-end (FORTRAN, C, OpenCL, Python)."""
+
+from .c import CGenerator, generate_c_source
+from .fortran import FortranGenerator, generate_fortran_module
+from .omp import OmpDirective, render_c, render_fortran, render_fortran_end
+from .opencl import KernelLaunch, OpenCLGenerator, generate_opencl
+from .python_gen import PythonGenerator, generate_python_source
+from .sloc import count_sloc, module_unit_slocs, unit_sloc
+
+__all__ = [
+    "CGenerator", "generate_c_source",
+    "FortranGenerator", "generate_fortran_module",
+    "OmpDirective", "render_c", "render_fortran", "render_fortran_end",
+    "KernelLaunch", "OpenCLGenerator", "generate_opencl",
+    "PythonGenerator", "generate_python_source",
+    "count_sloc", "module_unit_slocs", "unit_sloc",
+]

@@ -1,0 +1,51 @@
+"""GLAF core: internal representation and programmatic front-end.
+
+The public surface mirrors the paper's §2.1 description of GLAF — grids,
+modules/functions/steps, the library-function registry, and the builder API
+standing in for the graphical programming interface.
+"""
+
+from .builder import FunctionBuilder, GlafBuilder, ModuleBuilder, StepBuilder
+from .expr import (
+    BinOp,
+    Const,
+    E,
+    Expr,
+    FuncCall,
+    GridRef,
+    I,
+    IndexVar,
+    LibCall,
+    UnOp,
+    lib,
+    ref,
+)
+from .function import GLOBAL_SCOPE, GlafFunction, GlafModule, GlafProgram
+from .grid import Grid, array, scalar
+from .libfuncs import REGISTRY as LIBFUNC_REGISTRY
+from .project import load_project, program_from_dict, program_to_dict, save_project
+from .step import Assign, CallStmt, ExitLoop, IfStmt, Range, Return, Step
+from .types import (
+    DerivedType,
+    GlafType,
+    T_CHAR,
+    T_INT,
+    T_LOGICAL,
+    T_REAL,
+    T_REAL8,
+    T_VOID,
+)
+from .validate import validate_function, validate_program
+
+__all__ = [
+    "GlafBuilder", "ModuleBuilder", "FunctionBuilder", "StepBuilder",
+    "Expr", "Const", "IndexVar", "GridRef", "BinOp", "UnOp", "LibCall",
+    "FuncCall", "E", "I", "ref", "lib",
+    "GlafProgram", "GlafModule", "GlafFunction", "GLOBAL_SCOPE",
+    "Grid", "scalar", "array",
+    "Step", "Range", "Assign", "CallStmt", "IfStmt", "Return", "ExitLoop",
+    "GlafType", "T_INT", "T_REAL", "T_REAL8", "T_LOGICAL", "T_CHAR", "T_VOID",
+    "DerivedType", "LIBFUNC_REGISTRY",
+    "validate_program", "validate_function",
+    "program_to_dict", "program_from_dict", "save_project", "load_project",
+]

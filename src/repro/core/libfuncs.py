@@ -1,0 +1,127 @@
+"""GLAF library functions (paper §3.6).
+
+GLAF ships an extensible registry of library functions that map to language
+intrinsics during code generation.  The paper's case study required adding
+``ABS()``, ``ALOG()``, ``SUM()`` "and other functions used in FORTRAN that
+were missing in the previous versions of GLAF" — all of those, plus the
+pre-existing C/FORTRAN math set, are registered here.
+
+Each entry records:
+
+* the NumPy implementation used by the GLAF IR interpreter,
+* the FORTRAN, C, and OpenCL spellings used by the code generators,
+* the arity (``-1`` = variadic, as for ``MIN``/``MAX``),
+* whether the function reduces a whole array to a scalar (``SUM``...),
+* an approximate cost in scalar FLOPs used by the performance model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..errors import CodegenError
+
+__all__ = ["LibFunc", "REGISTRY", "get", "register", "is_reduction_func"]
+
+
+@dataclass(frozen=True)
+class LibFunc:
+    name: str
+    arity: int                       # -1 = variadic (>= 2)
+    impl: Callable[..., object]
+    fortran: str
+    c: str
+    opencl: str
+    reduces_array: bool = False      # whole-array -> scalar
+    flop_cost: float = 1.0
+
+    def check_arity(self, n: int) -> None:
+        if self.arity == -1:
+            if n < 2:
+                raise CodegenError(f"{self.name} needs at least 2 arguments, got {n}")
+        elif n != self.arity:
+            raise CodegenError(f"{self.name} needs {self.arity} argument(s), got {n}")
+
+
+REGISTRY: dict[str, LibFunc] = {}
+
+
+def register(fn: LibFunc) -> LibFunc:
+    """Add a library function; the registry is extensible (paper §3.6)."""
+    REGISTRY[fn.name.upper()] = fn
+    return fn
+
+
+def get(name: str) -> LibFunc:
+    try:
+        return REGISTRY[name.upper()]
+    except KeyError:
+        raise CodegenError(f"unknown library function {name!r}") from None
+
+
+def is_reduction_func(name: str) -> bool:
+    f = REGISTRY.get(name.upper())
+    return f is not None and f.reduces_array
+
+
+def _sign(a, b):
+    return np.abs(a) * np.where(np.asarray(b) >= 0, 1.0, -1.0)
+
+
+def _variadic_min(*xs):
+    out = xs[0]
+    for x in xs[1:]:
+        out = np.minimum(out, x)
+    return out
+
+
+def _variadic_max(*xs):
+    out = xs[0]
+    for x in xs[1:]:
+        out = np.maximum(out, x)
+    return out
+
+
+# --- the standard math set -------------------------------------------------
+register(LibFunc("ABS", 1, np.abs, "ABS", "fabs", "fabs"))
+register(LibFunc("SQRT", 1, np.sqrt, "SQRT", "sqrt", "sqrt", flop_cost=8.0))
+register(LibFunc("EXP", 1, np.exp, "EXP", "exp", "exp", flop_cost=40.0))
+register(LibFunc("LOG", 1, np.log, "LOG", "log", "log", flop_cost=40.0))
+# ALOG is the FORTRAN-77 single-precision natural log the paper names (§3.6).
+register(LibFunc("ALOG", 1, np.log, "ALOG", "logf", "log", flop_cost=40.0))
+register(LibFunc("ALOG10", 1, np.log10, "ALOG10", "log10f", "log10", flop_cost=16.0))
+register(LibFunc("LOG10", 1, np.log10, "LOG10", "log10", "log10", flop_cost=16.0))
+register(LibFunc("SIN", 1, np.sin, "SIN", "sin", "sin", flop_cost=12.0))
+register(LibFunc("COS", 1, np.cos, "COS", "cos", "cos", flop_cost=12.0))
+register(LibFunc("TAN", 1, np.tan, "TAN", "tan", "tan", flop_cost=14.0))
+register(LibFunc("ASIN", 1, np.arcsin, "ASIN", "asin", "asin", flop_cost=14.0))
+register(LibFunc("ACOS", 1, np.arccos, "ACOS", "acos", "acos", flop_cost=14.0))
+register(LibFunc("ATAN", 1, np.arctan, "ATAN", "atan", "atan", flop_cost=14.0))
+register(LibFunc("ATAN2", 2, np.arctan2, "ATAN2", "atan2", "atan2", flop_cost=18.0))
+register(LibFunc("SINH", 1, np.sinh, "SINH", "sinh", "sinh", flop_cost=16.0))
+register(LibFunc("COSH", 1, np.cosh, "COSH", "cosh", "cosh", flop_cost=16.0))
+register(LibFunc("TANH", 1, np.tanh, "TANH", "tanh", "tanh", flop_cost=16.0))
+register(LibFunc("MOD", 2, np.mod, "MOD", "fmod", "fmod", flop_cost=4.0))
+register(LibFunc("SIGN", 2, _sign, "SIGN", "copysign", "copysign", flop_cost=2.0))
+register(LibFunc("MIN", -1, _variadic_min, "MIN", "fmin", "fmin"))
+register(LibFunc("MAX", -1, _variadic_max, "MAX", "fmax", "fmax"))
+register(LibFunc("INT", 1, lambda x: np.int64(np.trunc(x)), "INT", "(long)", "(long)"))
+register(LibFunc("REAL", 1, lambda x: np.float32(x), "REAL", "(float)", "(float)"))
+register(LibFunc("DBLE", 1, lambda x: np.float64(x), "DBLE", "(double)", "(double)"))
+register(LibFunc("FLOOR", 1, np.floor, "FLOOR", "floor", "floor"))
+register(LibFunc("CEILING", 1, np.ceil, "CEILING", "ceil", "ceil"))
+
+# --- whole-array reductions (added for the SARB case study, §3.6) ----------
+register(LibFunc("SUM", 1, lambda a: np.sum(a), "SUM", "glaf_sum", "glaf_sum",
+                 reduces_array=True))
+register(LibFunc("MINVAL", 1, lambda a: np.min(a), "MINVAL", "glaf_minval",
+                 "glaf_minval", reduces_array=True))
+register(LibFunc("MAXVAL", 1, lambda a: np.max(a), "MAXVAL", "glaf_maxval",
+                 "glaf_maxval", reduces_array=True))
+register(LibFunc("PRODUCT", 1, lambda a: np.prod(a), "PRODUCT", "glaf_product",
+                 "glaf_product", reduces_array=True))
+register(LibFunc("SIZE", 1, lambda a: np.int64(np.size(a)), "SIZE", "glaf_size",
+                 "glaf_size", reduces_array=True, flop_cost=0.0))

@@ -1,0 +1,232 @@
+"""Steps and statements.
+
+The GPI organizes each function as a sequence of *steps*.  A step owns an
+optional loop nest (the "Index Range: foreach row, col" box in Figure 2), an
+optional condition, and an ordered list of formulas / calls.
+
+GLAF's structural rule (paper §3.3/§4.1.2): a step carries at most **one**
+perfect loop nest — any interior nested loop must be modelled as a call to a
+separate GLAF function.  This rule is what creates the function-call overhead
+discussed in the paper's performance evaluation, and it is enforced by
+:mod:`repro.core.validate`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+from ..errors import ValidationError
+from .expr import Expr, GridRef, E, index_vars_used, grids_read, walk
+
+__all__ = [
+    "Range",
+    "Stmt",
+    "Assign",
+    "CallStmt",
+    "IfStmt",
+    "Return",
+    "ExitLoop",
+    "Step",
+    "walk_stmts",
+    "stmt_exprs",
+]
+
+
+@dataclass(frozen=True)
+class Range:
+    """One loop dimension of a step's index range.
+
+    Bounds are inclusive on both ends, matching FORTRAN ``DO var = start, end``
+    (and the GPI's "foreach" ranges).  ``step`` must be a positive constant
+    expression for parallelization analysis to treat the loop as countable.
+    """
+
+    var: str
+    start: Expr
+    end: Expr
+    step: Expr = field(default_factory=lambda: E(1))
+
+    def __post_init__(self) -> None:
+        if not self.var.isidentifier():
+            raise ValidationError(f"bad index variable name {self.var!r}")
+        object.__setattr__(self, "start", E(self.start))
+        object.__setattr__(self, "end", E(self.end))
+        object.__setattr__(self, "step", E(self.step))
+
+
+class Stmt:
+    """Base class for statements inside a step."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Assign(Stmt):
+    """A formula: ``target = expr``."""
+
+    target: GridRef
+    expr: Expr
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.target, GridRef):
+            raise ValidationError("formula target must be a grid reference")
+        object.__setattr__(self, "expr", E(self.expr))
+
+
+@dataclass(frozen=True)
+class CallStmt(Stmt):
+    """A call to another GLAF function or subroutine.
+
+    When the callee is a subroutine (void return), code generation emits
+    ``CALL name(args)`` (paper §3.4).  When it is a value-returning function
+    called for effect on its arguments, FORTRAN still allows a function
+    reference statement; GLAF instead assigns into a scratch target, so the
+    builder only produces CallStmt for subroutines.
+    """
+
+    name: str
+    args: tuple[Expr, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "args", tuple(E(a) for a in self.args))
+
+
+@dataclass(frozen=True)
+class IfStmt(Stmt):
+    """A structured conditional (no nested loops allowed inside)."""
+
+    cond: Expr
+    then: tuple[Stmt, ...] = ()
+    orelse: tuple[Stmt, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "cond", E(self.cond))
+        object.__setattr__(self, "then", tuple(self.then))
+        object.__setattr__(self, "orelse", tuple(self.orelse))
+
+
+@dataclass(frozen=True)
+class Return(Stmt):
+    """Return from the enclosing function (with a value unless subroutine)."""
+
+    value: Expr | None = None
+
+    def __post_init__(self) -> None:
+        if self.value is not None:
+            object.__setattr__(self, "value", E(self.value))
+
+
+@dataclass(frozen=True)
+class ExitLoop(Stmt):
+    """Early exit from the step's loop nest (FORTRAN ``EXIT``).
+
+    Used by the FUN3D ``ioff_search`` kernel; a step containing ExitLoop is
+    never parallelizable without an OMP CRITICAL early-return protocol
+    (paper §4.2.1, last manual tweak).
+    """
+
+
+@dataclass
+class Step:
+    """One GPI step: loop nest + condition + ordered statements."""
+
+    name: str
+    ranges: list[Range] = field(default_factory=list)
+    condition: Expr | None = None
+    stmts: list[Stmt] = field(default_factory=list)
+    comment: str = ""
+
+    def __post_init__(self) -> None:
+        if self.condition is not None:
+            self.condition = E(self.condition)
+        seen: set[str] = set()
+        for r in self.ranges:
+            if r.var in seen:
+                raise ValidationError(
+                    f"step {self.name!r}: duplicate index variable {r.var!r}"
+                )
+            seen.add(r.var)
+
+    # -- structure queries -------------------------------------------------
+    @property
+    def is_loop(self) -> bool:
+        return bool(self.ranges)
+
+    @property
+    def depth(self) -> int:
+        return len(self.ranges)
+
+    def index_names(self) -> tuple[str, ...]:
+        return tuple(r.var for r in self.ranges)
+
+    def has_control_flow(self) -> bool:
+        """True if the body contains if/else, early return or loop exit."""
+        return any(
+            isinstance(s, (IfStmt, Return, ExitLoop)) for s in walk_stmts(self.stmts)
+        )
+
+    def has_calls(self) -> bool:
+        return any(isinstance(s, CallStmt) for s in walk_stmts(self.stmts))
+
+    def called_functions(self) -> set[str]:
+        names = {
+            s.name for s in walk_stmts(self.stmts) if isinstance(s, CallStmt)
+        }
+        from .expr import FuncCall
+
+        for e in self.all_exprs():
+            for node in walk(e):
+                if isinstance(node, FuncCall):
+                    names.add(node.name)
+        return names
+
+    def all_exprs(self) -> Iterator[Expr]:
+        """Every expression appearing anywhere in the step."""
+        for r in self.ranges:
+            yield r.start
+            yield r.end
+            yield r.step
+        if self.condition is not None:
+            yield self.condition
+        for s in walk_stmts(self.stmts):
+            yield from stmt_exprs(s)
+
+    def grids_referenced(self) -> set[str]:
+        out: set[str] = set()
+        for e in self.all_exprs():
+            out |= grids_read(e)
+        for s in walk_stmts(self.stmts):
+            if isinstance(s, Assign):
+                out.add(s.target.grid)
+        return out
+
+    def free_index_vars(self) -> set[str]:
+        """Index variables used in the body but not bound by the ranges."""
+        bound = set(self.index_names())
+        used: set[str] = set()
+        for e in self.all_exprs():
+            used |= index_vars_used(e)
+        return used - bound
+
+
+def walk_stmts(stmts: Sequence[Stmt]) -> Iterator[Stmt]:
+    """Flatten statements, descending into IfStmt branches."""
+    for s in stmts:
+        yield s
+        if isinstance(s, IfStmt):
+            yield from walk_stmts(s.then)
+            yield from walk_stmts(s.orelse)
+
+
+def stmt_exprs(s: Stmt) -> Iterator[Expr]:
+    """Expressions directly owned by one statement (not recursing into ifs)."""
+    if isinstance(s, Assign):
+        yield s.target
+        yield s.expr
+    elif isinstance(s, CallStmt):
+        yield from s.args
+    elif isinstance(s, IfStmt):
+        yield s.cond
+    elif isinstance(s, Return) and s.value is not None:
+        yield s.value

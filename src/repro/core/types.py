@@ -1,0 +1,170 @@
+"""GLAF data types.
+
+GLAF's internal representation tags every grid (and every grid dimension, for
+struct-like grids) with a data type drawn from a small fixed set.  This module
+defines that set and the mappings to NumPy dtypes and to FORTRAN / C / OpenCL
+type declarations used by the code-generation back-ends.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "GlafType",
+    "T_INT",
+    "T_REAL",
+    "T_REAL8",
+    "T_LOGICAL",
+    "T_CHAR",
+    "T_VOID",
+    "numpy_dtype",
+    "fortran_decl",
+    "c_decl",
+    "opencl_decl",
+    "promote",
+    "is_numeric",
+    "DerivedType",
+]
+
+
+class GlafType(enum.Enum):
+    """The GLAF scalar element types.
+
+    ``T_VOID`` is only legal as a subprogram return type; selecting it in the
+    header step makes the code generators emit a FORTRAN ``SUBROUTINE``
+    (paper §3.4) rather than a ``FUNCTION``.
+    """
+
+    T_INT = "integer"
+    T_REAL = "real"
+    T_REAL8 = "real8"
+    T_LOGICAL = "logical"
+    T_CHAR = "char"
+    T_VOID = "void"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"GlafType.{self.name}"
+
+
+# Convenience aliases so user code reads like the paper's figures.
+T_INT = GlafType.T_INT
+T_REAL = GlafType.T_REAL
+T_REAL8 = GlafType.T_REAL8
+T_LOGICAL = GlafType.T_LOGICAL
+T_CHAR = GlafType.T_CHAR
+T_VOID = GlafType.T_VOID
+
+
+_NUMPY = {
+    GlafType.T_INT: np.dtype(np.int64),
+    GlafType.T_REAL: np.dtype(np.float32),
+    GlafType.T_REAL8: np.dtype(np.float64),
+    GlafType.T_LOGICAL: np.dtype(np.bool_),
+    GlafType.T_CHAR: np.dtype("U64"),
+}
+
+_FORTRAN = {
+    GlafType.T_INT: "INTEGER",
+    GlafType.T_REAL: "REAL",
+    GlafType.T_REAL8: "REAL(KIND=8)",
+    GlafType.T_LOGICAL: "LOGICAL",
+    GlafType.T_CHAR: "CHARACTER(LEN=64)",
+}
+
+_C = {
+    GlafType.T_INT: "long",
+    GlafType.T_REAL: "float",
+    GlafType.T_REAL8: "double",
+    GlafType.T_LOGICAL: "int",
+    GlafType.T_CHAR: "char*",
+    GlafType.T_VOID: "void",
+}
+
+_OPENCL = {
+    GlafType.T_INT: "long",
+    GlafType.T_REAL: "float",
+    GlafType.T_REAL8: "double",
+    GlafType.T_LOGICAL: "int",
+    GlafType.T_CHAR: "char*",
+    GlafType.T_VOID: "void",
+}
+
+
+def numpy_dtype(ty: GlafType) -> np.dtype:
+    """NumPy dtype backing a grid of GLAF type ``ty``."""
+    if ty is GlafType.T_VOID:
+        raise ValueError("T_VOID has no storage dtype")
+    return _NUMPY[ty]
+
+
+def fortran_decl(ty: GlafType) -> str:
+    """FORTRAN type-spec for ``ty`` (e.g. ``REAL(KIND=8)``)."""
+    if ty is GlafType.T_VOID:
+        raise ValueError("T_VOID has no FORTRAN declaration; it selects SUBROUTINE form")
+    return _FORTRAN[ty]
+
+
+def c_decl(ty: GlafType) -> str:
+    """C type for ``ty``."""
+    return _C[ty]
+
+
+def opencl_decl(ty: GlafType) -> str:
+    """OpenCL C type for ``ty``."""
+    return _OPENCL[ty]
+
+
+_RANK = {
+    GlafType.T_LOGICAL: 0,
+    GlafType.T_INT: 1,
+    GlafType.T_REAL: 2,
+    GlafType.T_REAL8: 3,
+}
+
+
+def is_numeric(ty: GlafType) -> bool:
+    """True for types valid in arithmetic expressions."""
+    return ty in (GlafType.T_INT, GlafType.T_REAL, GlafType.T_REAL8)
+
+
+def promote(a: GlafType, b: GlafType) -> GlafType:
+    """FORTRAN-style numeric promotion of two operand types."""
+    if a not in _RANK or b not in _RANK:
+        raise ValueError(f"cannot promote {a} and {b}")
+    return a if _RANK[a] >= _RANK[b] else b
+
+
+@dataclass(frozen=True)
+class DerivedType:
+    """A FORTRAN derived TYPE definition (paper §3.5).
+
+    GLAF only needs the *shape* of existing TYPEs to generate correct
+    ``var%element`` accesses and to validate that a grid marked as a TYPE
+    element names a field that actually exists.
+
+    ``fields`` maps element name to ``(GlafType, rank)``.
+    """
+
+    name: str
+    fields: dict[str, tuple[GlafType, int]]
+    defined_in_module: str | None = None
+
+    def __post_init__(self) -> None:
+        for fname, (fty, rank) in self.fields.items():
+            if fty is GlafType.T_VOID:
+                raise ValueError(f"TYPE {self.name}%{fname}: fields cannot be void")
+            if rank < 0:
+                raise ValueError(f"TYPE {self.name}%{fname}: negative rank")
+
+    def has_field(self, name: str) -> bool:
+        return name.lower() in {f.lower() for f in self.fields}
+
+    def field(self, name: str) -> tuple[GlafType, int]:
+        for f, spec in self.fields.items():
+            if f.lower() == name.lower():
+                return spec
+        raise KeyError(f"TYPE {self.name} has no field {name}")

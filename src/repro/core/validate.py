@@ -1,0 +1,148 @@
+"""Structural validation of GLAF programs.
+
+The GPI prevents most invalid states interactively; since our builder is
+programmatic, this validator enforces the same rules before any back-end
+runs:
+
+* every grid referenced by a formula resolves in function or global scope;
+* every index variable used is bound by the enclosing step's index range;
+* called functions exist, and argument counts match;
+* subroutines (void return) contain no value-returning ``Return``; functions
+  return a value on every trailing path (checked shallowly);
+* steps contain at most one loop nest (GLAF's nesting rule — interior loops
+  must be separate functions, paper §3.3);
+* TYPE-element grids name a registered derived type that has the field;
+* COMMON-block grids and existing-module grids live in Global Scope only.
+"""
+
+from __future__ import annotations
+
+from ..errors import ValidationError
+from .expr import Expr, FuncCall, GridRef, LibCall, walk
+from .function import GlafFunction, GlafProgram
+from .libfuncs import REGISTRY
+from .step import Assign, CallStmt, Return, Step, walk_stmts
+from .types import GlafType
+
+__all__ = ["validate_program", "validate_function"]
+
+
+def validate_program(program: GlafProgram) -> None:
+    names = [fn.name for fn in program.functions()]
+    if len(names) != len(set(names)):
+        dupes = sorted({n for n in names if names.count(n) > 1})
+        raise ValidationError(f"function names must be program-unique: {dupes}")
+
+    for g in program.global_grids.values():
+        if g.type_name is not None:
+            if g.type_name not in program.derived_types:
+                raise ValidationError(
+                    f"global grid {g.name!r}: unknown derived type {g.type_name!r}"
+                )
+            dt = program.derived_types[g.type_name]
+            if not dt.has_field(g.name):
+                raise ValidationError(
+                    f"global grid {g.name!r}: TYPE {g.type_name} has no such element"
+                )
+
+    for fn in program.functions():
+        validate_function(program, fn)
+
+
+def validate_function(program: GlafProgram, fn: GlafFunction) -> None:
+    for g in fn.grids.values():
+        if g.is_external:
+            raise ValidationError(
+                f"{fn.name}: grid {g.name!r} uses legacy-integration attributes "
+                "but is function-local; create it in Global Scope (paper §3.1/3.2)"
+            )
+        if g.module_scope:
+            raise ValidationError(
+                f"{fn.name}: module-scope grid {g.name!r} must live in Global Scope"
+            )
+
+    for step in fn.steps:
+        _validate_step(program, fn, step)
+
+    if fn.is_subroutine:
+        for step in fn.steps:
+            for s in walk_stmts(step.stmts):
+                if isinstance(s, Return) and s.value is not None:
+                    raise ValidationError(
+                        f"{fn.name}: subroutine cannot return a value (paper §3.4)"
+                    )
+
+
+def _validate_step(program: GlafProgram, fn: GlafFunction, step: Step) -> None:
+    where = f"{fn.name}/{step.name}"
+
+    free = step.free_index_vars()
+    if free:
+        raise ValidationError(f"{where}: unbound index variables {sorted(free)}")
+
+    for e in step.all_exprs():
+        _validate_expr(program, fn, e, where)
+
+    for s in walk_stmts(step.stmts):
+        if isinstance(s, Assign):
+            grid = _resolve(program, fn, s.target.grid, where)
+            if s.target.indices and len(s.target.indices) != grid.rank:
+                raise ValidationError(
+                    f"{where}: target {grid.name!r} has rank {grid.rank} but "
+                    f"{len(s.target.indices)} indices were given"
+                )
+            if not s.target.indices and grid.rank != 0:
+                raise ValidationError(
+                    f"{where}: cannot assign to whole array {grid.name!r}; "
+                    "index it or use an initialization step"
+                )
+            if grid.is_parameter:
+                raise ValidationError(f"{where}: cannot assign to PARAMETER {grid.name!r}")
+        elif isinstance(s, CallStmt):
+            _validate_call(program, s.name, len(s.args), where, subroutine_only=True)
+
+
+def _validate_expr(program: GlafProgram, fn: GlafFunction, e: Expr, where: str) -> None:
+    for node in walk(e):
+        if isinstance(node, GridRef):
+            grid = _resolve(program, fn, node.grid, where)
+            if node.indices and len(node.indices) != grid.rank:
+                raise ValidationError(
+                    f"{where}: grid {grid.name!r} has rank {grid.rank} but is "
+                    f"indexed with {len(node.indices)} indices"
+                )
+        elif isinstance(node, LibCall):
+            if node.name not in REGISTRY:
+                raise ValidationError(f"{where}: unknown library function {node.name!r}")
+            REGISTRY[node.name].check_arity(len(node.args))
+        elif isinstance(node, FuncCall):
+            _validate_call(program, node.name, len(node.args), where, subroutine_only=False)
+
+
+def _validate_call(
+    program: GlafProgram, name: str, nargs: int, where: str, subroutine_only: bool
+) -> None:
+    try:
+        callee = program.find_function(name)
+    except KeyError:
+        raise ValidationError(f"{where}: call to unknown function {name!r}") from None
+    if nargs != len(callee.params):
+        raise ValidationError(
+            f"{where}: {name} takes {len(callee.params)} argument(s), got {nargs}"
+        )
+    if subroutine_only and not callee.is_subroutine:
+        raise ValidationError(
+            f"{where}: {name} returns a value; use it inside a formula, "
+            "not as a CALL statement"
+        )
+    if not subroutine_only and callee.is_subroutine:
+        raise ValidationError(
+            f"{where}: {name} is a subroutine and yields no value (paper §3.4)"
+        )
+
+
+def _resolve(program: GlafProgram, fn: GlafFunction, name: str, where: str):
+    try:
+        return program.resolve_grid(fn, name)
+    except KeyError:
+        raise ValidationError(f"{where}: reference to unknown grid {name!r}") from None

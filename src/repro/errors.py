@@ -1,0 +1,61 @@
+"""Exception hierarchy for the GLAF reproduction.
+
+Every subsystem raises a subclass of :class:`GlafError` so callers can
+distinguish framework faults from programming errors in user code.
+"""
+
+from __future__ import annotations
+
+
+class GlafError(Exception):
+    """Base class for all framework errors."""
+
+
+class ValidationError(GlafError):
+    """A GLAF program violates a structural rule (scoping, nesting, types)."""
+
+
+class BuilderError(GlafError):
+    """Invalid use of the programmatic GPI builder."""
+
+
+class AnalysisError(GlafError):
+    """Auto-parallelization analysis failed or was given invalid input."""
+
+
+class CodegenError(GlafError):
+    """Code generation could not produce output for the requested target."""
+
+
+class FortranSyntaxError(GlafError):
+    """The FORTRAN-subset lexer/parser rejected the input source."""
+
+    def __init__(self, message: str, line: int | None = None, col: int | None = None):
+        self.line = line
+        self.col = col
+        loc = f" (line {line}" + (f", col {col}" if col is not None else "") + ")" if line else ""
+        super().__init__(message + loc)
+
+
+class FortranRuntimeError(GlafError):
+    """The FORTRAN-subset interpreter hit a runtime fault (bounds, kinds...)."""
+
+
+class IntegrationError(GlafError):
+    """Generated code cannot be integrated with the legacy codebase."""
+
+
+class InterfaceMismatchError(IntegrationError):
+    """A generated subprogram's interface does not match the legacy call site."""
+
+
+class ExecutionError(GlafError):
+    """The GLAF IR interpreter hit a runtime fault."""
+
+
+class PerfModelError(GlafError):
+    """The performance simulator was given an inconsistent configuration."""
+
+
+class WorkloadError(GlafError):
+    """A case-study workload specification is invalid."""

@@ -1,0 +1,12 @@
+"""Legacy-FORTRAN substrate: lexer, parser and interpreter for the subset
+needed to execute GLAF-generated code inside synthetic legacy codebases."""
+
+from .interp import DerivedValue, FortranRuntime, OmpEvent, Slot, StopSignal
+from .lexer import Token, tokenize
+from .parser import Parser, parse_source
+
+__all__ = [
+    "FortranRuntime", "DerivedValue", "OmpEvent", "Slot", "StopSignal",
+    "Token", "tokenize",
+    "Parser", "parse_source",
+]

@@ -1,0 +1,61 @@
+"""Intrinsic functions for the FORTRAN interpreter.
+
+Most intrinsics delegate to the GLAF library-function registry
+(:mod:`repro.core.libfuncs`) so the generated code and the interpreter share
+one definition of every function's semantics.  ``ALLOCATED`` is special: it
+inspects the interpreter's allocation state rather than a value, so the
+interpreter handles it before normal evaluation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..core import libfuncs
+
+__all__ = ["INTRINSICS", "is_intrinsic", "SPECIAL_FORMS"]
+
+# Intrinsics that need slot-level (not value-level) access.
+SPECIAL_FORMS = {"allocated"}
+
+
+def _registry_intrinsics() -> dict[str, Callable]:
+    out: dict[str, Callable] = {}
+    for name, f in libfuncs.REGISTRY.items():
+        out[name.lower()] = f.impl
+    return out
+
+
+INTRINSICS: dict[str, Callable] = _registry_intrinsics()
+
+# FORTRAN spellings not covered 1:1 by the GLAF registry.
+INTRINSICS.update(
+    {
+        "dabs": np.abs,
+        "dsqrt": np.sqrt,
+        "dexp": np.exp,
+        "dlog": np.log,
+        "amax1": lambda *xs: np.max(np.stack([np.asarray(x, dtype=np.float64) for x in xs])),
+        "amin1": lambda *xs: np.min(np.stack([np.asarray(x, dtype=np.float64) for x in xs])),
+        "max0": lambda *xs: np.max(np.stack([np.asarray(x, dtype=np.int64) for x in xs])),
+        "min0": lambda *xs: np.min(np.stack([np.asarray(x, dtype=np.int64) for x in xs])),
+        "float": lambda x: np.float64(x),
+        "iabs": lambda x: np.abs(np.int64(x)),
+        "nint": lambda x: np.int64(np.rint(x)),
+        "huge": lambda x: np.float64(np.finfo(np.float64).max)
+        if np.issubdtype(np.asarray(x).dtype, np.floating)
+        else np.int64(np.iinfo(np.int64).max),
+        "tiny": lambda x: np.float64(np.finfo(np.float64).tiny),
+        "epsilon": lambda x: np.float64(np.finfo(np.float64).eps),
+        "maxloc1": lambda a: np.int64(int(np.argmax(a)) + 1),
+        "minloc1": lambda a: np.int64(int(np.argmin(a)) + 1),
+        "dot_product": lambda a, b: np.dot(a, b),
+        "sqrt2": np.sqrt,
+    }
+)
+
+
+def is_intrinsic(name: str) -> bool:
+    return name.lower() in INTRINSICS or name.lower() in SPECIAL_FORMS

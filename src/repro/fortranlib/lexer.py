@@ -1,0 +1,208 @@
+"""Tokenizer for the FORTRAN subset (free-form source).
+
+Handles case-insensitive keywords/identifiers, integer/real literals with
+``E``/``D`` exponents, string literals with doubled-quote escaping, dotted
+logical operators (``.AND.``), ``&`` continuation lines, ``!`` comments, and
+``!$OMP`` sentinels (surfaced as dedicated OMP tokens carrying their text).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from ..errors import FortranSyntaxError
+
+__all__ = ["Token", "tokenize", "TokenStream"]
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str        # 'name','int','real','string','op','newline','omp','eof'
+    text: str
+    line: int
+    col: int
+
+    def lower(self) -> str:
+        return self.text.lower()
+
+
+_OPS = [
+    "::", "**", "==", "/=", "<=", ">=", "=>",
+    "(", ")", ",", "+", "-", "*", "/", "<", ">", "=", "%", ":", ";",
+]
+_DOTTED = {
+    ".and.": "and", ".or.": "or", ".not.": "not",
+    ".true.": "true", ".false.": "false",
+    ".eq.": "==", ".ne.": "/=", ".lt.": "<", ".le.": "<=",
+    ".gt.": ">", ".ge.": ">=",
+}
+
+_NAME_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+_NUM_RE = re.compile(
+    r"(\d+\.\d*|\.\d+|\d+)(([eEdD])([+-]?\d+))?(_\d+)?"
+)
+
+
+def tokenize(source: str) -> list[Token]:
+    tokens: list[Token] = []
+    lines = source.splitlines()
+    pending_continuation = False
+
+    for lineno, raw in enumerate(lines, start=1):
+        line = raw
+        i = 0
+        n = len(line)
+        emitted_on_line = False
+
+        while i < n:
+            c = line[i]
+            if c in " \t":
+                i += 1
+                continue
+            if c == "!":
+                rest = line[i:]
+                if rest.upper().startswith("!$OMP"):
+                    tokens.append(Token("omp", rest.strip(), lineno, i + 1))
+                    emitted_on_line = True
+                i = n
+                break
+            if c == "&":
+                # Continuation: swallow the rest of the line (after optional
+                # comment) and suppress the newline.
+                j = i + 1
+                while j < n and line[j] in " \t":
+                    j += 1
+                if j < n and line[j] != "!":
+                    raise FortranSyntaxError(
+                        "unexpected text after continuation '&'", lineno, j + 1
+                    )
+                pending_continuation = True
+                i = n
+                break
+            if c == ";":
+                tokens.append(Token("newline", ";", lineno, i + 1))
+                i += 1
+                continue
+            if c in "'\"":
+                quote = c
+                j = i + 1
+                buf = []
+                while True:
+                    if j >= n:
+                        raise FortranSyntaxError("unterminated string", lineno, i + 1)
+                    if line[j] == quote:
+                        if j + 1 < n and line[j + 1] == quote:
+                            buf.append(quote)
+                            j += 2
+                            continue
+                        break
+                    buf.append(line[j])
+                    j += 1
+                tokens.append(Token("string", "".join(buf), lineno, i + 1))
+                i = j + 1
+                emitted_on_line = True
+                continue
+            if c == ".":
+                m = re.match(r"\.[A-Za-z]+\.", line[i:])
+                if m and m.group(0).lower() in _DOTTED:
+                    word = _DOTTED[m.group(0).lower()]
+                    kind = "op" if word not in ("true", "false") else "logical"
+                    tokens.append(Token(kind, word, lineno, i + 1))
+                    i += m.end()
+                    emitted_on_line = True
+                    continue
+                # else: fall through to number like .5
+            m = _NUM_RE.match(line, i)
+            if m and (c.isdigit() or c == "."):
+                text = m.group(0)
+                has_dot = "." in m.group(1)
+                exp = m.group(3)
+                if has_dot or exp:
+                    tokens.append(Token("real", text, lineno, i + 1))
+                else:
+                    tokens.append(Token("int", text, lineno, i + 1))
+                i = m.end()
+                emitted_on_line = True
+                continue
+            m = _NAME_RE.match(line, i)
+            if m:
+                tokens.append(Token("name", m.group(0), lineno, i + 1))
+                i = m.end()
+                emitted_on_line = True
+                continue
+            matched = False
+            for op in _OPS:
+                if line.startswith(op, i):
+                    tokens.append(Token("op", op, lineno, i + 1))
+                    i += len(op)
+                    matched = True
+                    emitted_on_line = True
+                    break
+            if not matched:
+                raise FortranSyntaxError(f"unexpected character {c!r}", lineno, i + 1)
+
+        if pending_continuation:
+            pending_continuation = False
+            continue
+        if emitted_on_line or (tokens and tokens[-1].kind != "newline"):
+            tokens.append(Token("newline", "\n", lineno, n + 1))
+
+    tokens.append(Token("eof", "", len(lines) + 1, 1))
+    return tokens
+
+
+class TokenStream:
+    """Cursor over the token list with convenience matchers."""
+
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    def peek(self, offset: int = 0) -> Token:
+        i = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[i]
+
+    def next(self) -> Token:
+        t = self.peek()
+        if t.kind != "eof":
+            self.pos += 1
+        return t
+
+    def at(self, kind: str, text: str | None = None) -> bool:
+        t = self.peek()
+        if t.kind != kind:
+            return False
+        return text is None or t.lower() == text.lower()
+
+    def at_name(self, *names: str) -> bool:
+        t = self.peek()
+        return t.kind == "name" and t.lower() in {n.lower() for n in names}
+
+    def accept(self, kind: str, text: str | None = None) -> Token | None:
+        if self.at(kind, text):
+            return self.next()
+        return None
+
+    def expect(self, kind: str, text: str | None = None) -> Token:
+        t = self.peek()
+        if not self.at(kind, text):
+            want = text or kind
+            raise FortranSyntaxError(
+                f"expected {want!r}, found {t.text!r}", t.line, t.col
+            )
+        return self.next()
+
+    def skip_newlines(self) -> None:
+        while self.at("newline"):
+            self.next()
+
+    def expect_eol(self) -> None:
+        t = self.peek()
+        if t.kind in ("newline", "eof"):
+            if t.kind == "newline":
+                self.next()
+            return
+        raise FortranSyntaxError(
+            f"expected end of statement, found {t.text!r}", t.line, t.col
+        )

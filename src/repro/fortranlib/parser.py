@@ -1,0 +1,807 @@
+"""Recursive-descent parser for the FORTRAN subset.
+
+Accepts free-form source containing MODULEs (with CONTAINS), PROGRAM units,
+bare subprograms, and the statement set described in
+:mod:`repro.fortranlib.ast`.  Both modern (``REAL(KIND=8) :: x(n)``) and
+legacy (``REAL*8 x(n)``) declaration styles are accepted, since the
+case-study "legacy" sources deliberately use FORTRAN-77 idioms (COMMON
+blocks) alongside modern modules.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..errors import FortranSyntaxError
+from .ast import (
+    FAllocate,
+    FAssign,
+    FBin,
+    FCall,
+    FCommon,
+    FContinue,
+    FCycle,
+    FDeallocate,
+    FDecl,
+    FDeclEntity,
+    FDo,
+    FDoWhile,
+    FExit,
+    FExpr,
+    FFieldRef,
+    FIf,
+    FImplicitNone,
+    FIndexed,
+    FLogical,
+    FModule,
+    FNum,
+    FOmpDirective,
+    FPrint,
+    FProgramUnit,
+    FReturn,
+    FSourceFile,
+    FStop,
+    FStmt,
+    FString,
+    FSubprogram,
+    FTypeDef,
+    FTypeSpec,
+    FUn,
+    FUse,
+    FVar,
+)
+from .lexer import Token, TokenStream, tokenize
+
+__all__ = ["parse_source", "Parser"]
+
+_TYPE_KEYWORDS = {"integer", "real", "double", "logical", "character", "type"}
+_ATTR_KEYWORDS = {"parameter", "allocatable", "save", "pointer", "target"}
+
+
+def parse_source(source: str) -> FSourceFile:
+    return Parser(source).parse_file()
+
+
+class Parser:
+    def __init__(self, source: str):
+        self.ts = TokenStream(tokenize(source))
+
+    # ------------------------------------------------------------------
+    # top level
+    # ------------------------------------------------------------------
+    def parse_file(self) -> FSourceFile:
+        out = FSourceFile()
+        ts = self.ts
+        ts.skip_newlines()
+        while not ts.at("eof"):
+            if ts.at_name("module") and ts.peek(1).kind == "name":
+                out.modules.append(self.parse_module())
+            elif ts.at_name("program"):
+                out.programs.append(self.parse_program())
+            elif self._at_subprogram_start():
+                out.subprograms.append(self.parse_subprogram())
+            else:
+                t = ts.peek()
+                raise FortranSyntaxError(
+                    f"expected MODULE, PROGRAM, SUBROUTINE or FUNCTION, found {t.text!r}",
+                    t.line, t.col,
+                )
+            ts.skip_newlines()
+        return out
+
+    def _at_subprogram_start(self) -> bool:
+        ts = self.ts
+        if ts.at_name("subroutine", "function"):
+            return True
+        # "REAL(KIND=8) FUNCTION foo(...)" style prefix.
+        if ts.at("name") and ts.peek().lower() in _TYPE_KEYWORDS:
+            i = 1
+            depth = 0
+            while True:
+                t = ts.peek(i)
+                if t.kind == "eof" or t.kind == "newline":
+                    return False
+                if t.kind == "op" and t.text == "(":
+                    depth += 1
+                elif t.kind == "op" and t.text == ")":
+                    depth -= 1
+                elif depth == 0 and t.kind == "name" and t.lower() == "function":
+                    return True
+                elif depth == 0 and t.kind == "op" and t.text == "::":
+                    return False
+                i += 1
+        return False
+
+    # ------------------------------------------------------------------
+    # modules / programs
+    # ------------------------------------------------------------------
+    def parse_module(self) -> FModule:
+        ts = self.ts
+        start = ts.expect("name")  # MODULE
+        name = ts.expect("name").lower()
+        ts.expect_eol()
+        mod = FModule(name=name, line=start.line)
+        ts.skip_newlines()
+        while True:
+            if ts.peek().kind == "omp":
+                # Module-level sentinels: THREADPRIVATE(...) and friends.
+                mod.decls.append(self._parse_omp(ts.peek()))
+                ts.skip_newlines()
+                continue
+            if ts.at_name("contains"):
+                ts.next()
+                ts.expect_eol()
+                ts.skip_newlines()
+                while not ts.at_name("end"):
+                    mod.subprograms.append(self.parse_subprogram())
+                    ts.skip_newlines()
+                break
+            if ts.at_name("end"):
+                break
+            mod.decls.append(self.parse_spec_statement())
+            ts.skip_newlines()
+        self._parse_end(("module",), name)
+        return mod
+
+    def parse_program(self) -> FProgramUnit:
+        ts = self.ts
+        start = ts.expect("name")  # PROGRAM
+        name = ts.expect("name").lower()
+        ts.expect_eol()
+        unit = FProgramUnit(name=name, line=start.line)
+        ts.skip_newlines()
+        decls, body = self._parse_unit_body(end_kinds=("program",), unit_name=name,
+                                            contains_target=unit.subprograms)
+        unit.decls, unit.body = decls, body
+        return unit
+
+    def _parse_end(self, kinds: tuple[str, ...], name: str | None) -> None:
+        ts = self.ts
+        t = ts.expect("name")  # END
+        if t.lower() != "end":
+            raise FortranSyntaxError(f"expected END, found {t.text!r}", t.line, t.col)
+        if ts.at("name") and ts.peek().lower() in kinds:
+            ts.next()
+            if ts.at("name"):
+                ts.next()  # optional unit name
+        ts.expect_eol()
+
+    # ------------------------------------------------------------------
+    # subprograms
+    # ------------------------------------------------------------------
+    def parse_subprogram(self) -> FSubprogram:
+        ts = self.ts
+        line = ts.peek().line
+        # Optional function type prefix (recorded as a declaration for the
+        # result variable).
+        prefix_spec: FTypeSpec | None = None
+        if ts.at("name") and ts.peek().lower() in _TYPE_KEYWORDS and not ts.at_name("type"):
+            prefix_spec = self.parse_type_spec()
+        kw = ts.expect("name").lower()
+        if kw not in ("subroutine", "function"):
+            raise FortranSyntaxError(f"expected SUBROUTINE or FUNCTION, found {kw!r}",
+                                     line, None)
+        name = ts.expect("name").lower()
+        params: list[str] = []
+        if ts.accept("op", "("):
+            while not ts.at("op", ")"):
+                params.append(ts.expect("name").lower())
+                if not ts.accept("op", ","):
+                    break
+            ts.expect("op", ")")
+        result = None
+        if ts.at_name("result"):
+            ts.next()
+            ts.expect("op", "(")
+            result = ts.expect("name").lower()
+            ts.expect("op", ")")
+        ts.expect_eol()
+        if kw == "function" and result is None:
+            result = name
+        ts.skip_newlines()
+        decls, body = self._parse_unit_body(
+            end_kinds=("subroutine", "function"), unit_name=name, contains_target=None
+        )
+        if prefix_spec is not None and result is not None:
+            decls.insert(0, FDecl(spec=prefix_spec, attrs=(), intent=None,
+                                  entities=[FDeclEntity(name=result)], line=line))
+        return FSubprogram(kind=kw, name=name, params=params, result=result,
+                           decls=decls, body=body, line=line)
+
+    def _parse_unit_body(
+        self, end_kinds: tuple[str, ...], unit_name: str,
+        contains_target: list | None,
+    ) -> tuple[list[FStmt], list[FStmt]]:
+        ts = self.ts
+        decls: list[FStmt] = []
+        body: list[FStmt] = []
+        while True:
+            ts.skip_newlines()
+            if ts.at_name("end") and not ts.at_name("enddo", "endif"):
+                nxt = ts.peek(1)
+                if nxt.kind in ("newline", "eof") or (
+                    nxt.kind == "name" and nxt.lower() in end_kinds
+                ):
+                    break
+            if ts.at_name("contains") and contains_target is not None:
+                ts.next()
+                ts.expect_eol()
+                ts.skip_newlines()
+                while not ts.at_name("end"):
+                    contains_target.append(self.parse_subprogram())
+                    ts.skip_newlines()
+                break
+            if self._at_spec_statement():
+                decls.append(self.parse_spec_statement())
+            else:
+                body.append(self.parse_exec_statement())
+        self._parse_end(end_kinds, unit_name)
+        return decls, body
+
+    # ------------------------------------------------------------------
+    # specification statements
+    # ------------------------------------------------------------------
+    def _at_spec_statement(self) -> bool:
+        ts = self.ts
+        if ts.at_name("use", "implicit", "common"):
+            return True
+        if ts.at("name") and ts.peek().lower() in _TYPE_KEYWORDS:
+            if ts.at_name("type"):
+                # TYPE(name) :: x  is a declaration; TYPE name is a typedef;
+                # type_var%field = ... would be 'name' op '%', not keyword.
+                nxt = ts.peek(1)
+                return nxt.kind == "op" and nxt.text == "(" or nxt.kind == "name" \
+                    or (nxt.kind == "op" and nxt.text == "::")
+            # Distinguish "REAL(...) :: x" / "REAL x" declaration from an
+            # assignment to a variable that happens to be named like a type
+            # keyword (we simply forbid such variable names).
+            return True
+        return False
+
+    def parse_spec_statement(self) -> FStmt:
+        ts = self.ts
+        t = ts.peek()
+        if ts.at_name("use"):
+            ts.next()
+            module = ts.expect("name").lower()
+            only = None
+            if ts.accept("op", ","):
+                word = ts.expect("name")
+                if word.lower() != "only":
+                    raise FortranSyntaxError("expected ONLY", word.line, word.col)
+                ts.expect("op", ":")
+                names = [ts.expect("name").lower()]
+                while ts.accept("op", ","):
+                    names.append(ts.expect("name").lower())
+                only = tuple(names)
+            ts.expect_eol()
+            return FUse(module=module, only=only, line=t.line)
+        if ts.at_name("implicit"):
+            ts.next()
+            word = ts.expect("name")
+            if word.lower() != "none":
+                raise FortranSyntaxError("only IMPLICIT NONE is supported",
+                                         word.line, word.col)
+            ts.expect_eol()
+            return FImplicitNone(line=t.line)
+        if ts.at_name("common"):
+            ts.next()
+            ts.expect("op", "/")
+            block = ts.expect("name").lower()
+            ts.expect("op", "/")
+            names = [ts.expect("name").lower()]
+            while ts.accept("op", ","):
+                names.append(ts.expect("name").lower())
+            ts.expect_eol()
+            return FCommon(block=block, names=names, line=t.line)
+        if ts.at_name("type") and ts.peek(1).kind == "name":
+            return self.parse_type_def()
+        return self.parse_declaration()
+
+    def parse_type_def(self) -> FTypeDef:
+        ts = self.ts
+        t = ts.expect("name")  # TYPE
+        name = ts.expect("name").lower()
+        ts.expect_eol()
+        decls: list[FDecl] = []
+        ts.skip_newlines()
+        while not ts.at_name("end"):
+            stmt = self.parse_declaration()
+            decls.append(stmt)
+            ts.skip_newlines()
+        self._parse_end(("type",), name)
+        return FTypeDef(name=name, decls=decls, line=t.line)
+
+    def parse_type_spec(self) -> FTypeSpec:
+        ts = self.ts
+        t = ts.expect("name")
+        base = t.lower()
+        if base == "double":
+            word = ts.expect("name")
+            if word.lower() != "precision":
+                raise FortranSyntaxError("expected DOUBLE PRECISION", word.line, word.col)
+            return FTypeSpec(base="real", kind=8)
+        if base == "type":
+            ts.expect("op", "(")
+            tname = ts.expect("name").lower()
+            ts.expect("op", ")")
+            return FTypeSpec(base="type", type_name=tname)
+        kind = 4
+        char_len: int | None = None
+        if base == "character":
+            char_len = 64
+            if ts.accept("op", "("):
+                if ts.at_name("len"):
+                    ts.next()
+                    ts.expect("op", "=")
+                tok = ts.accept("int")
+                if tok:
+                    char_len = int(tok.text)
+                elif ts.accept("op", "*"):
+                    char_len = None
+                ts.expect("op", ")")
+            elif ts.accept("op", "*"):
+                char_len = int(ts.expect("int").text)
+            return FTypeSpec(base="character", char_len=char_len)
+        if ts.accept("op", "*"):  # REAL*8 legacy kind
+            kind = int(ts.expect("int").text)
+        elif ts.at("op", "(") and base in ("integer", "real", "logical"):
+            # REAL(KIND=8) or REAL(8)
+            ts.next()
+            if ts.at_name("kind"):
+                ts.next()
+                ts.expect("op", "=")
+            kind = int(ts.expect("int").text)
+            ts.expect("op", ")")
+        if base == "real" and kind not in (4, 8):
+            raise FortranSyntaxError(f"unsupported REAL kind {kind}", t.line, t.col)
+        return FTypeSpec(base=base, kind=kind)
+
+    def parse_declaration(self) -> FDecl:
+        ts = self.ts
+        t = ts.peek()
+        spec = self.parse_type_spec()
+        attrs: list[str] = []
+        intent: str | None = None
+        dimension_dims: tuple | None = None
+        while ts.accept("op", ","):
+            word = ts.expect("name").lower()
+            if word == "intent":
+                ts.expect("op", "(")
+                intent = ts.expect("name").lower()
+                ts.expect("op", ")")
+            elif word == "dimension":
+                dims, deferred = self._parse_dims()
+                dimension_dims = (dims, deferred)
+            elif word in _ATTR_KEYWORDS:
+                attrs.append(word)
+            else:
+                raise FortranSyntaxError(f"unknown attribute {word!r}", t.line, t.col)
+        ts.accept("op", "::")
+        entities: list[FDeclEntity] = []
+        while True:
+            name = ts.expect("name").lower()
+            dims: tuple = ()
+            deferred = 0
+            if ts.at("op", "("):
+                dims, deferred = self._parse_dims()
+            elif dimension_dims is not None:
+                dims, deferred = dimension_dims
+            init: FExpr | None = None
+            if ts.accept("op", "="):
+                init = self.parse_expr()
+            entities.append(FDeclEntity(name=name, dims=dims,
+                                        deferred_rank=deferred, init=init))
+            if not ts.accept("op", ","):
+                break
+        ts.expect_eol()
+        return FDecl(spec=spec, attrs=tuple(attrs), intent=intent,
+                     entities=entities, line=t.line)
+
+    def _parse_dims(self) -> tuple[tuple[FExpr, ...], int]:
+        ts = self.ts
+        ts.expect("op", "(")
+        dims: list[FExpr] = []
+        deferred = 0
+        while True:
+            if ts.at("op", ":"):
+                ts.next()
+                deferred += 1
+                dims.append(FNum(0))
+            else:
+                dims.append(self.parse_expr())
+            if not ts.accept("op", ","):
+                break
+        ts.expect("op", ")")
+        if deferred and deferred != len(dims):
+            raise FortranSyntaxError("mixed explicit and deferred dimensions",
+                                     ts.peek().line, ts.peek().col)
+        return tuple(dims), deferred
+
+    # ------------------------------------------------------------------
+    # executable statements
+    # ------------------------------------------------------------------
+    def parse_exec_statement(self) -> FStmt:
+        ts = self.ts
+        t = ts.peek()
+        if t.kind == "omp":
+            return self._parse_omp(t)
+        if ts.at_name("if"):
+            return self.parse_if()
+        if ts.at_name("do"):
+            return self.parse_do()
+        if ts.at_name("call"):
+            ts.next()
+            name = ts.expect("name").lower()
+            args: list[FExpr] = []
+            if ts.accept("op", "("):
+                while not ts.at("op", ")"):
+                    args.append(self.parse_expr())
+                    if not ts.accept("op", ","):
+                        break
+                ts.expect("op", ")")
+            ts.expect_eol()
+            return FCall(name=name, args=tuple(args), line=t.line)
+        if ts.at_name("return"):
+            ts.next()
+            ts.expect_eol()
+            return FReturn(line=t.line)
+        if ts.at_name("exit"):
+            ts.next()
+            ts.expect_eol()
+            return FExit(line=t.line)
+        if ts.at_name("cycle"):
+            ts.next()
+            ts.expect_eol()
+            return FCycle(line=t.line)
+        if ts.at_name("continue"):
+            ts.next()
+            ts.expect_eol()
+            return FContinue(line=t.line)
+        if ts.at_name("stop"):
+            ts.next()
+            msg = None
+            if ts.at("string"):
+                msg = ts.next().text
+            elif ts.at("int"):
+                msg = ts.next().text
+            ts.expect_eol()
+            return FStop(message=msg, line=t.line)
+        if ts.at_name("allocate"):
+            ts.next()
+            ts.expect("op", "(")
+            items: list[tuple[FExpr, tuple[FExpr, ...]]] = []
+            while True:
+                target = self.parse_designator()
+                if not isinstance(target, FIndexed):
+                    raise FortranSyntaxError("ALLOCATE needs shaped items",
+                                             t.line, t.col)
+                items.append((target.base, target.args))
+                if not ts.accept("op", ","):
+                    break
+            ts.expect("op", ")")
+            ts.expect_eol()
+            return FAllocate(items=items, line=t.line)
+        if ts.at_name("deallocate"):
+            ts.next()
+            ts.expect("op", "(")
+            items = [self.parse_designator()]
+            while ts.accept("op", ","):
+                items.append(self.parse_designator())
+            ts.expect("op", ")")
+            ts.expect_eol()
+            return FDeallocate(items=items, line=t.line)
+        if ts.at_name("print"):
+            ts.next()
+            ts.expect("op", "*")
+            args: list[FExpr] = []
+            while ts.accept("op", ","):
+                args.append(self.parse_expr())
+            ts.expect_eol()
+            return FPrint(args=tuple(args), line=t.line)
+        if ts.at_name("write"):
+            # WRITE(*,*) args — treated as PRINT.
+            ts.next()
+            ts.expect("op", "(")
+            depth = 1
+            while depth:
+                tok = ts.next()
+                if tok.kind == "op" and tok.text == "(":
+                    depth += 1
+                elif tok.kind == "op" and tok.text == ")":
+                    depth -= 1
+                elif tok.kind in ("newline", "eof"):
+                    raise FortranSyntaxError("bad WRITE control list", t.line, t.col)
+            args = []
+            if not ts.at("newline"):
+                args.append(self.parse_expr())
+                while ts.accept("op", ","):
+                    args.append(self.parse_expr())
+            ts.expect_eol()
+            return FPrint(args=tuple(args), line=t.line)
+        # Assignment.
+        target = self.parse_designator()
+        ts.expect("op", "=")
+        value = self.parse_expr()
+        ts.expect_eol()
+        return FAssign(target=target, value=value, line=t.line)
+
+    # -- OMP ---------------------------------------------------------------
+    _OMP_RED = re.compile(r"reduction\s*\(\s*([^:]+?)\s*:\s*([^)]+)\)", re.IGNORECASE)
+    _OMP_PRIV = re.compile(r"(?<!first)private\s*\(([^)]*)\)", re.IGNORECASE)
+    _OMP_FPRIV = re.compile(r"firstprivate\s*\(([^)]*)\)", re.IGNORECASE)
+    _OMP_COLLAPSE = re.compile(r"collapse\s*\((\d+)\)", re.IGNORECASE)
+
+    def _parse_omp(self, t: Token) -> FStmt:
+        ts = self.ts
+        ts.next()
+        if ts.at("newline"):
+            ts.next()
+        text = t.text
+        low = " ".join(text.lower().split())
+        if low.startswith("!$omp end parallel do"):
+            return FOmpDirective(kind="end_parallel_do", text=text, line=t.line)
+        if low.startswith("!$omp end critical"):
+            return FOmpDirective(kind="end_critical", text=text, line=t.line)
+        if low.startswith("!$omp parallel do"):
+            priv = tuple(
+                v.strip().lower()
+                for m in self._OMP_PRIV.finditer(text)
+                for v in m.group(1).split(",") if v.strip()
+            )
+            fpriv = tuple(
+                v.strip().lower()
+                for m in self._OMP_FPRIV.finditer(text)
+                for v in m.group(1).split(",") if v.strip()
+            )
+            reds: list[tuple[str, str]] = []
+            for m in self._OMP_RED.finditer(text):
+                op = m.group(1).strip()
+                for v in m.group(2).split(","):
+                    reds.append((op.upper() if op.lower() in ("min", "max") else op,
+                                 v.strip().lower()))
+            collapse = 1
+            m = self._OMP_COLLAPSE.search(text)
+            if m:
+                collapse = int(m.group(1))
+            return FOmpDirective(kind="parallel_do", text=text, private=priv,
+                                 firstprivate=fpriv, reductions=tuple(reds),
+                                 collapse=collapse, line=t.line)
+        if low.startswith("!$omp atomic"):
+            return FOmpDirective(kind="atomic", text=text, line=t.line)
+        if low.startswith("!$omp critical"):
+            return FOmpDirective(kind="critical", text=text, line=t.line)
+        if low.startswith("!$omp end simd"):
+            return FOmpDirective(kind="end_simd", text=text, line=t.line)
+        if low.startswith("!$omp threadprivate"):
+            m = re.search(r"threadprivate\s*\(([^)]*)\)", text, re.IGNORECASE)
+            names = tuple(v.strip().lower() for v in m.group(1).split(",")
+                          if v.strip()) if m else ()
+            return FOmpDirective(kind="threadprivate", text=text,
+                                 private=names, line=t.line)
+        if low.startswith("!$omp simd"):
+            reds: list[tuple[str, str]] = []
+            for m in self._OMP_RED.finditer(text):
+                op = m.group(1).strip()
+                for v in m.group(2).split(","):
+                    reds.append((op, v.strip().lower()))
+            return FOmpDirective(kind="simd", text=text,
+                                 reductions=tuple(reds), line=t.line)
+        raise FortranSyntaxError(f"unsupported OMP directive {text!r}", t.line, None)
+
+    # -- control flow --------------------------------------------------------
+    def parse_if(self) -> FStmt:
+        ts = self.ts
+        t = ts.expect("name")  # IF
+        ts.expect("op", "(")
+        cond = self.parse_expr()
+        ts.expect("op", ")")
+        if ts.at_name("then"):
+            ts.next()
+            ts.expect_eol()
+            branches: list[tuple[FExpr | None, list[FStmt]]] = []
+            body: list[FStmt] = []
+            branches.append((cond, body))
+            while True:
+                ts.skip_newlines()
+                if ts.at_name("else"):
+                    ts.next()
+                    if ts.at_name("if"):
+                        ts.next()
+                        ts.expect("op", "(")
+                        c2 = self.parse_expr()
+                        ts.expect("op", ")")
+                        word = ts.expect("name")
+                        if word.lower() != "then":
+                            raise FortranSyntaxError("expected THEN", word.line, word.col)
+                        ts.expect_eol()
+                        body = []
+                        branches.append((c2, body))
+                    else:
+                        ts.expect_eol()
+                        body = []
+                        branches.append((None, body))
+                    continue
+                if ts.at_name("end"):
+                    nxt = ts.peek(1)
+                    if nxt.kind == "name" and nxt.lower() == "if":
+                        ts.next()
+                        ts.next()
+                        ts.expect_eol()
+                        break
+                    raise FortranSyntaxError("expected END IF", nxt.line, nxt.col)
+                if ts.at_name("endif"):
+                    ts.next()
+                    ts.expect_eol()
+                    break
+                body.append(self.parse_exec_statement())
+            return FIf(branches=branches, line=t.line)
+        # One-line IF.
+        stmt = self.parse_exec_statement()
+        return FIf(branches=[(cond, [stmt])], line=t.line)
+
+    def parse_do(self) -> FStmt:
+        ts = self.ts
+        t = ts.expect("name")  # DO
+        if ts.at_name("while"):
+            ts.next()
+            ts.expect("op", "(")
+            cond = self.parse_expr()
+            ts.expect("op", ")")
+            ts.expect_eol()
+            body = self._parse_do_body()
+            return FDoWhile(cond=cond, body=body, line=t.line)
+        var = ts.expect("name").lower()
+        ts.expect("op", "=")
+        start = self.parse_expr()
+        ts.expect("op", ",")
+        end = self.parse_expr()
+        step = None
+        if ts.accept("op", ","):
+            step = self.parse_expr()
+        ts.expect_eol()
+        body = self._parse_do_body()
+        return FDo(var=var, start=start, end=end, step=step, body=body, line=t.line)
+
+    def _parse_do_body(self) -> list[FStmt]:
+        ts = self.ts
+        body: list[FStmt] = []
+        while True:
+            ts.skip_newlines()
+            if ts.at_name("end"):
+                nxt = ts.peek(1)
+                if nxt.kind == "name" and nxt.lower() == "do":
+                    ts.next()
+                    ts.next()
+                    ts.expect_eol()
+                    return body
+            if ts.at_name("enddo"):
+                ts.next()
+                ts.expect_eol()
+                return body
+            body.append(self.parse_exec_statement())
+
+    # ------------------------------------------------------------------
+    # expressions
+    # ------------------------------------------------------------------
+    def parse_expr(self) -> FExpr:
+        return self._parse_or()
+
+    def _parse_or(self) -> FExpr:
+        left = self._parse_and()
+        while self.ts.at("op", "or"):
+            self.ts.next()
+            left = FBin("or", left, self._parse_and())
+        return left
+
+    def _parse_and(self) -> FExpr:
+        left = self._parse_not()
+        while self.ts.at("op", "and"):
+            self.ts.next()
+            left = FBin("and", left, self._parse_not())
+        return left
+
+    def _parse_not(self) -> FExpr:
+        if self.ts.at("op", "not"):
+            self.ts.next()
+            return FUn("not", self._parse_not())
+        return self._parse_comparison()
+
+    def _parse_comparison(self) -> FExpr:
+        left = self._parse_add()
+        if self.ts.peek().kind == "op" and self.ts.peek().text in (
+            "==", "/=", "<", "<=", ">", ">=",
+        ):
+            op = self.ts.next().text
+            return FBin(op, left, self._parse_add())
+        return left
+
+    def _parse_add(self) -> FExpr:
+        ts = self.ts
+        if ts.at("op", "-"):
+            ts.next()
+            left: FExpr = FUn("neg", self._parse_mul())
+        elif ts.at("op", "+"):
+            ts.next()
+            left = self._parse_mul()
+        else:
+            left = self._parse_mul()
+        while ts.peek().kind == "op" and ts.peek().text in ("+", "-"):
+            op = ts.next().text
+            left = FBin(op, left, self._parse_mul())
+        return left
+
+    def _parse_mul(self) -> FExpr:
+        ts = self.ts
+        left = self._parse_unary()
+        while ts.peek().kind == "op" and ts.peek().text in ("*", "/"):
+            op = ts.next().text
+            left = FBin(op, left, self._parse_unary())
+        return left
+
+    def _parse_unary(self) -> FExpr:
+        ts = self.ts
+        if ts.at("op", "-"):
+            ts.next()
+            return FUn("neg", self._parse_unary())
+        if ts.at("op", "+"):
+            ts.next()
+            return self._parse_unary()
+        return self._parse_power()
+
+    def _parse_power(self) -> FExpr:
+        left = self._parse_primary()
+        if self.ts.at("op", "**"):
+            self.ts.next()
+            # Right-associative.
+            return FBin("**", left, self._parse_unary())
+        return left
+
+    def _parse_primary(self) -> FExpr:
+        ts = self.ts
+        t = ts.peek()
+        if t.kind == "int":
+            ts.next()
+            text = t.text.split("_")[0]
+            return FNum(int(text))
+        if t.kind == "real":
+            ts.next()
+            text = t.text.split("_")[0]
+            is_double = "d" in text.lower()
+            norm = text.lower().replace("d", "e")
+            return FNum(float(norm), is_double=is_double)
+        if t.kind == "string":
+            ts.next()
+            return FString(t.text)
+        if t.kind == "logical":
+            ts.next()
+            return FLogical(t.text == "true")
+        if ts.accept("op", "("):
+            e = self.parse_expr()
+            ts.expect("op", ")")
+            return e
+        if t.kind == "name":
+            return self.parse_designator()
+        raise FortranSyntaxError(f"unexpected token {t.text!r}", t.line, t.col)
+
+    def parse_designator(self) -> FExpr:
+        """``name [ (args) ] [ % field [ (args) ] ]*``"""
+        ts = self.ts
+        name = ts.expect("name")
+        node: FExpr = FVar(name.lower())
+        while True:
+            if ts.at("op", "("):
+                ts.next()
+                args: list[FExpr] = []
+                while not ts.at("op", ")"):
+                    args.append(self.parse_expr())
+                    if not ts.accept("op", ","):
+                        break
+                ts.expect("op", ")")
+                node = FIndexed(base=node, args=tuple(args))
+            elif ts.at("op", "%"):
+                ts.next()
+                fieldname = ts.expect("name").lower()
+                node = FFieldRef(base=node, field=fieldname)
+            else:
+                return node

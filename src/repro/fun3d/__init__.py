@@ -1,0 +1,44 @@
+"""FUN3D Jacobian matrix reconstruction case study (synthetic mini-app)."""
+
+from .jacobian import (
+    ANGLE_THRESHOLD,
+    EDGE_WEIGHT,
+    GAMMA,
+    RMS_TOLERANCE,
+    jac_rms,
+    ref_jacobian_recon,
+)
+from .kernels import (
+    FUN3D_FUNCTIONS,
+    N_EDGE_TEMPS,
+    build_fun3d_program,
+    context_values,
+    fun3d_workload,
+)
+from .legacy_src import full_legacy_source
+from .mesh import PAPER_SCALE, TetMesh, make_mesh
+from .options import Fun3DOptions, all_combinations, make_fun3d_plan
+from .validation import (
+    build_legacy_codebase,
+    mesh_sizes,
+    rms_check,
+    run_generated_fortran,
+    run_generated_python,
+    run_ir_interpreter,
+    run_legacy_fortran,
+    run_reference,
+    run_spliced,
+)
+
+__all__ = [
+    "ANGLE_THRESHOLD", "EDGE_WEIGHT", "GAMMA", "RMS_TOLERANCE",
+    "jac_rms", "ref_jacobian_recon",
+    "FUN3D_FUNCTIONS", "N_EDGE_TEMPS", "build_fun3d_program",
+    "context_values", "fun3d_workload",
+    "full_legacy_source",
+    "PAPER_SCALE", "TetMesh", "make_mesh",
+    "Fun3DOptions", "all_combinations", "make_fun3d_plan",
+    "build_legacy_codebase", "mesh_sizes", "rms_check",
+    "run_generated_fortran", "run_generated_python", "run_ir_interpreter",
+    "run_legacy_fortran", "run_reference", "run_spliced",
+]

@@ -1,0 +1,268 @@
+"""GLAF IR of the FUN3D Jacobian-reconstruction mini-app (paper §4.2).
+
+The original monolithic kernel ("a single function with several levels of
+loop nesting") is decomposed into the paper's five GLAF functions:
+
+* ``edgejp``       — outermost scope: initializes module-wide constants,
+  zeroes the Jacobian, loops over cells;
+* ``cell_loop``    — per-cell computation; its node and face loops are
+  parallelizable, the edge work calls out to ``edge_loop``;
+* ``edge_loop``    — per-cell edge assembly; carries the paper's 50
+  dynamically-allocated temporary arrays and updates the shared Jacobian
+  through indirect CSR offsets (ATOMIC under parallel execution);
+* ``angle_check``  — early-return check for an excessive cell-face angle;
+* ``ioff_search``  — CSR offset search with an early return (the function
+  needing the OMP CRITICAL early-return protocol when parallelized).
+"""
+
+from __future__ import annotations
+
+from ..core import (
+    GlafBuilder,
+    GlafProgram,
+    I,
+    T_INT,
+    T_REAL8,
+    T_VOID,
+    lib,
+    ref,
+)
+from ..core.builder import StepBuilder as SB
+from ..perf.simulate import Workload
+from .jacobian import ANGLE_THRESHOLD, EDGE_WEIGHT, GAMMA
+from .mesh import TetMesh
+
+__all__ = ["build_fun3d_program", "fun3d_workload", "FUN3D_FUNCTIONS",
+           "GRIDS_MODULE", "JAC_MODULE", "N_EDGE_TEMPS", "context_values"]
+
+GRIDS_MODULE = "fun3d_grids_mod"
+JAC_MODULE = "fun3d_jac_mod"
+N_EDGE_TEMPS = 50   # the paper's "50 dynamically allocated temporary arrays"
+N_STAGED = 6        # temps actually carrying staged values
+
+FUN3D_FUNCTIONS = ("edgejp", "cell_loop", "edge_loop", "angle_check", "ioff_search")
+
+
+def build_fun3d_program() -> GlafProgram:
+    b = GlafBuilder("fun3d")
+
+    # --- existing-module grids (the legacy mesh/solution storage) --------
+    b.global_grid("q", T_REAL8, dims=("nnode", 5), exists_in_module=GRIDS_MODULE,
+                  comment="primitive variables at nodes")
+    b.global_grid("cell_nodes", T_INT, dims=("ncell", 4), exists_in_module=GRIDS_MODULE)
+    b.global_grid("cell_edges", T_INT, dims=("ncell", 6), exists_in_module=GRIDS_MODULE)
+    b.global_grid("edge_nodes", T_INT, dims=("nedge", 2), exists_in_module=GRIDS_MODULE)
+    b.global_grid("face_norm", T_REAL8, dims=("ncell", 4, 3),
+                  exists_in_module=GRIDS_MODULE, comment="face normal vectors")
+    b.global_grid("face_angle", T_REAL8, dims=("ncell", 4),
+                  exists_in_module=GRIDS_MODULE, comment="cell-face angle metric")
+    b.global_grid("row_ptr", T_INT, dims=("nnodep1",), exists_in_module=GRIDS_MODULE,
+                  comment="CSR row offsets (1-based)")
+    b.global_grid("col_idx", T_INT, dims=("nnz",), exists_in_module=GRIDS_MODULE,
+                  comment="CSR column indices")
+    b.global_grid("jac", T_REAL8, dims=("nnz", 5), exists_in_module=JAC_MODULE,
+                  comment="Jacobian entries (output)")
+    # --- GLAF module-scope grids (§3.3): shared between cell_loop and
+    # edge_loop — "interior loops must return complex data to an outer scope"
+    b.global_grid("grad", T_REAL8, dims=(5, 3), module_scope=True,
+                  comment="per-cell Green-Gauss gradient")
+    b.global_grid("gamma_c", T_REAL8, module_scope=True, comment="ratio of specific heats")
+    b.global_grid("ew_c", T_REAL8, module_scope=True, comment="edge weight")
+    b.global_grid("angle_thresh", T_REAL8, module_scope=True,
+                  comment="cell-face angle threshold")
+
+    m = b.module("Module1")
+
+    # ------------------------------------------------------------------
+    # angle_check: returns 1 when any face angle exceeds the threshold
+    # ------------------------------------------------------------------
+    f = m.function("angle_check", return_type=T_INT,
+                   comment="Check for a cell-face angle in excess of threshold")
+    f.param("c", T_INT, intent="in")
+    s = f.step("face_scan")
+    s.foreach(fc=(1, 4))
+    s.if_(ref("face_angle", ref("c"), I("fc")).gt(ref("angle_thresh")),
+          [SB.ret(1)])
+    f.returns(0)
+
+    # ------------------------------------------------------------------
+    # ioff_search: CSR offset of (row, col) with early return
+    # ------------------------------------------------------------------
+    f = m.function("ioff_search", return_type=T_INT,
+                   comment="Search the CSR row for the column's offset")
+    f.param("row", T_INT, intent="in")
+    f.param("col", T_INT, intent="in")
+    s = f.step("search")
+    s.foreach(p=(ref("row_ptr", ref("row")), ref("row_ptr", ref("row") + 1) - 1))
+    s.if_(ref("col_idx", I("p")).eq(ref("col")), [SB.ret(I("p"))])
+    f.returns(-1)
+
+    # ------------------------------------------------------------------
+    # edge_loop: per-cell edge assembly with the 50 temporaries
+    # ------------------------------------------------------------------
+    f = m.function("edge_loop", return_type=T_VOID,
+                   comment="Assemble this cell's edge contributions into jac")
+    f.param("c", T_INT, intent="in")
+    for k in range(1, N_EDGE_TEMPS + 1):
+        f.local(f"tmp{k:02d}", T_REAL8, dims=(5,), allocatable=True,
+                comment="edge-loop temporary" if k <= N_STAGED else "")
+    f.local("eoff", T_INT, dims=(6,), allocatable=True,
+            comment="CSR offsets of this cell's edges")
+    f.local("n1v", T_INT)
+    f.local("n2v", T_INT)
+
+    s = f.step("stage_sums", comment="stage gradient row sums")
+    s.foreach(k=(1, 5))
+    s.formula(ref("tmp01", I("k")),
+              ref("grad", I("k"), 1) + ref("grad", I("k"), 2) + ref("grad", I("k"), 3))
+    s = f.step("stage_gamma")
+    s.foreach(k=(1, 5))
+    s.formula(ref("tmp02", I("k")), ref("tmp01", I("k")) * ref("gamma_c"))
+    s = f.step("stage_half")
+    s.foreach(k=(1, 5))
+    s.formula(ref("tmp03", I("k")), ref("tmp02", I("k")) * 0.5)
+    s = f.step("stage_diff")
+    s.foreach(k=(1, 5))
+    s.formula(ref("tmp04", I("k")), ref("tmp01", I("k")) - ref("tmp02", I("k")))
+    s = f.step("stage_sq")
+    s.foreach(k=(1, 5))
+    s.formula(ref("tmp05", I("k")), ref("tmp03", I("k")) * ref("tmp03", I("k")))
+    s = f.step("stage_mix")
+    s.foreach(k=(1, 5))
+    s.formula(ref("tmp06", I("k")), ref("tmp04", I("k")) + ref("tmp05", I("k")) * 0.1)
+
+    s = f.step("edge_offsets", comment="locate each edge's CSR offset")
+    s.foreach(e=(1, 6))
+    s.formula(ref("n1v"), ref("edge_nodes", ref("cell_edges", ref("c"), I("e")), 1))
+    s.formula(ref("n2v"), ref("edge_nodes", ref("cell_edges", ref("c"), I("e")), 2))
+    from ..core.expr import FuncCall
+
+    s.formula(ref("eoff", I("e")), FuncCall("ioff_search", (ref("n1v"), ref("n2v"))))
+
+    s = f.step("edge_assembly", comment="accumulate edge fluxes into jac")
+    s.foreach(e=(1, 6), k=(1, 5))
+    s.formula(
+        ref("jac", ref("eoff", I("e")), I("k")),
+        ref("jac", ref("eoff", I("e")), I("k"))
+        + 0.5
+        * (
+            ref("q", ref("edge_nodes", ref("cell_edges", ref("c"), I("e")), 1), I("k"))
+            + ref("q", ref("edge_nodes", ref("cell_edges", ref("c"), I("e")), 2), I("k"))
+        )
+        * ref("tmp02", I("k"))
+        * ref("ew_c"),
+    )
+
+    # ------------------------------------------------------------------
+    # cell_loop: per-cell computation (node + face loops parallelizable)
+    # ------------------------------------------------------------------
+    f = m.function("cell_loop", return_type=T_VOID,
+                   comment="Per-cell gradient, angle check and edge dispatch")
+    f.param("c", T_INT, intent="in")
+    f.local("qa", T_REAL8, dims=(5,), allocatable=True,
+            comment="cell-average primitives")
+    f.local("flagv", T_INT)
+
+    s = f.step("init_qa")
+    s.foreach(k=(1, 5))
+    s.formula(ref("qa", I("k")), 0.0)
+    s = f.step("init_grad")
+    s.foreach(k=(1, 5), d=(1, 3))
+    s.formula(ref("grad", I("k"), I("d")), 0.0)
+    s = f.step("node_loop", comment="average primitives over the cell's nodes")
+    s.foreach(n=(1, 4), k=(1, 5))
+    s.formula(
+        ref("qa", I("k")),
+        ref("qa", I("k")) + ref("q", ref("cell_nodes", ref("c"), I("n")), I("k")) * 0.25,
+    )
+    s = f.step("face_loop", comment="Green-Gauss gradient over the cell's faces")
+    s.foreach(fc=(1, 4), k=(1, 5), d=(1, 3))
+    s.formula(
+        ref("grad", I("k"), I("d")),
+        ref("grad", I("k"), I("d"))
+        + ref("qa", I("k")) * lib("ABS", ref("face_norm", ref("c"), I("fc"), I("d"))) * 0.5,
+    )
+    s = f.step("angle", comment="skip the cell on an excessive face angle")
+    from ..core.expr import FuncCall as FC
+
+    s.formula(ref("flagv"), FC("angle_check", (ref("c"),)))
+    s = f.step("edges")
+    s.condition(ref("flagv").eq(0))
+    s.call("edge_loop", [ref("c")])
+
+    # ------------------------------------------------------------------
+    # edgejp: the outermost scope
+    # ------------------------------------------------------------------
+    f = m.function("edgejp", return_type=T_VOID,
+                   comment="Jacobian matrix reconstruction: outermost scope")
+    f.param("ncells", T_INT, intent="in")
+    f.param("nnzs", T_INT, intent="in")
+    s = f.step("constants", comment="initialize critical module-wide constants")
+    s.formula(ref("gamma_c"), GAMMA)
+    s.formula(ref("ew_c"), EDGE_WEIGHT)
+    s.formula(ref("angle_thresh"), ANGLE_THRESHOLD)
+    s = f.step("init_jac", comment="zero the Jacobian storage")
+    s.foreach(i=(1, "nnzs"), k=(1, 5))
+    s.formula(ref("jac", I("i"), I("k")), 0.0)
+    s = f.step("cell_sweep", comment="loop over all cells of the simulation")
+    s.foreach(c=(1, "ncells"))
+    s.call("cell_loop", [I("c")])
+
+    return b.build()
+
+
+def context_values(mesh: TetMesh) -> dict:
+    """Global-grid values for an ExecutionContext, from a mesh."""
+    return {
+        "q": mesh.q,
+        "cell_nodes": mesh.cell_nodes,
+        "cell_edges": mesh.cell_edges,
+        "edge_nodes": mesh.edge_nodes,
+        "face_norm": mesh.face_norm,
+        "face_angle": mesh.face_angle,
+        "row_ptr": mesh.row_ptr,
+        "col_idx": mesh.col_idx,
+    }
+
+
+def fun3d_workload(
+    ncell: int = 1_000_000,
+    *,
+    edge_visits_per_cell: float = 10.0,
+    avg_row_len: float = 14.0,
+) -> Workload:
+    """Performance-model workload at the paper's dataset scale.
+
+    ``edge_visits_per_cell`` reflects "the innermost edge loop ... is called
+    an average of 10 times per cell in the provided test case"; the CSR row
+    search scans half the row on average before its early return.
+    """
+    nnode = max(1, ncell // 5)
+    nedge = int(ncell * 1.2)
+    nnz = nnode + 2 * nedge
+    return Workload(
+        name="fun3d-jacobian",
+        entry="edgejp",
+        sizes={
+            "ncells": ncell, "nnzs": nnz,
+            "nnode": nnode, "ncell": ncell, "nedge": nedge,
+            "nnodep1": nnode + 1, "nnz": nnz,
+        },
+        trip_overrides={
+            # edge_offsets / edge_assembly run per edge visit.
+            ("edge_loop", N_STAGED): edge_visits_per_cell,
+            ("edge_loop", N_STAGED + 1): edge_visits_per_cell * 5.0,
+            ("ioff_search", 0): avg_row_len,
+        },
+        early_exit_fractions={
+            ("ioff_search", 0): 0.5,
+            ("angle_check", 0): 0.6,
+        },
+        branch_fractions={
+            ("cell_loop", 5): 0.95,   # 95% of cells pass the angle check
+        },
+        # The 1M-cell assembly streams mesh + Jacobian from DRAM; parallel
+        # scaling saturates memory bandwidth well below the thread count
+        # (the paper's manual version tops out at 3.85x on 16 threads).
+        parallel_throughput_cap=3.9,
+    )

@@ -1,0 +1,160 @@
+"""Synthetic unstructured tetrahedral mesh for the FUN3D case study.
+
+NASA's 1M-cell test dataset is not public; this generator builds
+statistically comparable unstructured tet meshes at any size via a Delaunay
+tetrahedralization of jittered points, and derives the connectivity the
+Jacobian-reconstruction kernel consumes:
+
+* ``cell_nodes (ncell, 4)`` — tet corner nodes;
+* ``cell_edges (ncell, 6)`` / ``edge_nodes (nedge, 2)`` — unique edges;
+* ``face_norm (ncell, 4, 3)`` — per-face area-weighted normals;
+* ``face_angle (ncell, 4)`` — the cell-face angle metric ``angle_check``
+  thresholds on;
+* CSR sparsity (``row_ptr``, ``col_idx``) of the node-adjacency graph —
+  the structure ``ioff_search`` scans to place each edge contribution.
+
+All index arrays are **1-based** (FORTRAN convention), stored as int64.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.spatial import Delaunay
+
+__all__ = ["TetMesh", "make_mesh", "PAPER_SCALE"]
+
+# The paper's dataset: ~1M cells, ~10M edge-loop visits.
+PAPER_SCALE = {"ncell": 1_000_000, "edge_visits_per_cell": 10.0,
+               "temporaries_in_edge_loop": 50}
+
+
+@dataclass
+class TetMesh:
+    node_xyz: np.ndarray        # (nnode, 3) float64
+    cell_nodes: np.ndarray      # (ncell, 4) int64, 1-based
+    cell_edges: np.ndarray      # (ncell, 6) int64, 1-based
+    edge_nodes: np.ndarray      # (nedge, 2) int64, 1-based
+    face_norm: np.ndarray       # (ncell, 4, 3) float64
+    face_angle: np.ndarray      # (ncell, 4) float64 in [0, 1]
+    row_ptr: np.ndarray         # (nnode + 1,) int64, 1-based offsets
+    col_idx: np.ndarray         # (nnz,) int64, 1-based node columns
+    q: np.ndarray               # (nnode, 5) float64 primitive variables
+
+    @property
+    def nnode(self) -> int:
+        return self.node_xyz.shape[0]
+
+    @property
+    def ncell(self) -> int:
+        return self.cell_nodes.shape[0]
+
+    @property
+    def nedge(self) -> int:
+        return self.edge_nodes.shape[0]
+
+    @property
+    def nnz(self) -> int:
+        return self.col_idx.shape[0]
+
+    def csr_offset(self, row_1b: int, col_1b: int) -> int:
+        """1-based CSR position of (row, col); the ground truth for
+        ``ioff_search``."""
+        lo = int(self.row_ptr[row_1b - 1]) - 1
+        hi = int(self.row_ptr[row_1b]) - 1
+        seg = self.col_idx[lo:hi]
+        k = int(np.searchsorted(seg, col_1b))
+        if k >= len(seg) or seg[k] != col_1b:
+            raise KeyError(f"({row_1b}, {col_1b}) not in sparsity pattern")
+        return lo + k + 1
+
+
+# Node-pair lists per tet: the 6 edges and 4 faces of a tetrahedron.
+_TET_EDGES = [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]
+_TET_FACES = [(1, 2, 3), (0, 2, 3), (0, 1, 3), (0, 1, 2)]  # face k excludes node k
+
+
+def make_mesh(n_points: int = 80, seed: int = 42) -> TetMesh:
+    """Build a tet mesh from a jittered grid of ~``n_points`` points."""
+    rng = np.random.default_rng(seed)
+    # Jittered lattice gives well-shaped tets (pure random points create
+    # slivers that distort the angle metric).
+    side = max(2, round(n_points ** (1.0 / 3.0)))
+    g = np.linspace(0.0, 1.0, side)
+    pts = np.stack(np.meshgrid(g, g, g, indexing="ij"), axis=-1).reshape(-1, 3)
+    pts = pts + rng.uniform(-0.25, 0.25, pts.shape) / side
+    tri = Delaunay(pts)
+    cells0 = tri.simplices.astype(np.int64)          # 0-based (ncell, 4)
+    ncell = cells0.shape[0]
+    nnode = pts.shape[0]
+
+    # --- unique edges + per-cell edge ids --------------------------------
+    pair_list = []
+    for a, b in _TET_EDGES:
+        pa, pb = cells0[:, a], cells0[:, b]
+        lo, hi = np.minimum(pa, pb), np.maximum(pa, pb)
+        pair_list.append(np.stack([lo, hi], axis=1))
+    all_pairs = np.concatenate(pair_list, axis=0)    # (6*ncell, 2)
+    uniq, inverse = np.unique(all_pairs, axis=0, return_inverse=True)
+    nedge = uniq.shape[0]
+    cell_edges0 = inverse.reshape(6, ncell).T        # (ncell, 6) 0-based
+
+    # --- face normals and angle metric -----------------------------------
+    face_norm = np.zeros((ncell, 4, 3))
+    centroid = pts[cells0].mean(axis=1)
+    for f, (i, j, k) in enumerate(_TET_FACES):
+        a = pts[cells0[:, i]]
+        b = pts[cells0[:, j]]
+        c = pts[cells0[:, k]]
+        n = 0.5 * np.cross(b - a, c - a)
+        # Orient outward: flip where the normal points toward the centroid.
+        mid = (a + b + c) / 3.0
+        flip = (n * (centroid - mid)).sum(axis=1) > 0
+        n[flip] *= -1.0
+        face_norm[:, f, :] = n
+    # Angle metric in [0, 1]: alignment of consecutive face normals.
+    fa = np.zeros((ncell, 4))
+    for f in range(4):
+        n1 = face_norm[:, f, :]
+        n2 = face_norm[:, (f + 1) % 4, :]
+        denom = np.linalg.norm(n1, axis=1) * np.linalg.norm(n2, axis=1) + 1e-300
+        fa[:, f] = 0.5 * (1.0 + (n1 * n2).sum(axis=1) / denom)
+    face_angle = fa
+
+    # --- CSR node adjacency (self + edge neighbours) ----------------------
+    adj_rows = np.concatenate([
+        np.arange(nnode, dtype=np.int64),            # diagonal
+        uniq[:, 0], uniq[:, 1],
+    ])
+    adj_cols = np.concatenate([
+        np.arange(nnode, dtype=np.int64),
+        uniq[:, 1], uniq[:, 0],
+    ])
+    order = np.lexsort((adj_cols, adj_rows))
+    adj_rows, adj_cols = adj_rows[order], adj_cols[order]
+    row_counts = np.bincount(adj_rows, minlength=nnode)
+    row_ptr = np.zeros(nnode + 1, dtype=np.int64)
+    np.cumsum(row_counts, out=row_ptr[1:])
+
+    # --- primitive variables ----------------------------------------------
+    x, y, z = pts[:, 0], pts[:, 1], pts[:, 2]
+    q = np.stack([
+        1.0 + 0.1 * np.sin(2 * np.pi * x),
+        0.5 * np.cos(2 * np.pi * y),
+        0.3 * np.sin(2 * np.pi * z) * np.cos(np.pi * x),
+        0.2 + 0.05 * x * y,
+        1.0 / (1.4 * 1.0) + 0.02 * z,
+    ], axis=1).astype(np.float64)
+
+    return TetMesh(
+        node_xyz=pts,
+        cell_nodes=cells0 + 1,
+        cell_edges=cell_edges0 + 1,
+        edge_nodes=uniq + 1,
+        face_norm=face_norm,
+        face_angle=face_angle,
+        row_ptr=row_ptr + 1,
+        col_idx=adj_cols + 1,
+        q=q,
+    )

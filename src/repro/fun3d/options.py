@@ -1,0 +1,106 @@
+"""The Figure-7 option lattice.
+
+The paper evaluates "all combinations of parallelization and
+non-reallocation options": four per-function parallelization toggles
+(EdgeJP's cell sweep, cell_loop's node+face loops, edge_loop's edge loops,
+ioff_search's search loop — results for the angle check were omitted as
+negligible) crossed with the no-reallocation (SAVE) option, plus a manually
+parallelized version of the original code at the same outermost scope.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from ..core.function import GlafProgram
+from ..optimize.plan import OptimizationPlan, Tweaks, make_plan
+
+__all__ = ["Fun3DOptions", "all_combinations", "make_fun3d_plan",
+           "PARALLEL_STEP_NAMES"]
+
+# Which (function, step-name) pairs each toggle controls.
+PARALLEL_STEP_NAMES: dict[str, tuple[tuple[str, str], ...]] = {
+    "parallel_edgejp": (("edgejp", "cell_sweep"),),
+    "parallel_cell_loop": (("cell_loop", "node_loop"), ("cell_loop", "face_loop")),
+    "parallel_edge_loop": (("edge_loop", "edge_offsets"), ("edge_loop", "edge_assembly")),
+    "parallel_ioff_search": (("ioff_search", "search"),),
+}
+
+
+@dataclass(frozen=True)
+class Fun3DOptions:
+    parallel_edgejp: bool = False
+    parallel_cell_loop: bool = False
+    parallel_edge_loop: bool = False
+    parallel_ioff_search: bool = False
+    no_reallocation: bool = False
+
+    @property
+    def label(self) -> str:
+        bits = []
+        if self.parallel_edgejp:
+            bits.append("EdgeJP")
+        if self.parallel_cell_loop:
+            bits.append("Cell_loop")
+        if self.parallel_edge_loop:
+            bits.append("Edge_loop")
+        if self.parallel_ioff_search:
+            bits.append("IOff_search")
+        label = "+".join(bits) if bits else "serial"
+        if self.no_reallocation:
+            label += " | no-realloc"
+        return label
+
+    def enabled_toggles(self) -> list[str]:
+        return [name for name in PARALLEL_STEP_NAMES
+                if getattr(self, name)]
+
+
+def all_combinations() -> list[Fun3DOptions]:
+    """Every combination of the five options (Figure 7's x-axis)."""
+    out = []
+    for bits in itertools.product([False, True], repeat=5):
+        out.append(Fun3DOptions(*bits))
+    return out
+
+
+def _step_keys(program: GlafProgram) -> dict[tuple[str, str], tuple[str, int]]:
+    keys: dict[tuple[str, str], tuple[str, int]] = {}
+    for fn in program.functions():
+        for i, step in enumerate(fn.steps):
+            keys[(fn.name, step.name)] = (fn.name, i)
+    return keys
+
+
+def make_fun3d_plan(
+    program: GlafProgram,
+    opts: Fun3DOptions,
+    threads: int = 16,
+) -> OptimizationPlan:
+    """Build the code-generation/simulation plan for one option combo.
+
+    Every loop the combo does not enable is forced serial; enabled loops
+    get their directives (including the ATOMIC jac updates and, for
+    ioff_search, the CRITICAL early-return protocol).
+    """
+    keys = _step_keys(program)
+    enabled: set[tuple[str, int]] = set()
+    for toggle in opts.enabled_toggles():
+        for fname_sname in PARALLEL_STEP_NAMES[toggle]:
+            enabled.add(keys[fname_sname])
+    force_serial = frozenset(set(keys.values()) - enabled)
+    tweaks = Tweaks(
+        save_inner_arrays=opts.no_reallocation,
+        critical_early_exit=(
+            frozenset({"ioff_search"}) if opts.parallel_ioff_search else frozenset()
+        ),
+    )
+    return make_plan(
+        program,
+        "GLAF-parallel v0",
+        tweaks=tweaks,
+        threads=threads,
+        force_serial=force_serial,
+        force_parallel=frozenset(enabled),
+    )

@@ -1,0 +1,109 @@
+"""Figure-7 performance harness.
+
+Produces the paper's Figure 7: 16-thread speed-up over the original serial
+implementation for every combination of the parallelization options and
+the no-reallocation option, plus the manually-parallelized original.
+
+Calibration note (documented in EXPERIMENTS.md): FUN3D's hand-written
+monolithic kernel performs roughly **half** the per-cell instructions of
+the GLAF decomposition — the original keeps staged quantities in registers
+across its fused loops instead of bouncing them through the 50 temporary
+arrays — so these simulations use ``monolithic_fusion_factor = 0.51``.
+That one constant reproduces the paper's observation that the manual
+version outperforms the best GLAF version by ~2.3x; all orderings and
+collapse factors then follow from the mechanistic model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..perf.compilermodel import CompilerModel
+from ..perf.machine import MachineSpec, xeon_e5_2637v4_node
+from ..perf.simulate import SimOptions, SimResult, Simulator
+from .kernels import build_fun3d_program, fun3d_workload
+from .options import Fun3DOptions, all_combinations, make_fun3d_plan
+
+__all__ = ["FUN3D_MONOLITHIC_FUSION", "Figure7Row", "simulate_option",
+           "simulate_manual", "simulate_baseline", "figure7_rows",
+           "PAPER_FIGURE7"]
+
+FUN3D_MONOLITHIC_FUSION = 0.51
+
+# The data points the paper reports explicitly for Figure 7.
+PAPER_FIGURE7 = {
+    "manual": 3.85,
+    "best_glaf": 1.67,          # Parallel EdgeJP + no reallocation
+    "worst_approx": 1.0 / 128.0,
+}
+
+
+@dataclass(frozen=True)
+class Figure7Row:
+    label: str
+    options: Fun3DOptions | None     # None for the manual version
+    speedup: float
+    seconds: float
+
+
+def _compiler(machine: MachineSpec) -> CompilerModel:
+    return CompilerModel(machine, monolithic_fusion_factor=FUN3D_MONOLITHIC_FUSION)
+
+
+def _simulate(plan, machine, workload, options) -> SimResult:
+    return Simulator(plan, machine, workload, options,
+                     compiler=_compiler(machine)).run()
+
+
+def simulate_baseline(ncell: int = 1_000_000,
+                      machine: MachineSpec = xeon_e5_2637v4_node) -> SimResult:
+    """The original serial implementation (monolithic, temps hoisted)."""
+    program = build_fun3d_program()
+    wl = fun3d_workload(ncell)
+    plan = make_fun3d_plan(program, Fun3DOptions(), threads=1)
+    return _simulate(plan, machine, wl,
+                     SimOptions(threads=1, monolithic=True, save_arrays=True))
+
+
+def simulate_option(opts: Fun3DOptions, ncell: int = 1_000_000,
+                    threads: int = 16,
+                    machine: MachineSpec = xeon_e5_2637v4_node) -> SimResult:
+    program = build_fun3d_program()
+    wl = fun3d_workload(ncell)
+    plan = make_fun3d_plan(program, opts, threads=threads)
+    return _simulate(plan, machine, wl,
+                     SimOptions(threads=threads, save_arrays=opts.no_reallocation))
+
+
+def simulate_manual(ncell: int = 1_000_000, threads: int = 16,
+                    machine: MachineSpec = xeon_e5_2637v4_node) -> SimResult:
+    """The manually-parallelized original: outermost loop parallel, no GLAF
+    structure, temporaries hoisted."""
+    program = build_fun3d_program()
+    wl = fun3d_workload(ncell)
+    plan = make_fun3d_plan(program, Fun3DOptions(parallel_edgejp=True),
+                           threads=threads)
+    return _simulate(plan, machine, wl,
+                     SimOptions(threads=threads, monolithic=True, save_arrays=True))
+
+
+def figure7_rows(ncell: int = 1_000_000, threads: int = 16,
+                 machine: MachineSpec = xeon_e5_2637v4_node) -> list[Figure7Row]:
+    """All 32 option combinations plus the manual version, as Figure 7."""
+    base = simulate_baseline(ncell, machine)
+    rows: list[Figure7Row] = []
+    for opts in all_combinations():
+        r = simulate_option(opts, ncell, threads, machine)
+        rows.append(Figure7Row(
+            label=opts.label, options=opts,
+            speedup=base.total_cycles / r.total_cycles,
+            seconds=r.seconds,
+        ))
+    man = simulate_manual(ncell, threads, machine)
+    rows.append(Figure7Row(
+        label="manual parallel (original, outermost)",
+        options=None,
+        speedup=base.total_cycles / man.total_cycles,
+        seconds=man.seconds,
+    ))
+    return rows

@@ -1,0 +1,17 @@
+"""Functional execution of GLAF IR (reference semantics + generated Python)."""
+
+from .context import ExecutionContext, as_storage
+from .interp import ExecStats, Interpreter
+from .runner import GeneratedModule, run_generated_python, run_interpreted
+from .shuffle import (
+    ParallelValidation,
+    ShuffledInterpreter,
+    validate_parallel_semantics,
+)
+
+__all__ = [
+    "ExecutionContext", "as_storage",
+    "ExecStats", "Interpreter",
+    "GeneratedModule", "run_generated_python", "run_interpreted",
+    "ParallelValidation", "ShuffledInterpreter", "validate_parallel_semantics",
+]

@@ -1,0 +1,15 @@
+"""Legacy-code integration: the paper's contribution (§3/§4 methodology)."""
+
+from .interface import InterfaceIssue, InterfaceReport, check_interface, check_program
+from .legacy import CommonSpec, LegacyCodebase, ParamSpec, SubprogramSignature
+from .report import IntegrationReport, UnitIntegrationSummary, build_report
+from .splice import SpliceResult, extract_unit, splice_into_codebase, splice_units
+from .wrapper import generate_wrapper, parse_wrapper_output
+
+__all__ = [
+    "InterfaceIssue", "InterfaceReport", "check_interface", "check_program",
+    "CommonSpec", "LegacyCodebase", "ParamSpec", "SubprogramSignature",
+    "IntegrationReport", "UnitIntegrationSummary", "build_report",
+    "SpliceResult", "extract_unit", "splice_into_codebase", "splice_units",
+    "generate_wrapper", "parse_wrapper_output",
+]

@@ -1,0 +1,31 @@
+"""GLAF code-optimization back-end: data layout, loop options, pruning,
+and the model-guided advisor (the paper's proposed future work)."""
+
+from .advisor import AdvisorDecision, AdvisorReport, advise, auto_no_reallocation
+from .layout import LayoutGroup, aos_field_name, to_aos
+from .loops import (
+    CollapseDecision,
+    collapse_legal,
+    decide_collapse,
+    interchange,
+    interchange_legal,
+)
+from .plan import OptimizationPlan, Tweaks, make_plan
+from .pruning import (
+    VARIANTS,
+    DirectiveSet,
+    Variant,
+    describe_variants,
+    directives_for_variant,
+    variant_by_name,
+)
+
+__all__ = [
+    "AdvisorDecision", "AdvisorReport", "advise", "auto_no_reallocation",
+    "LayoutGroup", "aos_field_name", "to_aos",
+    "CollapseDecision", "collapse_legal", "decide_collapse",
+    "interchange", "interchange_legal",
+    "OptimizationPlan", "Tweaks", "make_plan",
+    "VARIANTS", "DirectiveSet", "Variant", "describe_variants",
+    "directives_for_variant", "variant_by_name",
+]

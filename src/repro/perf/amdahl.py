@@ -1,0 +1,45 @@
+"""Amdahl's-law helpers.
+
+The paper invokes Amdahl's law to explain why the SARB kernels cap out well
+below the thread count ("serial parts of the algorithm between the parallel
+sections can limit the maximum parallelism").  These helpers compute the
+idealized bounds that the simulator's mechanistic results can be checked
+against in tests.
+"""
+
+from __future__ import annotations
+
+__all__ = ["amdahl_speedup", "parallel_fraction_from_speedup", "max_speedup"]
+
+
+def amdahl_speedup(parallel_fraction: float, threads: int,
+                   overhead_fraction: float = 0.0) -> float:
+    """Idealized speedup for a workload with the given parallel fraction.
+
+    ``overhead_fraction`` adds a per-run constant cost expressed as a
+    fraction of the serial runtime (OpenMP region overheads).
+    """
+    if not (0.0 <= parallel_fraction <= 1.0):
+        raise ValueError("parallel fraction must be within [0, 1]")
+    if threads < 1:
+        raise ValueError("threads must be >= 1")
+    denom = (1.0 - parallel_fraction) + parallel_fraction / threads + overhead_fraction
+    return 1.0 / denom
+
+
+def parallel_fraction_from_speedup(speedup: float, threads: int) -> float:
+    """Invert Amdahl's law: the parallel fraction implied by an observed
+    speedup at a given thread count."""
+    if threads <= 1:
+        raise ValueError("need threads > 1 to infer a parallel fraction")
+    if speedup <= 0:
+        raise ValueError("speedup must be positive")
+    f = (1.0 - 1.0 / speedup) / (1.0 - 1.0 / threads)
+    return min(max(f, 0.0), 1.0)
+
+
+def max_speedup(parallel_fraction: float) -> float:
+    """Infinite-thread Amdahl limit."""
+    if parallel_fraction >= 1.0:
+        return float("inf")
+    return 1.0 / (1.0 - parallel_fraction)

@@ -1,0 +1,100 @@
+"""Compiler optimization model.
+
+Models what gfortran/ifort at ``-O3`` do to each loop of the generated (or
+original) code — the effects the paper reads out of "compiler optimization
+reports and/or generated assembly" (§4.1.2):
+
+* zero-initialization loops compile to ``memset``;
+* single-value broadcast loops compile to SIMD stores;
+* simple loops without control flow (including recognized reductions)
+  vectorize; very short trip counts unroll instead;
+* loops containing control flow, calls or indirect subscripts do **not**
+  vectorize ("the compiler fails to identify these loops as parallel");
+* loops under an OMP directive are *not* auto-vectorized (the outlined
+  body defeats the vectorizer — the paper's premise for removing
+  directives in v1-v3);
+* small functions inline; large ones pay call overhead (the GLAF
+  function-per-nested-loop structure, §4.1.2's explanation of GLAF serial
+  trailing original serial).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.classify import LoopClass, classify_step
+from ..analysis.accesses import step_accesses
+from ..core.function import GlafFunction
+from ..core.step import CallStmt, Step, walk_stmts
+from .machine import MachineSpec
+
+__all__ = ["LoopOpt", "CompilerModel"]
+
+
+@dataclass(frozen=True)
+class LoopOpt:
+    """How the compiler treats one (serial) loop."""
+
+    kind: str            # 'memset' | 'simd-store' | 'simd' | 'unroll' | 'scalar'
+    speedup: float       # divisor applied to the scalar body work
+
+
+@dataclass(frozen=True)
+class CompilerModel:
+    machine: MachineSpec
+    # Functions whose flattened statement count is at or below this inline.
+    inline_threshold_stmts: int = 8
+    # Trip counts at or below this unroll fully instead of vectorizing.
+    unroll_trip_threshold: int = 8
+    unroll_speedup: float = 1.25
+    # Work reduction the compiler gets from optimizing across what GLAF
+    # splits into separate steps/functions (fusion, CSE, scheduling).  The
+    # original monolithic source enjoys it; GLAF-structured code does not.
+    monolithic_fusion_factor: float = 0.90
+
+    def should_inline(self, fn: GlafFunction) -> bool:
+        # -O3 inlines small straight-line procedures; procedures containing
+        # loops keep their call overhead (no IPO across the generated
+        # module boundary).
+        if any(s.is_loop for s in fn.steps):
+            return False
+        n = sum(len(list(walk_stmts(s.stmts))) for s in fn.steps)
+        return n <= self.inline_threshold_stmts
+
+    def _vector_width_speedup(self, elem_bytes: int) -> float:
+        lanes = (
+            self.machine.simd_doubles
+            if elem_bytes >= 8
+            else self.machine.simd_doubles * 2
+        )
+        return max(1.0, lanes * self.machine.simd_efficiency)
+
+    def loop_optimization(self, step: Step, trip_count: float,
+                          *, under_omp: bool) -> LoopOpt:
+        """Decide the optimization class for a loop nest."""
+        if under_omp:
+            # The outlined OMP body is compiled scalar.
+            return LoopOpt("scalar", 1.0)
+        cls = classify_step(step)
+        if cls is LoopClass.ZERO_INIT:
+            # memset: bandwidth-bound; modelled as a large fixed divisor on
+            # the scalar store loop.
+            return LoopOpt("memset", self.machine.memset_bytes_per_cycle)
+        if cls is LoopClass.BROADCAST_INIT:
+            return LoopOpt("simd-store", self.machine.copy_bytes_per_cycle / 2.0)
+        if cls in (LoopClass.SIMPLE_SINGLE, LoopClass.SIMPLE_DOUBLE):
+            if self._has_indirect_access(step):
+                return LoopOpt("scalar", 1.0)
+            if trip_count <= self.unroll_trip_threshold:
+                return LoopOpt("unroll", self.unroll_speedup)
+            return LoopOpt("simd", self._vector_width_speedup(8))
+        # COMPLEX: control flow / calls defeat the vectorizer.
+        return LoopOpt("scalar", 1.0)
+
+    @staticmethod
+    def _has_indirect_access(step: Step) -> bool:
+        return any(not a.fully_affine for a in step_accesses(step) if a.indices)
+
+    @staticmethod
+    def has_calls(step: Step) -> bool:
+        return any(isinstance(s, CallStmt) for s in walk_stmts(step.stmts))

@@ -1,0 +1,75 @@
+"""Machine models.
+
+The paper's two testbeds are modelled with first-principles magnitudes:
+
+* ``i5_2400``  — the SARB machine: Intel Core i5-2400, 4 cores at 3.10 GHz
+  (the paper treats it as 4 physical / 8 logical and observes the 8-thread
+  collapse of Figure 6), AVX (4 doubles/vector).
+* ``xeon_e5_2637v4_node`` — the FUN3D machine: dual Xeon E5-2637 v4,
+  2 x 4 cores / 8 threads at 3.50 GHz, AVX2.
+
+Constants are set from architecture datasheet magnitudes, not fitted per
+figure; EXPERIMENTS.md records how well the resulting shapes match.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["MachineSpec", "i5_2400", "xeon_e5_2637v4_node", "MACHINES"]
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    name: str
+    physical_cores: int
+    logical_cores: int
+    freq_ghz: float
+    simd_doubles: int              # doubles per SIMD vector
+    # Effective fraction of ideal SIMD speedup real loops achieve.
+    simd_efficiency: float = 0.6
+    # Efficiency of *directive-forced* vectorization of branchy bodies
+    # (`!$OMP SIMD` with masked lanes): both branches execute, masked.
+    simd_masked_efficiency: float = 0.35
+    # Sustained memset bandwidth in bytes/cycle (rep stosb / NT stores).
+    memset_bytes_per_cycle: float = 16.0
+    # Plain streaming copy bandwidth in bytes/cycle.
+    copy_bytes_per_cycle: float = 8.0
+    # Scalar issue: cycles per floating-point op (pipelined, ~1).
+    cycles_per_flop: float = 1.0
+    # Cycles per (cache-resident) load/store.
+    cycles_per_access: float = 1.0
+    # Penalty multiplier on per-iteration work when running more threads
+    # than physical cores (SMT contention + coherence, paper Figure 6 8T).
+    smt_work_penalty: float = 5.5
+    # Function-call overhead in cycles (prologue/epilogue + spills).
+    call_overhead_cycles: float = 40.0
+    # Heap allocation cost in cycles (malloc/free pair, amortized).
+    alloc_cycles: float = 350.0
+
+    @property
+    def cycle_time_s(self) -> float:
+        return 1.0 / (self.freq_ghz * 1e9)
+
+    def seconds(self, cycles: float) -> float:
+        return cycles * self.cycle_time_s
+
+
+i5_2400 = MachineSpec(
+    name="i5-2400",
+    physical_cores=4,
+    logical_cores=8,
+    freq_ghz=3.10,
+    simd_doubles=4,        # AVX, 256-bit
+)
+
+xeon_e5_2637v4_node = MachineSpec(
+    name="2x Xeon E5-2637 v4",
+    physical_cores=8,
+    logical_cores=16,
+    freq_ghz=3.50,
+    simd_doubles=4,        # AVX2, 256-bit
+    call_overhead_cycles=40.0,
+)
+
+MACHINES = {m.name: m for m in (i5_2400, xeon_e5_2637v4_node)}

@@ -1,0 +1,50 @@
+"""Human-readable breakdowns of simulation results.
+
+The paper reasons about *where* the time goes ("the compiler emits SIMD
+instructions", "the cost of repeated calls ... cannot be efficiently
+amortized"); this report makes the model's version of that reasoning
+inspectable: per-step cycles, the optimization the compiler model applied,
+trip counts, and the overhead split (OpenMP regions, allocations, calls).
+"""
+
+from __future__ import annotations
+
+from .simulate import SimResult
+
+__all__ = ["breakdown_table", "overhead_summary"]
+
+
+def breakdown_table(result: SimResult, top: int = 12) -> str:
+    """The ``top`` most expensive steps, with their model treatment."""
+    rows = sorted(result.steps, key=lambda s: -s.total_cycles)[:top]
+    header = (f"{'function/step':38s} {'trips':>9s} {'treatment':>18s} "
+              f"{'cycles':>12s} {'share':>6s}")
+    lines = [
+        f"== {result.workload} [{result.variant}] on {result.machine} "
+        f"({result.threads}T): {result.total_cycles:.3e} cycles "
+        f"({result.seconds * 1e3:.2f} ms) ==",
+        header,
+        "-" * len(header),
+    ]
+    for s in rows:
+        share = s.total_cycles / max(result.total_cycles, 1e-300)
+        lines.append(
+            f"{s.function + '/' + s.step_name:38s} {s.trips:9.0f} "
+            f"{s.opt_kind:>18s} {s.total_cycles:12.3e} {share:6.1%}"
+        )
+    return "\n".join(lines)
+
+
+def overhead_summary(result: SimResult) -> str:
+    """Where the non-compute cycles went."""
+    region = sum(s.overhead_cycles for s in result.steps)
+    total = max(result.total_cycles, 1e-300)
+    parts = [
+        ("OpenMP regions", region),
+        ("heap (re)allocation", result.alloc_cycles),
+        ("function-call overhead", result.call_overhead_cycles),
+    ]
+    lines = [f"overheads of {result.workload} [{result.variant}]:"]
+    for label, cycles in parts:
+        lines.append(f"  {label:24s} {cycles:12.3e} cycles ({cycles / total:6.2%})")
+    return "\n".join(lines)

@@ -1,0 +1,44 @@
+"""Synoptic SARB case study (synthetic Fu-Liou radiative transfer)."""
+
+from .atmosphere import (
+    DEFAULT_DIMS,
+    AtmosphereInputs,
+    SarbDimensions,
+    make_inputs,
+    zone_sizes,
+)
+from .fuliou import (
+    SarbState,
+    fresh_state,
+    ref_adjust2,
+    ref_entropy_interface,
+    ref_longwave_entropy_model,
+    ref_lw_spectral_integration,
+    ref_shortwave_entropy_model,
+    ref_sw_spectral_integration,
+)
+from .kernels import SARB_SUBROUTINES, build_sarb_program, sarb_workload
+from .legacy_src import full_legacy_source
+from .validation import (
+    OUTPUT_NAMES,
+    build_legacy_codebase,
+    run_generated_fortran,
+    run_generated_python,
+    run_ir_interpreter,
+    run_legacy_fortran,
+    run_reference,
+    run_spliced,
+)
+
+__all__ = [
+    "DEFAULT_DIMS", "AtmosphereInputs", "SarbDimensions", "make_inputs",
+    "zone_sizes",
+    "SarbState", "fresh_state", "ref_adjust2", "ref_entropy_interface",
+    "ref_longwave_entropy_model", "ref_lw_spectral_integration",
+    "ref_shortwave_entropy_model", "ref_sw_spectral_integration",
+    "SARB_SUBROUTINES", "build_sarb_program", "sarb_workload",
+    "full_legacy_source",
+    "OUTPUT_NAMES", "build_legacy_codebase", "run_generated_fortran",
+    "run_generated_python", "run_ir_interpreter", "run_legacy_fortran",
+    "run_reference", "run_spliced",
+]

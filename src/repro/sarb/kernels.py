@@ -1,0 +1,355 @@
+"""GLAF IR construction of the six SARB subroutines (paper Table 1).
+
+``build_sarb_program`` performs, through the programmatic builder, exactly
+the GPI actions the paper describes: create the existing-module grids in
+Global Scope (marking TYPE elements of ``fin``), create the COMMON-block
+weight grids, create the module-scope scratch grids, then build each
+subroutine (void return type -> SUBROUTINE form) step by step.
+
+The loop-class census this program produces is what drives the Table 2 /
+Figure 5 pruning study:
+
+=====================  =====================================================
+class                  steps
+=====================  =====================================================
+ZERO_INIT              lw s1, lwent s1, lwent s2, sw s1
+BROADCAST_INIT         lw s2
+SIMPLE_DOUBLE          lw s3, sw s2
+SIMPLE_SINGLE          lw s4, lw s5, lwent s5, lwent s6, sw s3, sw s4,
+                       swent s1, adj s1, adj s3, iface s6
+COMPLEX (kept in v3)   lwent s3, lwent s4  — the paper's "two large loops
+                       in the longwave_entropy_model subroutine"
+serial (never OMP)     adj s2 (loop-carried)
+=====================  =====================================================
+"""
+
+from __future__ import annotations
+
+from ..core import (
+    GlafBuilder,
+    GlafProgram,
+    I,
+    T_INT,
+    T_REAL8,
+    T_VOID,
+    lib,
+    ref,
+)
+from ..perf.simulate import Workload
+from .atmosphere import DEFAULT_DIMS, SarbDimensions
+
+__all__ = ["build_sarb_program", "sarb_workload", "SARB_SUBROUTINES",
+           "FULIOU_MODULE", "RAD_OUTPUT_MODULE", "ENTWTS_COMMON"]
+
+FULIOU_MODULE = "fuliou_mod"
+RAD_OUTPUT_MODULE = "rad_output_mod"
+ENTWTS_COMMON = "entwts"
+
+SARB_SUBROUTINES = (
+    "lw_spectral_integration",
+    "longwave_entropy_model",
+    "sw_spectral_integration",
+    "shortwave_entropy_model",
+    "entropy_interface",
+    "adjust2",
+)
+
+
+def build_sarb_program(dims: SarbDimensions = DEFAULT_DIMS) -> GlafProgram:
+    nv, nb, nbs = dims.nv, dims.nblw, dims.nbsw
+    b = GlafBuilder("sarb")
+
+    # ------------------------------------------------------------------
+    # Global Scope: the Figure 3 configuration screens.
+    # ------------------------------------------------------------------
+    b.derived_type(
+        "rad_input",
+        {
+            "tsfc": (T_REAL8, 0),
+            "pres": (T_REAL8, 1),
+            "temp": (T_REAL8, 1),
+            "cld": (T_REAL8, 1),
+        },
+        defined_in_module=FULIOU_MODULE,
+    )
+    # §3.5: elements of the existing TYPE(rad_input) variable `fin`.
+    b.global_grid("tsfc", T_REAL8, exists_in_module=FULIOU_MODULE,
+                  type_parent="fin", type_name="rad_input",
+                  comment="surface temperature [K]")
+    b.global_grid("pres", T_REAL8, dims=(nv,), exists_in_module=FULIOU_MODULE,
+                  type_parent="fin", type_name="rad_input",
+                  comment="pressure profile [hPa]")
+    b.global_grid("temp", T_REAL8, dims=(nv,), exists_in_module=FULIOU_MODULE,
+                  type_parent="fin", type_name="rad_input",
+                  comment="temperature profile [K]")
+    b.global_grid("cld", T_REAL8, dims=(nv,), exists_in_module=FULIOU_MODULE,
+                  type_parent="fin", type_name="rad_input",
+                  comment="cloud fraction profile")
+    # §3.1: plain existing-module variables.
+    b.global_grid("taudp", T_REAL8, dims=(nv, nb), exists_in_module=FULIOU_MODULE,
+                  comment="longwave optical depths")
+    b.global_grid("tausw", T_REAL8, dims=(nv, nbs), exists_in_module=FULIOU_MODULE,
+                  comment="shortwave optical depths")
+    b.global_grid("fulw", T_REAL8, dims=(nv,), exists_in_module=RAD_OUTPUT_MODULE,
+                  comment="longwave flux profile (output)")
+    b.global_grid("fusw", T_REAL8, dims=(nv,), exists_in_module=RAD_OUTPUT_MODULE,
+                  comment="shortwave flux profile (output)")
+    b.global_grid("fwin", T_REAL8, dims=(nv,), exists_in_module=RAD_OUTPUT_MODULE,
+                  comment="window-channel flux profile (output)")
+    b.global_grid("slw", T_REAL8, dims=(nv,), exists_in_module=RAD_OUTPUT_MODULE,
+                  comment="longwave entropy profile (output)")
+    b.global_grid("ssw", T_REAL8, dims=(nv,), exists_in_module=RAD_OUTPUT_MODULE,
+                  comment="shortwave entropy profile (output)")
+    # §3.2: COMMON-block members.
+    b.global_grid("wlw", T_REAL8, dims=(nb,), common_block=ENTWTS_COMMON,
+                  comment="longwave band weights")
+    b.global_grid("wsw", T_REAL8, dims=(nbs,), common_block=ENTWTS_COMMON,
+                  comment="shortwave band weights")
+    b.global_grid("wwin", T_REAL8, dims=(nb,), common_block=ENTWTS_COMMON,
+                  comment="window-channel weights")
+    # §3.3: module-scope scratch shared between GLAF functions.
+    b.global_grid("planck_tmp", T_REAL8, dims=(nv,), module_scope=True,
+                  comment="Planck emission scratch")
+    b.global_grid("scratch", T_REAL8, dims=(nv,), module_scope=True,
+                  comment="entropy-model scratch")
+    b.global_grid("scr2", T_REAL8, dims=(nv,), module_scope=True,
+                  comment="window-weighting scratch")
+    b.global_grid("swtmp", T_REAL8, dims=(nv,), module_scope=True,
+                  comment="shortwave broadcast scratch")
+    b.global_grid("olr_acc", T_REAL8, module_scope=True,
+                  comment="accumulated outgoing longwave radiation")
+    b.global_grid("swn_acc", T_REAL8, module_scope=True,
+                  comment="accumulated net shortwave")
+
+    m = b.module("Module1")
+
+    # ------------------------------------------------------------------
+    # lw_spectral_integration (75 SLOC in the paper)
+    # ------------------------------------------------------------------
+    f = m.function("lw_spectral_integration", return_type=T_VOID,
+                   comment="Longwave spectral integration over bands")
+    f.param("nv", T_INT, intent="in")
+    f.param("nb", T_INT, intent="in")
+    f.param("flux", T_REAL8, dims=(dims.nv,), intent="inout")
+    s = f.step("init_flux", comment="zero-initialize flux profile")
+    s.foreach(i=(1, "nv"))
+    s.formula(ref("flux", I("i")), 0.0)
+    s = f.step("planck", comment="broadcast surface Planck emission")
+    s.foreach(i=(1, "nv"))
+    s.formula(ref("planck_tmp", I("i")), ref("tsfc"))
+    s = f.step("band_integration", comment="integrate over spectral bands")
+    s.foreach(i=(1, "nv"), bnd=(1, "nb"))
+    s.formula(
+        ref("flux", I("i")),
+        ref("flux", I("i"))
+        + ref("wlw", I("bnd")) * lib("EXP", -ref("taudp", I("i"), I("bnd")))
+        * ref("planck_tmp", I("i")),
+    )
+    s = f.step("pressure_olr", comment="pressure correction + OLR accumulation")
+    s.foreach(i=(1, "nv"))
+    s.formula(
+        ref("flux", I("i")),
+        ref("flux", I("i")) * 0.5 + lib("ABS", ref("pres", I("i"))) * 0.001,
+    )
+    s.formula(ref("olr_acc"), ref("olr_acc") + ref("flux", I("i")))
+
+    # ------------------------------------------------------------------
+    # longwave_entropy_model (422 SLOC in the paper) — the big kernel
+    # ------------------------------------------------------------------
+    f = m.function("longwave_entropy_model", return_type=T_VOID,
+                   comment="Longwave entropy model with thick/thin and "
+                           "cloudy/clear branches")
+    f.param("nv", T_INT, intent="in")
+    f.param("nb", T_INT, intent="in")
+    s = f.step("init_slw")
+    s.foreach(i=(1, "nv"))
+    s.formula(ref("slw", I("i")), 0.0)
+    s = f.step("init_scratch")
+    s.foreach(i=(1, "nv"))
+    s.formula(ref("scratch", I("i")), 0.0)
+    s = f.step("init_scr2")
+    s.foreach(i=(1, "nv"))
+    s.formula(ref("scr2", I("i")), 0.0)
+    s = f.step("init_fwin", comment="redundant init kept from the legacy code")
+    s.foreach(i=(1, "nv"))
+    s.formula(ref("fwin", I("i")), 0.0)
+
+    from ..core.builder import StepBuilder as SB
+
+    s = f.step("thick_thin", comment="large loop A: optically thick vs thin")
+    s.foreach(i=(1, "nv"), bnd=(1, "nb"))
+    s.if_(
+        ref("taudp", I("i"), I("bnd")).gt(1.0),
+        [
+            SB.assign(
+                ref("scratch", I("i")),
+                ref("scratch", I("i"))
+                + ref("wlw", I("bnd")) * lib("ALOG", ref("taudp", I("i"), I("bnd")) + 1.0),
+            ),
+            SB.assign(
+                ref("slw", I("i")),
+                ref("slw", I("i"))
+                + ref("fulw", I("i")) * ref("wlw", I("bnd"))
+                / lib("MAX", ref("temp", I("i")), 180.0),
+            ),
+        ],
+        [
+            SB.assign(
+                ref("scratch", I("i")),
+                ref("scratch", I("i"))
+                + ref("wlw", I("bnd")) * ref("taudp", I("i"), I("bnd")),
+            ),
+            SB.assign(
+                ref("slw", I("i")),
+                ref("slw", I("i"))
+                + ref("fulw", I("i")) * ref("wlw", I("bnd"))
+                * lib("EXP", -ref("taudp", I("i"), I("bnd")))
+                / lib("MAX", ref("temp", I("i")), 180.0),
+            ),
+        ],
+    )
+    s = f.step("cloud_adjust", comment="large loop B: cloudy vs clear")
+    s.foreach(i=(1, "nv"), bnd=(1, "nb"))
+    s.if_(
+        ref("cld", I("i")).gt(0.5),
+        [
+            SB.assign(
+                ref("slw", I("i")),
+                ref("slw", I("i"))
+                + 0.1 * ref("wlw", I("bnd")) * ref("cld", I("i")) * ref("scratch", I("i")),
+            ),
+        ],
+        [
+            SB.assign(
+                ref("slw", I("i")),
+                ref("slw", I("i")) + 0.01 * ref("wlw", I("bnd")) * ref("scratch", I("i")),
+            ),
+        ],
+    )
+    s = f.step("window_weights", comment="per-band window weighting of depths")
+    s.foreach(i=(1, "nv"), bnd=(1, "nb"))
+    s.formula(
+        ref("scr2", I("i")),
+        ref("scr2", I("i")) + ref("wwin", I("bnd")) * ref("taudp", I("i"), I("bnd")) * 0.01,
+    )
+    s = f.step("normalize_window", comment="normalize entropy; window flux")
+    s.foreach(i=(1, "nv"))
+    s.formula(
+        ref("slw", I("i")),
+        ref("slw", I("i")) / lib("MAX", ref("scratch", I("i")), 1.0),
+    )
+    s.formula(
+        ref("fwin", I("i")),
+        ref("slw", I("i")) * ref("wwin", 1) + 0.5 * ref("wwin", 2)
+        + 0.001 * ref("scr2", I("i")),
+    )
+
+    # ------------------------------------------------------------------
+    # sw_spectral_integration (50 SLOC in the paper)
+    # ------------------------------------------------------------------
+    f = m.function("sw_spectral_integration", return_type=T_VOID,
+                   comment="Shortwave spectral integration")
+    f.param("nv", T_INT, intent="in")
+    f.param("nbs", T_INT, intent="in")
+    f.param("flux", T_REAL8, dims=(dims.nv,), intent="inout")
+    s = f.step("init_flux")
+    s.foreach(i=(1, "nv"))
+    s.formula(ref("flux", I("i")), 0.0)
+    s = f.step("band_integration")
+    s.foreach(i=(1, "nv"), bnd=(1, "nbs"))
+    s.formula(
+        ref("flux", I("i")),
+        ref("flux", I("i"))
+        + ref("wsw", I("bnd")) * lib("EXP", -ref("tausw", I("i"), I("bnd")) * 2.0),
+    )
+    s = f.step("init_swtmp", comment="broadcast leading band weight")
+    s.foreach(i=(1, "nv"))
+    s.formula(ref("swtmp", I("i")), ref("wsw", 1))
+    s = f.step("scatter_net", comment="scattering correction + net accumulation")
+    s.foreach(i=(1, "nv"))
+    s.formula(
+        ref("flux", I("i")),
+        lib("SQRT", ref("flux", I("i")) * ref("flux", I("i")) + 1.0) - 1.0
+        + 0.05 * ref("cld", I("i")) * ref("swtmp", I("i")),
+    )
+    s.formula(ref("swn_acc"), ref("swn_acc") + ref("flux", I("i")) * ref("wsw", 1))
+
+    # ------------------------------------------------------------------
+    # shortwave_entropy_model (13 SLOC in the paper)
+    # ------------------------------------------------------------------
+    f = m.function("shortwave_entropy_model", return_type=T_VOID,
+                   comment="Shortwave entropy from flux/temperature ratio")
+    f.param("nv", T_INT, intent="in")
+    s = f.step("entropy")
+    s.foreach(i=(1, "nv"))
+    s.formula(
+        ref("ssw", I("i")),
+        ref("fusw", I("i")) / lib("MAX", ref("temp", I("i")), 180.0),
+    )
+
+    # ------------------------------------------------------------------
+    # adjust2 (38 SLOC in the paper)
+    # ------------------------------------------------------------------
+    f = m.function("adjust2", return_type=T_VOID,
+                   comment="Flux adjustment with serial smoothing sweep")
+    f.param("nv", T_INT, intent="in")
+    f.param("flux", T_REAL8, dims=(dims.nv,), intent="inout")
+    s = f.step("scale")
+    s.foreach(i=(1, "nv"))
+    s.formula(ref("flux", I("i")), ref("flux", I("i")) * (1.0 + 0.01 * ref("wwin", 1)))
+    s = f.step("smooth", comment="loop-carried smoothing (not parallelizable)")
+    s.foreach(i=(2, "nv"))
+    s.formula(ref("flux", I("i")), ref("flux", I("i")) + ref("flux", I("i") - 1) * 0.05)
+    s = f.step("clamp")
+    s.foreach(i=(1, "nv"))
+    s.formula(
+        ref("flux", I("i")),
+        lib("MIN", lib("MAX", ref("flux", I("i")), 0.0), 1000.0),
+    )
+
+    # ------------------------------------------------------------------
+    # entropy_interface (46 SLOC in the paper) — the driver
+    # ------------------------------------------------------------------
+    f = m.function("entropy_interface", return_type=T_VOID,
+                   comment="Driver: runs the full entropy pipeline")
+    f.param("nv", T_INT, intent="in")
+    f.param("nb", T_INT, intent="in")
+    f.param("nbs", T_INT, intent="in")
+    s = f.step("run_lw")
+    s.call("lw_spectral_integration", [ref("nv"), ref("nb"), ref("fulw")])
+    s = f.step("run_sw")
+    s.call("sw_spectral_integration", [ref("nv"), ref("nbs"), ref("fusw")])
+    s = f.step("run_lw_entropy")
+    s.call("longwave_entropy_model", [ref("nv"), ref("nb")])
+    s = f.step("run_sw_entropy")
+    s.call("shortwave_entropy_model", [ref("nv")])
+    s = f.step("adjust_fluxes")
+    s.call("adjust2", [ref("nv"), ref("fulw")])
+    s.call("adjust2", [ref("nv"), ref("fusw")])
+    s = f.step("combine_window", comment="combine adjusted fluxes into window")
+    s.foreach(i=(1, "nv"))
+    s.formula(
+        ref("fwin", I("i")),
+        ref("fwin", I("i"))
+        + 0.5 * (ref("fulw", I("i")) + ref("fusw", I("i"))) * ref("wwin", 2),
+    )
+
+    return b.build()
+
+
+def sarb_workload(dims: SarbDimensions = DEFAULT_DIMS, *, entry_calls: int = 1) -> Workload:
+    """Performance-model workload for the SARB kernel set.
+
+    Branch fractions reflect the synthetic atmosphere: roughly 45% of
+    (level, band) cells are optically thick, ~20% of levels are cloudy.
+    """
+    return Workload(
+        name="sarb",
+        entry="entropy_interface",
+        sizes={"nv": dims.nv, "nb": dims.nblw, "nbs": dims.nbsw},
+        entry_calls=entry_calls,
+        branch_fractions={
+            ("longwave_entropy_model", 4): 0.45,   # thick_thin
+            ("longwave_entropy_model", 5): 0.20,   # cloud_adjust
+        },
+    )

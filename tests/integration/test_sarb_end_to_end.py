@@ -1,0 +1,162 @@
+"""Integration test: the full SARB methodology of paper §4.1.1.
+
+1. unit testing via generated wrapper programs;
+2. side-by-side comparison across all five execution paths;
+3. interface checks, then substitution into the legacy code and a run of
+   the test-suite driver;
+4. inspection of the OpenMP directives actually executed (the paper's
+   "manually verify the correctness of the OpenMP directives" step, done
+   mechanically here).
+"""
+
+import numpy as np
+import pytest
+
+from repro.codegen.fortran import FortranGenerator
+from repro.fortranlib import FortranRuntime
+from repro.integration import build_report, check_program, generate_wrapper, \
+    parse_wrapper_output
+from repro.optimize import make_plan
+from repro.sarb import (
+    OUTPUT_NAMES,
+    SARB_SUBROUTINES,
+    build_legacy_codebase,
+    build_sarb_program,
+    full_legacy_source,
+    make_inputs,
+    run_generated_fortran,
+    run_generated_python,
+    run_ir_interpreter,
+    run_legacy_fortran,
+    run_reference,
+    run_spliced,
+)
+
+
+@pytest.fixture(scope="module")
+def inp():
+    return make_inputs()
+
+
+@pytest.fixture(scope="module")
+def reference(inp):
+    return run_reference(inp)
+
+
+class TestSideBySide:
+    def test_ir_interpreter_matches_reference(self, inp, reference):
+        outs = run_ir_interpreter(inp)
+        for n in OUTPUT_NAMES:
+            assert np.allclose(outs[n], reference[n], rtol=1e-10, atol=1e-12), n
+
+    def test_generated_python_matches_ir_exactly(self, inp):
+        ir = run_ir_interpreter(inp)
+        py = run_generated_python(inp)
+        for n in OUTPUT_NAMES:
+            assert np.array_equal(ir[n], py[n]), n
+
+    def test_legacy_fortran_matches_reference(self, inp, reference):
+        outs, _ = run_legacy_fortran(inp)
+        for n in OUTPUT_NAMES:
+            assert np.allclose(outs[n], reference[n], rtol=1e-10, atol=1e-12), n
+
+    def test_generated_fortran_matches_legacy(self, inp):
+        leg, _ = run_legacy_fortran(inp)
+        gen, _, _ = run_generated_fortran(inp)
+        for n in OUTPUT_NAMES:
+            assert np.allclose(gen[n], leg[n], rtol=1e-12, atol=1e-14), n
+
+    def test_parallel_variant_same_numbers(self, inp):
+        serial, _, _ = run_generated_fortran(inp, variant="GLAF serial")
+        par, rt, _ = run_generated_fortran(inp, variant="GLAF-parallel v0")
+        for n in OUTPUT_NAMES:
+            assert np.array_equal(serial[n], par[n]), n
+        assert any(e.kind == "parallel_do" for e in rt.omp_log)
+
+
+class TestWrapperUnitTesting:
+    def test_adjust2_wrapper_side_by_side(self, inp):
+        """Wrapper-based unit test: adjust2 run standalone under both the
+        legacy original and the GLAF-generated module."""
+        program = build_sarb_program(inp.dims)
+        plan = make_plan(program, "GLAF serial")
+        gen = FortranGenerator(plan)
+        gen_src = gen.generate_module()
+        sample = {"nv": inp.dims.nv,
+                  "flux": np.linspace(0.0, 10.0, inp.dims.nv)}
+        wrapper_gen = generate_wrapper(program, "adjust2", sample,
+                                       module_name=gen.module_name)
+
+        sources = full_legacy_source(inp.dims)
+
+        # Path A: GLAF-generated adjust2.
+        rt_a = FortranRuntime()
+        rt_a.load(sources["fuliou_modules.f90"])
+        rt_a.load(sources["sarb_setup.f90"])
+        rt_a.load(gen_src)
+        rt_a.load(wrapper_gen)
+        rt_a.call("set_entwts", [inp.wlw.copy(), inp.wsw.copy(), inp.wwin.copy()])
+        rt_a.run_program("test_adjust2")
+        vals_a = parse_wrapper_output(rt_a.output)
+
+        # Path B: legacy adjust2, same wrapper body but direct CALL.
+        rt_b = FortranRuntime()
+        for fname in sorted(sources):
+            rt_b.load(sources[fname])
+        rt_b.call("set_entwts", [inp.wlw.copy(), inp.wsw.copy(), inp.wwin.copy()])
+        flux = np.linspace(0.0, 10.0, inp.dims.nv)
+        rt_b.call("adjust2", [inp.dims.nv, flux])
+
+        for i in range(inp.dims.nv):
+            assert vals_a[f"flux({i + 1})"] == pytest.approx(flux[i], rel=1e-14)
+
+
+class TestSpliceAndRun:
+    def test_interface_checks_pass(self, inp):
+        program = build_sarb_program(inp.dims)
+        legacy = build_legacy_codebase(inp.dims)
+        reports = check_program(program, legacy, list(SARB_SUBROUTINES))
+        for name, report in reports.items():
+            assert report.ok, (name, [i.message for i in report.errors()])
+
+    def test_spliced_serial_matches_legacy_driver(self, inp):
+        leg, rt_leg = run_legacy_fortran(inp)
+        spl, rt_spl, output = run_spliced(inp, variant="GLAF serial")
+        for n in OUTPUT_NAMES:
+            assert np.allclose(spl[n], leg[n], rtol=1e-12, atol=1e-14), n
+        printed = dict(output)
+        assert printed["rms_lw"] == pytest.approx(
+            float(np.sqrt((leg["fulw"] ** 2).mean())), rel=1e-12)
+
+    def test_spliced_v3_keeps_two_omp_loops(self, inp):
+        _, rt, _ = run_spliced(inp, variant="GLAF-parallel v3")
+        events = [e for e in rt.omp_log if e.kind == "parallel_do"]
+        assert len(events) == 2
+        assert all(e.unit == "longwave_entropy_model" for e in events)
+        assert all(e.collapse == 2 for e in events)
+        # Multi-variable reduction on the first large loop (§4.2.1).
+        red_vars = {v for e in events for _, v in e.reductions}
+        assert {"scratch", "slw"} <= red_vars
+
+    def test_spliced_v0_annotates_many_loops(self, inp):
+        _, rt0, _ = run_spliced(inp, variant="GLAF-parallel v0")
+        _, rt3, _ = run_spliced(inp, variant="GLAF-parallel v3")
+        n0 = len([e for e in rt0.omp_log if e.kind == "parallel_do"])
+        n3 = len([e for e in rt3.omp_log if e.kind == "parallel_do"])
+        assert n0 > 10 > n3
+
+
+class TestIntegrationReport:
+    def test_all_section3_features_exercised(self, inp):
+        program = build_sarb_program(inp.dims)
+        report = build_report(make_plan(program, "GLAF-parallel v0"))
+        feats = report.features_exercised()
+        assert all(feats.values()), feats
+
+    def test_report_names_modules_and_blocks(self, inp):
+        program = build_sarb_program(inp.dims)
+        text = build_report(make_plan(program, "GLAF-parallel v0")).to_text()
+        assert "fuliou_mod" in text
+        assert "rad_output_mod" in text
+        assert "COMMON /entwts/" in text
+        assert "fin%tsfc" in text

@@ -1,0 +1,144 @@
+"""Unit tests for access extraction, affine analysis and dependence tests."""
+
+import pytest
+
+from repro.analysis.accesses import AffineForm, affine_form, step_accesses
+from repro.analysis.dependence import DepKind, write_is_injective
+from repro.analysis.dependence import test_pair as dep_test_pair
+from repro.core.expr import Const, I, ref
+from repro.core.step import Assign, CallStmt, IfStmt, Range, Step
+
+
+class TestAffineForm:
+    def test_constant(self):
+        assert affine_form(Const(3), {"i"}) == AffineForm(3)
+
+    def test_index_var(self):
+        assert affine_form(I("i"), {"i"}) == AffineForm(0, {"i": 1})
+
+    def test_linear_combination(self):
+        f = affine_form(2 * I("i") + I("j") - 1, {"i", "j"})
+        assert f == AffineForm(-1, {"i": 2, "j": 1})
+
+    def test_negation(self):
+        f = affine_form(-(I("i") - 2), {"i"})
+        assert f == AffineForm(2, {"i": -1})
+
+    def test_constant_times_affine(self):
+        f = affine_form(3 * (I("i") + 1), {"i"})
+        assert f == AffineForm(3, {"i": 3})
+
+    def test_nonlinear_rejected(self):
+        assert affine_form(I("i") * I("j"), {"i", "j"}) is None
+        assert affine_form(I("i") ** 2, {"i"}) is None
+
+    def test_grid_ref_rejected(self):
+        assert affine_form(ref("ioff", I("i")), {"i"}) is None
+        assert affine_form(ref("n"), {"i"}) is None  # symbolic, not const
+
+    def test_foreign_index_var_rejected(self):
+        assert affine_form(I("k"), {"i"}) is None
+
+    def test_zero_coefficients_dropped(self):
+        f = affine_form(I("i") - I("i") + 2, {"i"})
+        assert f == AffineForm(2)
+        assert not f.uses("i")
+
+
+class TestStepAccesses:
+    def test_reads_and_writes(self):
+        s = Step(name="s", ranges=[Range("i", 1, ref("n"))],
+                 stmts=[Assign(ref("a", I("i")), ref("b", I("i")) + 1.0)])
+        accs = step_accesses(s)
+        writes = [a for a in accs if a.is_write]
+        reads = [a for a in accs if not a.is_write]
+        assert [w.grid for w in writes] == ["a"]
+        assert {r.grid for r in reads} == {"b"}
+
+    def test_condition_reads_counted(self):
+        s = Step(name="s", ranges=[Range("i", 1, 4)],
+                 condition=ref("mask", I("i")).gt(0),
+                 stmts=[Assign(ref("a", I("i")), 1.0)])
+        accs = step_accesses(s)
+        assert any(a.grid == "mask" and not a.is_write for a in accs)
+
+    def test_conditional_flag(self):
+        s = Step(name="s", ranges=[Range("i", 1, 4)],
+                 stmts=[IfStmt(ref("c", I("i")).gt(0),
+                               (Assign(ref("a", I("i")), 1.0),))])
+        accs = step_accesses(s)
+        w = next(a for a in accs if a.is_write)
+        assert w.conditional
+
+    def test_indirect_index_not_affine(self):
+        s = Step(name="s", ranges=[Range("i", 1, 4)],
+                 stmts=[Assign(ref("a", ref("idx", I("i"))), 1.0)])
+        accs = step_accesses(s)
+        w = next(a for a in accs if a.is_write)
+        assert not w.fully_affine
+
+    def test_call_argument_reads(self):
+        s = Step(name="s", ranges=[Range("i", 1, 4)],
+                 stmts=[CallStmt("f", (ref("a", I("i")),))])
+        accs = step_accesses(s)
+        assert any(a.grid == "a" and not a.is_write for a in accs)
+
+
+def _acc(grid, idx_exprs, is_write, loop_vars):
+    s = Step(name="s", ranges=[Range(v, 1, 10) for v in loop_vars],
+             stmts=[Assign(ref(grid, *idx_exprs), 1.0)])
+    return next(a for a in step_accesses(s) if a.is_write)
+
+
+class TestDependence:
+    def test_identical_subscripts_loop_independent(self):
+        w = _acc("a", [I("i")], True, ["i"])
+        r = _acc("a", [I("i")], True, ["i"])
+        dep = dep_test_pair(w, r, ("i",))
+        assert dep.kind is DepKind.LOOP_INDEPENDENT
+
+    def test_constant_distance_carried(self):
+        w = _acc("a", [I("i")], True, ["i"])
+        r = _acc("a", [I("i") - 1], True, ["i"])
+        dep = dep_test_pair(w, r, ("i",))
+        assert dep.kind is DepKind.LOOP_CARRIED
+        assert dep.distance == (1,)
+
+    def test_ziv_different_constants_independent(self):
+        w = _acc("a", [Const(1)], True, ["i"])
+        r = _acc("a", [Const(2)], True, ["i"])
+        assert dep_test_pair(w, r, ("i",)).kind is DepKind.NONE
+
+    def test_scalar_write_carried(self):
+        w = _acc("x", [], True, ["i"])
+        r = _acc("x", [], True, ["i"])
+        assert dep_test_pair(w, r, ("i",)).kind is DepKind.LOOP_CARRIED
+
+    def test_invariant_subscript_carried(self):
+        # a(j) in an i-j nest collides across i.
+        w = _acc("a", [I("j")], True, ["i", "j"])
+        r = _acc("a", [I("j")], True, ["i", "j"])
+        assert dep_test_pair(w, r, ("i", "j")).kind is DepKind.LOOP_CARRIED
+
+    def test_nonaffine_unknown(self):
+        w = _acc("a", [ref("idx", I("i"))], True, ["i"])
+        r = _acc("a", [I("i")], True, ["i"])
+        assert dep_test_pair(w, r, ("i",)).kind is DepKind.UNKNOWN
+
+
+class TestInjectivity:
+    def test_simple_injective(self):
+        w = _acc("a", [I("i"), I("j")], True, ["i", "j"])
+        assert write_is_injective(w, ("i", "j"))
+
+    def test_missing_var_not_injective(self):
+        w = _acc("a", [I("i")], True, ["i", "j"])
+        assert not write_is_injective(w, ("i", "j"))
+
+    def test_combined_vars_in_one_dim_not_injective(self):
+        w = _acc("a", [I("i") + I("j")], True, ["i", "j"])
+        assert not write_is_injective(w, ("i", "j"))
+
+    def test_indirect_not_injective(self):
+        w = _acc("a", [ref("idx", I("i"))], True, ["i"])
+        assert not write_is_injective(w, ("i",))

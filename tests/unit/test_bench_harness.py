@@ -1,0 +1,68 @@
+"""Unit tests for the bench harness and experiment registry."""
+
+import pytest
+
+from repro.bench import EXPERIMENTS, ExperimentResult, format_table, get_experiment
+from repro.bench.harness import Experiment, run_and_format
+
+
+class TestHarness:
+    def _result(self):
+        return ExperimentResult(
+            experiment_id="X1",
+            title="demo",
+            headers=["name", "value"],
+            rows=[["alpha", 1.234567], ["beta", 0.0001234]],
+            notes="a note",
+        )
+
+    def test_format_table_alignment(self):
+        text = format_table(self._result())
+        lines = text.splitlines()
+        assert lines[0].startswith("== X1: demo")
+        assert "name" in lines[1] and "value" in lines[1]
+        assert "alpha" in lines[3]
+        assert text.endswith("a note")
+
+    def test_small_floats_keep_precision(self):
+        text = format_table(self._result())
+        assert "0.00012" in text
+
+    def test_column_and_as_dict(self):
+        r = self._result()
+        assert r.column("name") == ["alpha", "beta"]
+        assert r.as_dict() == {"alpha": 1.234567, "beta": 0.0001234}
+
+    def test_run_and_format(self):
+        exp = Experiment("X1", "demo", "none", self._result)
+        result, text = run_and_format(exp)
+        assert result.experiment_id == "X1"
+        assert "X1" in text
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_registered(self):
+        assert set(EXPERIMENTS) == {"T1", "T2", "F5", "F6", "F7", "C1", "C2"}
+
+    def test_get_experiment(self):
+        assert get_experiment("F5").paper_ref == "Figure 5"
+        with pytest.raises(KeyError):
+            get_experiment("F9")
+
+    @pytest.mark.parametrize("exp_id", ["T1", "T2", "F5", "F6"])
+    def test_fast_experiments_run(self, exp_id):
+        result = EXPERIMENTS[exp_id].run()
+        assert result.rows
+        assert result.experiment_id == exp_id
+
+    def test_figure5_rows_mirror_paper_keys(self):
+        from repro.sarb.perffig import PAPER_FIGURE5
+
+        result = EXPERIMENTS["F5"].run()
+        assert [r[0] for r in result.rows] == list(PAPER_FIGURE5)
+
+    def test_figure7_includes_manual_row(self):
+        result = EXPERIMENTS["F7"].run()
+        labels = [r[0] for r in result.rows]
+        assert "manual parallel (original, outermost)" in labels
+        assert len(labels) == 33  # 32 combos + manual

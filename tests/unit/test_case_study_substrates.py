@@ -1,0 +1,175 @@
+"""Unit tests for the case-study substrates: atmosphere, mesh, references."""
+
+import numpy as np
+import pytest
+
+from repro.fun3d.jacobian import (
+    ANGLE_THRESHOLD,
+    jac_rms,
+    ref_jacobian_recon,
+)
+from repro.fun3d.mesh import TetMesh, make_mesh
+from repro.sarb.atmosphere import SarbDimensions, make_inputs, zone_sizes
+from repro.sarb.fuliou import fresh_state, ref_entropy_interface
+
+
+class TestAtmosphere:
+    def test_deterministic(self):
+        a = make_inputs(seed=7)
+        b = make_inputs(seed=7)
+        assert np.array_equal(a.taudp, b.taudp)
+        assert a.tsfc == b.tsfc
+
+    def test_seed_changes_data(self):
+        a = make_inputs(seed=1)
+        b = make_inputs(seed=2)
+        assert not np.array_equal(a.taudp, b.taudp)
+
+    def test_physical_plausibility(self):
+        a = make_inputs()
+        assert np.all(np.diff(a.pres) > 0)          # monotone to the surface
+        assert np.all((a.temp >= 180) & (a.temp <= 320))
+        assert np.all((a.cld >= 0) & (a.cld <= 1))
+        assert np.all(a.taudp > 0) and np.all(a.tausw > 0)
+        assert a.wlw.sum() == pytest.approx(1.0)
+        assert a.wsw.sum() == pytest.approx(1.0)
+
+    def test_dims_respected(self):
+        d = SarbDimensions(nv=30, nblw=6, nbsw=3)
+        a = make_inputs(d)
+        assert a.taudp.shape == (30, 6)
+        assert a.tausw.shape == (30, 3)
+
+    def test_zone_sizes_equator_largest(self):
+        z = zone_sizes(18)
+        assert len(z) == 18
+        assert z.argmax() in (8, 9)
+        assert np.all(z > 0)
+
+
+class TestSarbReference:
+    def test_outputs_finite_and_nontrivial(self):
+        inp = make_inputs()
+        st = fresh_state(inp.dims.nv)
+        ref_entropy_interface(inp, st)
+        for arr in (st.fulw, st.fusw, st.fwin, st.slw, st.ssw):
+            assert np.all(np.isfinite(arr))
+            assert np.any(arr != 0)
+
+    def test_adjust_clamps_range(self):
+        inp = make_inputs()
+        st = fresh_state(inp.dims.nv)
+        ref_entropy_interface(inp, st)
+        assert np.all(st.fulw >= 0) and np.all(st.fulw <= 1000)
+
+    def test_repeated_runs_accumulate_scalars_only(self):
+        inp = make_inputs()
+        st = fresh_state(inp.dims.nv)
+        ref_entropy_interface(inp, st)
+        first = st.fulw.copy()
+        olr1 = st.olr_acc
+        ref_entropy_interface(inp, st)
+        # Flux profiles depend on inputs only... fulw feeds back through
+        # adjust2 smoothing? No: lw integration re-zeroes flux first.
+        assert np.allclose(st.fulw, first)
+        assert st.olr_acc != olr1
+
+
+class TestMesh:
+    @pytest.fixture(scope="class")
+    def mesh(self):
+        return make_mesh(64)
+
+    def test_shapes_consistent(self, mesh):
+        assert mesh.cell_nodes.shape == (mesh.ncell, 4)
+        assert mesh.cell_edges.shape == (mesh.ncell, 6)
+        assert mesh.edge_nodes.shape == (mesh.nedge, 2)
+        assert mesh.face_norm.shape == (mesh.ncell, 4, 3)
+        assert mesh.row_ptr.shape == (mesh.nnode + 1,)
+        assert mesh.col_idx.shape == (mesh.nnz,)
+        assert mesh.q.shape == (mesh.nnode, 5)
+
+    def test_one_based_index_ranges(self, mesh):
+        assert mesh.cell_nodes.min() >= 1
+        assert mesh.cell_nodes.max() <= mesh.nnode
+        assert mesh.edge_nodes.min() >= 1
+        assert mesh.cell_edges.max() <= mesh.nedge
+        assert mesh.row_ptr[0] == 1
+        assert mesh.row_ptr[-1] == mesh.nnz + 1
+
+    def test_edges_reference_cell_nodes(self, mesh):
+        for c in range(0, mesh.ncell, max(1, mesh.ncell // 20)):
+            cell_nodeset = set(mesh.cell_nodes[c])
+            for e in mesh.cell_edges[c]:
+                n1, n2 = mesh.edge_nodes[e - 1]
+                assert n1 in cell_nodeset and n2 in cell_nodeset
+
+    def test_csr_rows_sorted_with_diagonal(self, mesh):
+        for row in range(1, mesh.nnode + 1, max(1, mesh.nnode // 15)):
+            lo, hi = mesh.row_ptr[row - 1] - 1, mesh.row_ptr[row] - 1
+            seg = mesh.col_idx[lo:hi]
+            assert np.all(np.diff(seg) > 0)      # strictly sorted
+            assert row in seg                    # diagonal entry
+
+    def test_csr_offset_roundtrip(self, mesh):
+        for e in range(0, mesh.nedge, max(1, mesh.nedge // 25)):
+            n1, n2 = mesh.edge_nodes[e]
+            p = mesh.csr_offset(int(n1), int(n2))
+            assert mesh.col_idx[p - 1] == n2
+
+    def test_csr_offset_missing_pair(self, mesh):
+        with pytest.raises(KeyError):
+            # A node is never adjacent to itself twice; find a non-neighbor.
+            row = 1
+            lo, hi = mesh.row_ptr[0] - 1, mesh.row_ptr[1] - 1
+            neighbors = set(mesh.col_idx[lo:hi])
+            outsider = next(n for n in range(1, mesh.nnode + 1)
+                            if n not in neighbors)
+            mesh.csr_offset(row, outsider)
+
+    def test_face_normals_sum_near_zero(self, mesh):
+        # Closed surface: outward normals of each tet sum to ~0.
+        sums = np.abs(mesh.face_norm.sum(axis=1)).max(axis=1)
+        assert np.percentile(sums, 95) < 1e-12
+
+    def test_face_angle_range(self, mesh):
+        assert np.all(mesh.face_angle >= 0.0)
+        assert np.all(mesh.face_angle <= 1.0)
+
+
+class TestJacobianReference:
+    def test_deterministic(self):
+        m = make_mesh(27)
+        assert np.array_equal(ref_jacobian_recon(m), ref_jacobian_recon(m))
+
+    def test_rms_positive(self):
+        m = make_mesh(27)
+        assert jac_rms(ref_jacobian_recon(m)) > 0
+
+    def test_angle_threshold_gates_cells(self):
+        m = make_mesh(27)
+        jac = ref_jacobian_recon(m)
+        # Force every cell to be skipped: output must be all zero.
+        m_all_skipped = TetMesh(
+            node_xyz=m.node_xyz, cell_nodes=m.cell_nodes,
+            cell_edges=m.cell_edges, edge_nodes=m.edge_nodes,
+            face_norm=m.face_norm,
+            face_angle=np.full_like(m.face_angle, ANGLE_THRESHOLD + 0.01),
+            row_ptr=m.row_ptr, col_idx=m.col_idx, q=m.q,
+        )
+        assert np.all(ref_jacobian_recon(m_all_skipped) == 0.0)
+        assert np.any(jac != 0.0)
+
+    def test_contributions_land_on_edge_rows(self):
+        m = make_mesh(27)
+        jac = ref_jacobian_recon(m)
+        nonzero_rows = set(np.nonzero(np.abs(jac).sum(axis=1))[0] + 1)
+        # Every nonzero position must be a valid (n1, n2) CSR slot.
+        valid = set()
+        for c in range(m.ncell):
+            if (m.face_angle[c] > ANGLE_THRESHOLD).any():
+                continue
+            for e in m.cell_edges[c]:
+                n1, n2 = m.edge_nodes[e - 1]
+                valid.add(m.csr_offset(int(n1), int(n2)))
+        assert nonzero_rows <= valid

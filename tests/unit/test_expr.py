@@ -1,0 +1,112 @@
+"""Unit tests for the expression AST."""
+
+import pytest
+
+from repro.core.expr import (
+    BinOp,
+    Const,
+    E,
+    FuncCall,
+    GridRef,
+    I,
+    IndexVar,
+    LibCall,
+    UnOp,
+    grids_read,
+    index_vars_used,
+    lib,
+    ref,
+    walk,
+)
+
+
+class TestConstructors:
+    def test_E_lifts_scalars(self):
+        assert E(3) == Const(3)
+        assert E(2.5) == Const(2.5)
+        assert E(True) == Const(True)
+
+    def test_E_lifts_strings_to_scalar_grid_refs(self):
+        assert E("n_atoms") == GridRef("n_atoms")
+
+    def test_E_passes_expressions_through(self):
+        e = I("i") + 1
+        assert E(e) is e
+
+    def test_E_rejects_junk(self):
+        with pytest.raises(TypeError):
+            E([1, 2])
+
+    def test_ref_and_lib(self):
+        r = ref("a", I("i"), 2)
+        assert r.grid == "a"
+        assert r.indices == (IndexVar("i"), Const(2))
+        c = lib("abs", r)
+        assert c.name == "ABS"  # upper-cased
+        assert c.args == (r,)
+
+
+class TestOperators:
+    def test_arithmetic_sugar(self):
+        e = I("i") * 2 + 1
+        assert isinstance(e, BinOp) and e.op == "+"
+        assert isinstance(e.left, BinOp) and e.left.op == "*"
+
+    def test_reflected_operators(self):
+        e = 2 * I("i")
+        assert isinstance(e, BinOp)
+        assert e.left == Const(2)
+
+    def test_negation(self):
+        e = -I("i")
+        assert isinstance(e, UnOp) and e.op == "neg"
+
+    def test_comparison_methods(self):
+        e = ref("x").gt(0.5)
+        assert isinstance(e, BinOp) and e.op == ">"
+        assert ref("x").le(1).op == "<="
+        assert ref("x").eq(1).op == "=="
+        assert ref("x").ne(1).op == "!="
+
+    def test_logical_methods(self):
+        e = ref("x").gt(0).and_(ref("y").lt(1))
+        assert e.op == "and"
+        assert ref("b").not_().op == "not"
+
+    def test_power_and_division(self):
+        assert (I("i") ** 2).op == "**"
+        assert (I("i") / 2).op == "/"
+        assert (I("i") % 3).op == "%"
+
+    def test_unknown_binop_rejected(self):
+        with pytest.raises(ValueError):
+            BinOp("<<", Const(1), Const(2))
+
+    def test_unknown_unop_rejected(self):
+        with pytest.raises(ValueError):
+            UnOp("abs", Const(1))
+
+
+class TestTraversal:
+    def test_walk_preorder(self):
+        e = ref("a", I("i")) + lib("ABS", ref("b"))
+        kinds = [type(n).__name__ for n in walk(e)]
+        assert kinds[0] == "BinOp"
+        assert "GridRef" in kinds and "LibCall" in kinds and "IndexVar" in kinds
+
+    def test_index_vars_used(self):
+        e = ref("a", I("i") + 1, I("j")) * I("k")
+        assert index_vars_used(e) == {"i", "j", "k"}
+
+    def test_grids_read(self):
+        e = ref("a", I("i")) + ref("b") * FuncCall("f", (ref("c"),))
+        assert grids_read(e) == {"a", "b", "c"}
+
+    def test_const_validation(self):
+        with pytest.raises(TypeError):
+            Const(object())
+
+    def test_nested_indices_walked(self):
+        e = ref("q", ref("cell_nodes", ref("c"), I("n")), I("k"))
+        assert grids_read(e) == {"q", "cell_nodes", "c"}
+        assert index_vars_used(e) == {"n", "k"}

@@ -1,0 +1,245 @@
+"""Unit tests for the FORTRAN lexer and parser."""
+
+import pytest
+
+from repro.errors import FortranSyntaxError
+from repro.fortranlib.ast import (
+    FAssign,
+    FBin,
+    FCall,
+    FDecl,
+    FDo,
+    FDoWhile,
+    FIf,
+    FIndexed,
+    FNum,
+    FOmpDirective,
+    FPrint,
+    FTypeDef,
+    FUn,
+    FVar,
+)
+from repro.fortranlib.lexer import tokenize
+from repro.fortranlib.parser import parse_source
+
+
+class TestLexer:
+    def test_basic_tokens(self):
+        toks = tokenize("x = a(1) + 2.5")
+        kinds = [t.kind for t in toks]
+        assert kinds[:8] == ["name", "op", "name", "op", "int", "op", "op", "real"]
+
+    def test_case_preserved_but_matchers_fold(self):
+        toks = tokenize("Integer :: N")
+        assert toks[0].text == "Integer"
+        assert toks[0].lower() == "integer"
+
+    def test_d_exponent_is_real(self):
+        toks = tokenize("x = 1.5D-3")
+        real = [t for t in toks if t.kind == "real"]
+        assert real and real[0].text == "1.5D-3"
+
+    def test_dotted_operators(self):
+        toks = tokenize("a .AND. .NOT. b .OR. .TRUE.")
+        texts = [(t.kind, t.text) for t in toks if t.kind in ("op", "logical")]
+        assert ("op", "and") in texts and ("op", "not") in texts
+        assert ("logical", "true") in texts
+
+    def test_dotted_relational_aliases(self):
+        toks = tokenize("IF (a .GT. b .and. c .le. d) x = 1")
+        ops = [t.text for t in toks if t.kind == "op"]
+        assert ">" in ops and "<=" in ops
+
+    def test_string_with_doubled_quote(self):
+        toks = tokenize("s = 'it''s'")
+        assert any(t.kind == "string" and t.text == "it's" for t in toks)
+
+    def test_continuation(self):
+        toks = tokenize("x = 1 + &\n    2")
+        newlines_before_end = [t for t in toks if t.kind == "newline"]
+        # The continuation swallows the first newline.
+        assert len(newlines_before_end) == 1
+
+    def test_comment_ignored_but_omp_kept(self):
+        toks = tokenize("! plain comment\n!$OMP PARALLEL DO PRIVATE(i)\n")
+        omp = [t for t in toks if t.kind == "omp"]
+        assert len(omp) == 1 and "PRIVATE" in omp[0].text
+
+    def test_unterminated_string(self):
+        with pytest.raises(FortranSyntaxError):
+            tokenize("s = 'oops")
+
+    def test_semicolon_separates_statements(self):
+        toks = tokenize("x = 1; y = 2")
+        assert sum(1 for t in toks if t.kind == "newline") >= 2
+
+
+def _sub_body(src: str):
+    full = f"SUBROUTINE t()\n{src}\nEND SUBROUTINE t\n"
+    tree = parse_source(full)
+    return tree.subprograms[0]
+
+
+class TestParserDeclarations:
+    def test_modern_and_legacy_styles(self):
+        sub = _sub_body(
+            "REAL(KIND=8), INTENT(INOUT) :: a(10)\n"
+            "REAL*8 b(5, 5)\n"
+            "DOUBLE PRECISION c\n"
+            "INTEGER, PARAMETER :: n = 4\n"
+            "LOGICAL :: flag\n"
+        )
+        decls = [d for d in sub.decls if isinstance(d, FDecl)]
+        by_name = {e.name: (d.spec, e) for d in decls for e in d.entities}
+        assert by_name["a"][0].kind == 8
+        assert by_name["b"][0].kind == 8 and len(by_name["b"][1].dims) == 2
+        assert by_name["c"][0].base == "real" and by_name["c"][0].kind == 8
+        assert by_name["n"][1].init == FNum(4)
+        assert by_name["flag"][0].base == "logical"
+
+    def test_dimension_attribute(self):
+        sub = _sub_body("REAL(KIND=8), DIMENSION(3, 3) :: m\n")
+        d = next(d for d in sub.decls if isinstance(d, FDecl))
+        assert len(d.entities[0].dims) == 2
+
+    def test_deferred_shape_allocatable(self):
+        sub = _sub_body("REAL(KIND=8), ALLOCATABLE, SAVE :: t(:)\n")
+        d = next(d for d in sub.decls if isinstance(d, FDecl))
+        assert "allocatable" in d.attrs and "save" in d.attrs
+        assert d.entities[0].deferred_rank == 1
+
+    def test_common_block(self):
+        sub = _sub_body("REAL(KIND=8) :: w(4)\nCOMMON /wts/ w\n")
+        from repro.fortranlib.ast import FCommon
+
+        c = next(d for d in sub.decls if isinstance(d, FCommon))
+        assert c.block == "wts" and c.names == ["w"]
+
+    def test_type_definition_in_module(self):
+        tree = parse_source(
+            "MODULE m\nTYPE pt\nREAL(KIND=8) :: x\nREAL(KIND=8) :: y(3)\n"
+            "END TYPE pt\nTYPE(pt) :: p\nEND MODULE m\n"
+        )
+        td = next(d for d in tree.modules[0].decls if isinstance(d, FTypeDef))
+        assert td.name == "pt" and len(td.decls) == 2
+
+
+class TestParserStatements:
+    def test_do_with_step(self):
+        sub = _sub_body("INTEGER :: i\nDO i = 10, 1, -1\nEND DO\n")
+        do = next(s for s in sub.body if isinstance(s, FDo))
+        assert isinstance(do.step, FUn)
+
+    def test_do_while(self):
+        sub = _sub_body("INTEGER :: i\ni = 0\nDO WHILE (i < 3)\ni = i + 1\nEND DO\n")
+        assert any(isinstance(s, FDoWhile) for s in sub.body)
+
+    def test_if_elseif_else(self):
+        sub = _sub_body(
+            "INTEGER :: x\nIF (x > 0) THEN\nx = 1\nELSE IF (x < 0) THEN\n"
+            "x = 2\nELSE\nx = 3\nEND IF\n"
+        )
+        fi = next(s for s in sub.body if isinstance(s, FIf))
+        assert len(fi.branches) == 3
+        assert fi.branches[2][0] is None
+
+    def test_one_line_if(self):
+        sub = _sub_body("INTEGER :: x\nIF (x > 0) x = 0\n")
+        fi = next(s for s in sub.body if isinstance(s, FIf))
+        assert len(fi.branches) == 1 and len(fi.branches[0][1]) == 1
+
+    def test_omp_sentinel_statements(self):
+        sub = _sub_body(
+            "INTEGER :: i\nREAL(KIND=8) :: s\n"
+            "!$OMP PARALLEL DO PRIVATE(i) REDUCTION(+:s) COLLAPSE(2)\n"
+            "DO i = 1, 4\ns = s + 1.0D0\nEND DO\n"
+            "!$OMP END PARALLEL DO\n"
+        )
+        omp = next(s for s in sub.body if isinstance(s, FOmpDirective))
+        assert omp.kind == "parallel_do"
+        assert omp.private == ("i",)
+        assert omp.reductions == (("+", "s"),)
+        assert omp.collapse == 2
+
+    def test_print_and_write(self):
+        sub = _sub_body("PRINT *, 'x', 1 + 2\nWRITE(*,*) 'y'\n")
+        prints = [s for s in sub.body if isinstance(s, FPrint)]
+        assert len(prints) == 2
+
+    def test_allocate_deallocate(self):
+        from repro.fortranlib.ast import FAllocate, FDeallocate
+
+        sub = _sub_body(
+            "REAL(KIND=8), ALLOCATABLE :: t(:)\nALLOCATE(t(10))\nDEALLOCATE(t)\n"
+        )
+        assert any(isinstance(s, FAllocate) for s in sub.body)
+        assert any(isinstance(s, FDeallocate) for s in sub.body)
+
+    def test_designator_chain(self):
+        sub = _sub_body("REAL(KIND=8) :: x\nx = fin%pres(3) + obj%a%b\n")
+        a = next(s for s in sub.body if isinstance(s, FAssign))
+        assert isinstance(a.value, FBin)
+
+    def test_call_without_parens(self):
+        sub = _sub_body("CALL doit\n")
+        c = next(s for s in sub.body if isinstance(s, FCall))
+        assert c.name == "doit" and c.args == ()
+
+
+class TestParserExpressions:
+    def _expr(self, text):
+        sub = _sub_body(f"REAL(KIND=8) :: x\nx = {text}\n")
+        return next(s for s in sub.body if isinstance(s, FAssign)).value
+
+    def test_precedence(self):
+        e = self._expr("1 + 2 * 3")
+        assert isinstance(e, FBin) and e.op == "+"
+        assert isinstance(e.right, FBin) and e.right.op == "*"
+
+    def test_power_right_assoc(self):
+        e = self._expr("2 ** 3 ** 2")
+        assert e.op == "**"
+        assert isinstance(e.right, FBin) and e.right.op == "**"
+
+    def test_unary_minus(self):
+        e = self._expr("-x + 1")
+        assert e.op == "+" and isinstance(e.left, FUn)
+
+    def test_comparison_and_logic(self):
+        e = self._expr("x > 1 .AND. .NOT. (x < 5)")
+        assert e.op == "and"
+
+    def test_double_literal_flag(self):
+        e = self._expr("1.5D0")
+        assert isinstance(e, FNum) and e.is_double
+
+    def test_function_prefix_form(self):
+        tree = parse_source(
+            "REAL(KIND=8) FUNCTION f(x)\nREAL(KIND=8) :: x\nf = x\nEND FUNCTION f\n"
+        )
+        sub = tree.subprograms[0]
+        assert sub.kind == "function" and sub.result == "f"
+        # prefix declaration recorded
+        assert any(isinstance(d, FDecl) and d.entities[0].name == "f"
+                   for d in sub.decls)
+
+    def test_result_clause(self):
+        tree = parse_source(
+            "FUNCTION f(x) RESULT(r)\nREAL(KIND=8) :: x\nREAL(KIND=8) :: r\n"
+            "r = x\nEND FUNCTION f\n"
+        )
+        assert tree.subprograms[0].result == "r"
+
+
+class TestParserErrors:
+    def test_garbage_top_level(self):
+        with pytest.raises(FortranSyntaxError):
+            parse_source("WHAT IS THIS\n")
+
+    def test_missing_end(self):
+        with pytest.raises(FortranSyntaxError):
+            parse_source("SUBROUTINE t()\nx = 1\n")
+
+    def test_implicit_other_than_none(self):
+        with pytest.raises(FortranSyntaxError):
+            parse_source("SUBROUTINE t()\nIMPLICIT REAL\nEND SUBROUTINE\n")

@@ -1,0 +1,140 @@
+"""Additional FORTRAN runtime coverage: characters, logicals, printing,
+module re-export, and the figure-5 auto bar."""
+
+import numpy as np
+import pytest
+
+from repro.fortranlib import FortranRuntime
+
+
+class TestMoreRuntime:
+    def test_character_variables(self):
+        rt = FortranRuntime()
+        rt.load("""
+SUBROUTINE greet()
+  CHARACTER(LEN=16) :: msg
+  msg = 'hello'
+  PRINT *, msg, 'world'
+END SUBROUTINE greet
+""")
+        rt.call("greet", [])
+        assert rt.output == [("hello", "world")]
+
+    def test_logical_variables_and_branching(self):
+        rt = FortranRuntime()
+        rt.load("""
+INTEGER FUNCTION pick(x)
+  REAL(KIND=8), INTENT(IN) :: x
+  LOGICAL :: big
+  big = x > 10.0D0
+  IF (big) THEN
+    pick = 1
+  ELSE
+    pick = 0
+  END IF
+END FUNCTION pick
+""")
+        assert rt.call("pick", [20.0]) == 1
+        assert rt.call("pick", [2.0]) == 0
+
+    def test_module_reexport_one_level(self):
+        rt = FortranRuntime()
+        rt.load("""
+MODULE inner_mod
+  IMPLICIT NONE
+  REAL(KIND=8) :: payload
+END MODULE inner_mod
+
+MODULE outer_mod
+  USE inner_mod
+  IMPLICIT NONE
+END MODULE outer_mod
+
+SUBROUTINE poke()
+  USE outer_mod
+  payload = 7.0D0
+END SUBROUTINE poke
+
+REAL(KIND=8) FUNCTION peek()
+  USE inner_mod, ONLY: payload
+  peek = payload
+END FUNCTION peek
+""")
+        rt.call("poke", [])
+        assert rt.call("peek", []) == 7.0
+
+    def test_print_expressions(self):
+        rt = FortranRuntime()
+        rt.load("""
+PROGRAM p
+  INTEGER :: i
+  i = 6
+  PRINT *, 'sq', i * i, i > 3
+END PROGRAM p
+""")
+        rt.run_program()
+        label, sq, flag = rt.output[0]
+        assert (label, sq, flag) == ("sq", 36, True)
+
+    def test_intrinsic_name_shadowed_by_variable(self):
+        """A local array named like an intrinsic resolves to the array."""
+        rt = FortranRuntime()
+        rt.load("""
+REAL(KIND=8) FUNCTION f()
+  REAL(KIND=8) :: exp(3)
+  exp(2) = 4.5D0
+  f = exp(2)
+END FUNCTION f
+""")
+        assert rt.call("f", []) == 4.5
+
+    def test_nested_do_exit_only_inner(self):
+        rt = FortranRuntime()
+        rt.load("""
+INTEGER FUNCTION count2()
+  INTEGER :: i, j
+  count2 = 0
+  DO i = 1, 3
+    DO j = 1, 5
+      IF (j == 2) EXIT
+      count2 = count2 + 1
+    END DO
+  END DO
+END FUNCTION count2
+""")
+        assert rt.call("count2", []) == 3  # one inner iteration per i
+
+    def test_derived_type_as_argument(self):
+        rt = FortranRuntime()
+        rt.load("""
+MODULE tmod
+  IMPLICIT NONE
+  TYPE box
+    REAL(KIND=8) :: w
+  END TYPE box
+  TYPE(box) :: b1
+END MODULE tmod
+
+SUBROUTINE widen(bx)
+  USE tmod, ONLY: box
+  TYPE(box), INTENT(INOUT) :: bx
+  bx%w = bx%w * 2.0D0
+END SUBROUTINE widen
+
+REAL(KIND=8) FUNCTION getw()
+  USE tmod, ONLY: b1
+  CALL widen(b1)
+  getw = b1%w
+END FUNCTION getw
+""")
+        rt.modules["tmod"].variables["b1"].store.fields["w"][()] = 3.0
+        assert rt.call("getw", []) == 6.0
+
+
+class TestFigure5AutoBar:
+    def test_auto_bar_appended_and_at_least_v3(self):
+        from repro.sarb.perffig import figure5_rows
+
+        rows = dict(figure5_rows(include_auto=True))
+        assert "GLAF-parallel auto" in rows
+        assert rows["GLAF-parallel auto"] >= rows["GLAF-parallel v3"] * 0.999

@@ -1,0 +1,288 @@
+"""Unit tests for the legacy-integration package (the paper's contribution)."""
+
+import numpy as np
+import pytest
+
+from repro.codegen.fortran import FortranGenerator
+from repro.core import GlafBuilder, I, T_INT, T_REAL, T_REAL8, T_VOID, lib, ref
+from repro.errors import IntegrationError
+from repro.fortranlib import FortranRuntime
+from repro.integration import (
+    LegacyCodebase,
+    build_report,
+    check_interface,
+    check_program,
+    extract_unit,
+    generate_wrapper,
+    parse_wrapper_output,
+    splice_into_codebase,
+    splice_units,
+)
+from repro.optimize import make_plan
+
+LEGACY = """
+MODULE phys_mod
+  IMPLICIT NONE
+  TYPE rad_input
+    REAL(KIND=8) :: tsfc
+  END TYPE rad_input
+  TYPE(rad_input) :: fin
+  REAL(KIND=8) :: fluxes(8)
+END MODULE phys_mod
+
+SUBROUTINE kern(n, a)
+  USE phys_mod, ONLY: fin, fluxes
+  IMPLICIT NONE
+  INTEGER, INTENT(IN) :: n
+  REAL(KIND=8), INTENT(INOUT) :: a(8)
+  REAL(KIND=8) :: w(4)
+  COMMON /wts/ w
+  INTEGER :: i
+  DO i = 1, n
+    a(i) = fluxes(i) * w(1) + fin%tsfc
+  END DO
+END SUBROUTINE kern
+
+PROGRAM main
+  IMPLICIT NONE
+  REAL(KIND=8) :: a(8)
+  CALL kern(8, a)
+  PRINT *, 'a1', a(1)
+END PROGRAM main
+"""
+
+
+def _legacy():
+    lc = LegacyCodebase("demo")
+    lc.add_file("legacy.f90", LEGACY)
+    return lc
+
+
+def _matching_program():
+    b = GlafBuilder("demo")
+    b.derived_type("rad_input", {"tsfc": (T_REAL8, 0)}, defined_in_module="phys_mod")
+    b.global_grid("tsfc", T_REAL8, exists_in_module="phys_mod",
+                  type_parent="fin", type_name="rad_input")
+    b.global_grid("fluxes", T_REAL8, dims=(8,), exists_in_module="phys_mod")
+    b.global_grid("w", T_REAL8, dims=(4,), common_block="wts")
+    m = b.module("M")
+    f = m.function("kern", return_type=T_VOID)
+    f.param("n", T_INT, intent="in")
+    f.param("a", T_REAL8, dims=(8,), intent="inout")
+    s = f.step()
+    s.foreach(i=(1, "n"))
+    s.formula(ref("a", I("i")), ref("fluxes", I("i")) * ref("w", 1) + ref("tsfc"))
+    return b.build()
+
+
+class TestLegacyCodebase:
+    def test_indexes(self):
+        lc = _legacy()
+        assert lc.has_module("phys_mod")
+        assert lc.module_has("phys_mod", "fluxes")
+        assert lc.module_has("phys_mod", "fin")
+        assert "wts" in lc.commons
+        sig = lc.signature("kern")
+        assert sig.kind == "subroutine"
+        assert [p.name for p in sig.params] == ["n", "a"]
+        assert sig.params[1].rank == 1
+
+    def test_type_fields_indexed(self):
+        lc = _legacy()
+        assert "tsfc" in lc.type_fields["rad_input"]
+
+    def test_duplicate_file_rejected(self):
+        lc = _legacy()
+        with pytest.raises(IntegrationError):
+            lc.add_file("legacy.f90", "")
+
+    def test_missing_signature(self):
+        with pytest.raises(IntegrationError):
+            _legacy().signature("ghost")
+
+
+class TestInterfaceChecks:
+    def test_matching_interface_passes(self):
+        report = check_interface(_matching_program(), "kern", _legacy())
+        assert report.ok, [i.message for i in report.errors()]
+
+    def test_kind_mismatch_detected(self):
+        p = _matching_program()
+        fn = p.find_function("kern")
+        fn.grids["a"] = fn.grids["a"].with_(ty=T_REAL)  # REAL*4 vs legacy REAL*8
+        report = check_interface(p, "kern", _legacy())
+        assert not report.ok
+        assert any("type mismatch" in i.message for i in report.errors())
+
+    def test_rank_mismatch_detected(self):
+        b = GlafBuilder("demo")
+        m = b.module("M")
+        f = m.function("kern", return_type=T_VOID)
+        f.param("n", T_INT, intent="in")
+        f.param("a", T_REAL8, dims=(8, 8), intent="inout")
+        f.step()
+        report = check_interface(b.build(), "kern", _legacy())
+        assert any("rank" in i.message for i in report.errors())
+
+    def test_arity_mismatch_detected(self):
+        b = GlafBuilder("demo")
+        m = b.module("M")
+        f = m.function("kern", return_type=T_VOID)
+        f.param("n", T_INT, intent="in")
+        f.step()
+        report = check_interface(b.build(), "kern", _legacy())
+        assert any("count" in i.message for i in report.errors())
+
+    def test_kind_mismatch_subroutine_vs_function(self):
+        b = GlafBuilder("demo")
+        m = b.module("M")
+        f = m.function("kern", return_type=T_INT)
+        f.param("n", T_INT, intent="in")
+        f.param("a", T_REAL8, dims=(8,), intent="inout")
+        f.returns(0)
+        report = check_interface(b.build(), "kern", _legacy())
+        assert any("3.4" in i.message for i in report.errors())
+
+    def test_unknown_module_detected(self):
+        p = _matching_program()
+        p.global_grids["fluxes"] = p.global_grids["fluxes"].with_(
+            exists_in_module="ghost_mod")
+        report = check_interface(p, "kern", _legacy())
+        assert any("no such module" in i.message for i in report.errors())
+
+    def test_missing_export_detected(self):
+        b = GlafBuilder("demo")
+        b.global_grid("zz", T_REAL8, dims=(8,), exists_in_module="phys_mod")
+        m = b.module("M")
+        f = m.function("kern", return_type=T_VOID)
+        f.param("n", T_INT, intent="in")
+        f.param("a", T_REAL8, dims=(8,), intent="inout")
+        s = f.step()
+        s.foreach(i=(1, "n"))
+        s.formula(ref("a", I("i")), ref("zz", I("i")))
+        report = check_interface(b.build(), "kern", _legacy())
+        assert any("does not export" in i.message for i in report.errors())
+
+    def test_new_common_block_is_warning_only(self):
+        b = GlafBuilder("demo")
+        b.global_grid("q", T_REAL8, dims=(4,), common_block="newblk")
+        m = b.module("M")
+        f = m.function("kern", return_type=T_VOID)
+        f.param("n", T_INT, intent="in")
+        f.param("a", T_REAL8, dims=(8,), intent="inout")
+        s = f.step()
+        s.foreach(i=(1, "n"))
+        s.formula(ref("a", I("i")), ref("q", 1))
+        report = check_interface(b.build(), "kern", _legacy())
+        assert report.ok
+        assert any(i.severity == "warning" for i in report.issues)
+
+    def test_check_program_covers_matching_units(self):
+        reports = check_program(_matching_program(), _legacy())
+        assert set(reports) == {"kern"}
+
+
+class TestSplicing:
+    def test_extract_unit(self):
+        p = _matching_program()
+        src = FortranGenerator(make_plan(p, "GLAF serial")).generate_module()
+        unit = extract_unit(src, "kern")
+        assert unit.lstrip().startswith("SUBROUTINE kern")
+        assert unit.rstrip().endswith("END SUBROUTINE kern")
+
+    def test_extract_missing_unit(self):
+        with pytest.raises(IntegrationError):
+            extract_unit("MODULE m\nEND MODULE m", "kern")
+
+    def test_splice_replaces_and_runs(self):
+        p = _matching_program()
+        lc = _legacy()
+        plan = make_plan(p, "GLAF serial")
+        result = splice_into_codebase(plan, lc, ["kern"])
+        assert result.replaced == {"kern": "legacy.f90"}
+        assert "GLAF-generated replacement for kern" in result.files["legacy.f90"]
+
+        rt = FortranRuntime()
+        if result.support_source:
+            rt.load(result.support_source)
+        for fname in sorted(result.files):
+            rt.load(result.files[fname])
+        phys = rt.modules["phys_mod"]
+        phys.variables["fluxes"].store[...] = np.arange(1.0, 9.0)
+        phys.variables["fin"].store.fields["tsfc"][()] = 0.5
+        rt.call("set_wts_for_test", []) if False else None
+        # Materialize COMMON by running the program (w defaults to zero).
+        rt.run_program("main")
+        assert rt.output == [("a1", 0.5)]  # fluxes*0 + tsfc
+
+    def test_splice_missing_unit_rejected_without_flag(self):
+        p = _matching_program()
+        lc = _legacy()
+        src = FortranGenerator(make_plan(p, "GLAF serial")).generate_module()
+        with pytest.raises(IntegrationError):
+            splice_units(lc, src, ["kern", "ghost"])
+
+    def test_add_missing_appends_new_units(self):
+        p = _matching_program()
+        # Add an extra generated helper that has no legacy counterpart.
+        mod = p.modules["M"]
+        from repro.core.function import GlafFunction
+
+        helper = GlafFunction(name="extra_helper")
+        mod.add_function(helper)
+        lc = _legacy()
+        src = FortranGenerator(make_plan(p, "GLAF serial")).generate_module()
+        result = splice_units(lc, src, ["kern", "extra_helper"], add_missing=True)
+        assert "glaf_generated_units.f90" in result.files
+        assert "extra_helper" in result.files["glaf_generated_units.f90"]
+
+
+class TestWrapper:
+    def test_wrapper_generation_and_run(self):
+        p = _matching_program()
+        plan = make_plan(p, "GLAF serial")
+        gen = FortranGenerator(plan)
+        module_src = gen.generate_module()
+        wrapper = generate_wrapper(
+            p, "kern",
+            {"n": 8, "a": np.zeros(8)},
+            module_name=gen.module_name,
+        )
+        assert "PROGRAM test_kern" in wrapper
+        assert f"USE {gen.module_name}" in wrapper
+        rt = FortranRuntime()
+        rt.load(LEGACY)          # provides phys_mod
+        rt.load(module_src)
+        rt.load(wrapper)
+        phys = rt.modules["phys_mod"]
+        phys.variables["fluxes"].store[...] = np.ones(8)
+        phys.variables["fin"].store.fields["tsfc"][()] = 2.0
+        rt.run_program("test_kern")
+        values = parse_wrapper_output(rt.output)
+        # w (COMMON) is zero => a(i) = tsfc.
+        assert values["a(3)"] == 2.0
+        assert values["n"] == 8
+
+    def test_wrapper_missing_required_input(self):
+        p = _matching_program()
+        with pytest.raises(IntegrationError, match="sample"):
+            generate_wrapper(p, "kern", {"a": np.zeros(8)}, module_name="m")
+
+    def test_wrapper_shape_mismatch(self):
+        p = _matching_program()
+        with pytest.raises(IntegrationError, match="shape"):
+            generate_wrapper(p, "kern", {"n": 8, "a": np.zeros(3)},
+                             module_name="m")
+
+
+class TestReport:
+    def test_features_exercised(self):
+        p = _matching_program()
+        report = build_report(make_plan(p, "GLAF-parallel v0"))
+        feats = report.features_exercised()
+        assert feats["existing_module_import (3.1)"]
+        assert feats["common_blocks (3.2)"]
+        assert feats["subroutines (3.4)"]
+        assert feats["type_elements (3.5)"]
+        text = report.to_text()
+        assert "USE phys_mod" in text and "COMMON /wts/" in text

@@ -1,0 +1,58 @@
+"""Unit tests for the intrinsics table and the error hierarchy."""
+
+import numpy as np
+import pytest
+
+from repro import errors
+from repro.fortranlib.intrinsics import INTRINSICS, SPECIAL_FORMS, is_intrinsic
+
+
+class TestIntrinsics:
+    def test_registry_sourced_functions_present(self):
+        for name in ("abs", "alog", "sum", "exp", "sqrt", "min", "max", "mod"):
+            assert is_intrinsic(name)
+
+    def test_fortran77_spellings(self):
+        assert INTRINSICS["dabs"](-2.0) == 2.0
+        assert np.isclose(INTRINSICS["dsqrt"](4.0), 2.0)
+        assert INTRINSICS["amax1"](1.0, 3.0, 2.0) == 3.0
+        assert INTRINSICS["min0"](5, 2, 9) == 2
+        assert INTRINSICS["iabs"](-7) == 7
+        assert INTRINSICS["nint"](2.6) == 3
+        assert INTRINSICS["float"](3) == 3.0
+
+    def test_numeric_inquiry(self):
+        assert INTRINSICS["huge"](1.0) > 1e300
+        assert INTRINSICS["huge"](1) == np.iinfo(np.int64).max
+        assert 0 < INTRINSICS["tiny"](1.0) < 1e-300
+        assert 0 < INTRINSICS["epsilon"](1.0) < 1e-15
+
+    def test_allocated_is_a_special_form(self):
+        assert "allocated" in SPECIAL_FORMS
+        assert is_intrinsic("allocated")
+        assert "allocated" not in INTRINSICS
+
+    def test_dot_product(self):
+        assert INTRINSICS["dot_product"](np.ones(3), np.arange(3.0)) == 3.0
+
+
+class TestErrorHierarchy:
+    def test_all_subclass_glaf_error(self):
+        for name in ("ValidationError", "BuilderError", "AnalysisError",
+                     "CodegenError", "FortranSyntaxError", "FortranRuntimeError",
+                     "IntegrationError", "InterfaceMismatchError",
+                     "ExecutionError", "PerfModelError", "WorkloadError"):
+            exc = getattr(errors, name)
+            assert issubclass(exc, errors.GlafError)
+
+    def test_interface_mismatch_is_integration_error(self):
+        assert issubclass(errors.InterfaceMismatchError, errors.IntegrationError)
+
+    def test_fortran_syntax_error_location(self):
+        e = errors.FortranSyntaxError("bad token", line=12, col=7)
+        assert "line 12" in str(e) and "col 7" in str(e)
+        assert e.line == 12 and e.col == 7
+
+    def test_fortran_syntax_error_without_location(self):
+        e = errors.FortranSyntaxError("bad token")
+        assert "line" not in str(e)

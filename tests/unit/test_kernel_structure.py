@@ -1,0 +1,120 @@
+"""Structural tests for the case-study GLAF programs: the loop censuses the
+performance study depends on must not drift."""
+
+import pytest
+
+from repro.analysis import analyze_program, classify_step
+from repro.analysis.classify import LoopClass
+from repro.fun3d import N_EDGE_TEMPS, build_fun3d_program
+from repro.fun3d.kernels import fun3d_workload
+from repro.sarb import SARB_SUBROUTINES, build_sarb_program, sarb_workload
+
+
+class TestSarbStructure:
+    @pytest.fixture(scope="class")
+    def program(self):
+        return build_sarb_program()
+
+    def test_exact_table1_function_set(self, program):
+        assert {fn.name for fn in program.functions()} == set(SARB_SUBROUTINES)
+
+    def test_all_are_subroutines(self, program):
+        # Paper §3.4: the case-study kernels are FORTRAN subroutines.
+        assert all(fn.is_subroutine for fn in program.functions())
+
+    def test_loop_class_census(self, program):
+        census: dict[LoopClass, int] = {}
+        for fn in program.functions():
+            for step in fn.steps:
+                cls = classify_step(step)
+                census[cls] = census.get(cls, 0) + 1
+        assert census[LoopClass.ZERO_INIT] == 6
+        assert census[LoopClass.BROADCAST_INIT] == 2
+        assert census[LoopClass.SIMPLE_DOUBLE] == 3
+        assert census[LoopClass.COMPLEX] == 2      # the two large loops
+        assert census[LoopClass.SIMPLE_SINGLE] >= 6
+
+    def test_one_serial_loop(self, program):
+        plan = analyze_program(program)
+        serial_loops = [
+            sp for sp in plan.steps.values()
+            if not sp.parallel and sp.depth > 0
+        ]
+        assert len(serial_loops) == 1
+        assert serial_loops[0].function == "adjust2"
+
+    def test_both_complex_loops_collapse2(self, program):
+        plan = analyze_program(program)
+        for idx in (4, 5):
+            sp = plan.get("longwave_entropy_model", idx)
+            assert sp.parallel and sp.collapse == 2
+
+    def test_workload_sizes_cover_bounds(self, program):
+        wl = sarb_workload()
+        assert wl.sizes == {"nv": 60, "nb": 12, "nbs": 6}
+        assert wl.entry == "entropy_interface"
+
+    def test_integration_grid_census(self, program):
+        commons = program.common_blocks()
+        assert set(commons) == {"entwts"}
+        assert [g.name for g in commons["entwts"]] == ["wlw", "wsw", "wwin"]
+        mods = program.imported_modules()
+        assert set(mods) == {"fuliou_mod", "rad_output_mod"}
+        type_elems = [g.name for g in program.global_grids.values()
+                      if g.is_type_element]
+        assert set(type_elems) == {"tsfc", "pres", "temp", "cld"}
+
+
+class TestFun3DStructure:
+    @pytest.fixture(scope="class")
+    def program(self):
+        return build_fun3d_program()
+
+    def test_five_function_decomposition(self, program):
+        assert {fn.name for fn in program.functions()} == {
+            "edgejp", "cell_loop", "edge_loop", "angle_check", "ioff_search",
+        }
+
+    def test_angle_check_and_ioff_are_value_functions(self, program):
+        assert not program.find_function("angle_check").is_subroutine
+        assert not program.find_function("ioff_search").is_subroutine
+        assert program.find_function("edgejp").is_subroutine
+
+    def test_fifty_temporaries(self, program):
+        fn = program.find_function("edge_loop")
+        temps = [g for g in fn.local_grids().values()
+                 if g.name.startswith("tmp") and g.allocatable]
+        assert len(temps) == N_EDGE_TEMPS == 50
+
+    def test_early_exit_functions_not_parallel_by_default(self, program):
+        plan = analyze_program(program)
+        assert not plan.get("angle_check", 0).parallel
+        assert not plan.get("ioff_search", 0).parallel
+
+    def test_ioff_parallel_with_critical_tweak(self, program):
+        plan = analyze_program(
+            program, critical_early_exit_functions={"ioff_search"})
+        sp = plan.get("ioff_search", 0)
+        assert sp.parallel and sp.critical_early_exit
+
+    def test_edge_assembly_is_atomic_update(self, program):
+        plan = analyze_program(program)
+        sp = next(s for s in plan.for_function("edge_loop")
+                  if s.step_name == "edge_assembly")
+        assert sp.parallel and sp.atomic == ["jac"]
+
+    def test_cell_sweep_sees_callee_shared_writes(self, program):
+        plan = analyze_program(program)
+        sp = next(s for s in plan.for_function("edgejp")
+                  if s.step_name == "cell_sweep")
+        assert "grad" in sp.callee_shared_writes
+        assert "jac" in sp.callee_shared_writes
+
+    def test_workload_matches_paper_scale(self, program):
+        wl = fun3d_workload()
+        assert wl.sizes["ncells"] == 1_000_000
+        # ~10 edge-loop visits per cell (paper §4.2.2).
+        from repro.fun3d.kernels import N_STAGED
+
+        assert wl.trip_overrides[("edge_loop", N_STAGED)] == 10.0
+        assert wl.parallel_throughput_cap is not None

@@ -1,0 +1,80 @@
+"""Unit tests for the library-function registry (paper §3.6)."""
+
+import numpy as np
+import pytest
+
+from repro.core import libfuncs
+from repro.errors import CodegenError
+
+
+class TestRegistry:
+    def test_paper_named_functions_present(self):
+        # §3.6 names ABS(), ALOG(), SUM() explicitly.
+        for name in ("ABS", "ALOG", "SUM"):
+            assert name in libfuncs.REGISTRY
+
+    def test_get_is_case_insensitive(self):
+        assert libfuncs.get("abs") is libfuncs.REGISTRY["ABS"]
+
+    def test_unknown_function(self):
+        with pytest.raises(CodegenError):
+            libfuncs.get("FROBNICATE")
+
+    def test_registry_is_extensible(self):
+        f = libfuncs.LibFunc("MYFN", 1, np.abs, "MYFN", "myfn", "myfn")
+        libfuncs.register(f)
+        try:
+            assert libfuncs.get("myfn") is f
+        finally:
+            del libfuncs.REGISTRY["MYFN"]
+
+    def test_arity_checks(self):
+        libfuncs.get("ABS").check_arity(1)
+        with pytest.raises(CodegenError):
+            libfuncs.get("ABS").check_arity(2)
+        libfuncs.get("MIN").check_arity(2)
+        libfuncs.get("MIN").check_arity(5)
+        with pytest.raises(CodegenError):
+            libfuncs.get("MIN").check_arity(1)
+
+    def test_reduction_flags(self):
+        assert libfuncs.is_reduction_func("SUM")
+        assert libfuncs.is_reduction_func("minval")
+        assert not libfuncs.is_reduction_func("ABS")
+        assert not libfuncs.is_reduction_func("NOT_A_FUNC")
+
+
+class TestSemantics:
+    def test_alog_is_natural_log(self):
+        assert np.isclose(libfuncs.get("ALOG").impl(np.e), 1.0)
+
+    def test_sign_follows_fortran(self):
+        sign = libfuncs.get("SIGN").impl
+        assert sign(3.0, -1.0) == -3.0
+        assert sign(-3.0, 2.0) == 3.0
+        assert sign(3.0, 0.0) == 3.0  # FORTRAN SIGN(a, 0) = |a|
+
+    def test_variadic_min_max(self):
+        assert libfuncs.get("MIN").impl(3, 1, 2) == 1
+        assert libfuncs.get("MAX").impl(3.0, 1.0, 5.0) == 5.0
+
+    def test_int_truncates_toward_zero(self):
+        f = libfuncs.get("INT").impl
+        assert f(2.7) == 2
+        assert f(-2.7) == -2
+
+    def test_whole_array_reductions(self):
+        a = np.array([1.0, 2.0, 3.0])
+        assert libfuncs.get("SUM").impl(a) == 6.0
+        assert libfuncs.get("MINVAL").impl(a) == 1.0
+        assert libfuncs.get("MAXVAL").impl(a) == 3.0
+        assert libfuncs.get("PRODUCT").impl(a) == 6.0
+        assert libfuncs.get("SIZE").impl(a) == 3
+
+    def test_dble_and_real_kinds(self):
+        assert libfuncs.get("DBLE").impl(1).dtype == np.float64
+        assert libfuncs.get("REAL").impl(1).dtype == np.float32
+
+    def test_transcendental_costs_reflect_hardware(self):
+        # EXP/LOG dominate simple arithmetic in the performance model.
+        assert libfuncs.get("EXP").flop_cost > 10 * libfuncs.get("ABS").flop_cost

@@ -1,0 +1,124 @@
+"""Edge-case tests across smaller surfaces: runners, splicing regexes,
+figure harness sanity, and emitter guards."""
+
+import numpy as np
+import pytest
+
+from repro.codegen.base import Emitter
+from repro.core import GlafBuilder, I, T_INT, T_REAL8, T_VOID, ref
+from repro.errors import CodegenError, ExecutionError, IntegrationError
+from repro.glafexec import ExecutionContext, GeneratedModule
+from repro.integration import LegacyCodebase, extract_unit, splice_units
+from repro.optimize import make_plan
+
+
+def _tiny_program():
+    b = GlafBuilder("tiny")
+    m = b.module("M")
+    f = m.function("touch", return_type=T_VOID)
+    f.param("a", T_REAL8, dims=(2,), intent="inout")
+    s = f.step()
+    s.foreach(i=(1, 2))
+    s.formula(ref("a", I("i")), 1.0)
+    return b.build()
+
+
+class TestGeneratedModuleRunner:
+    def test_unknown_entry(self):
+        program = _tiny_program()
+        mod = GeneratedModule(make_plan(program, "GLAF serial"),
+                              ExecutionContext(program))
+        with pytest.raises(ExecutionError, match="no function"):
+            mod.call("ghost", [])
+
+    def test_source_attached(self):
+        program = _tiny_program()
+        mod = GeneratedModule(make_plan(program, "GLAF serial"),
+                              ExecutionContext(program))
+        assert "def touch(" in mod.source
+
+
+class TestEmitter:
+    def test_unbalanced_dedent_guard(self):
+        em = Emitter()
+        with pytest.raises(CodegenError):
+            em.dedent()
+
+    def test_blank_collapses(self):
+        em = Emitter()
+        em.emit("x")
+        em.blank()
+        em.blank()
+        assert em.text() == "x\n\n"
+
+
+class TestSpliceEdges:
+    LEGACY = """
+SUBROUTINE touch(a)
+  REAL(KIND=8), INTENT(INOUT) :: a(2)
+  a(1) = -1.0D0
+END SUBROUTINE touch
+
+FUNCTION touchy(x) RESULT(r)
+  REAL(KIND=8), INTENT(IN) :: x
+  REAL(KIND=8) :: r
+  r = x
+END FUNCTION touchy
+"""
+
+    def test_prefix_names_not_confused(self):
+        """Replacing 'touch' must not clobber 'touchy'."""
+        from repro.codegen.fortran import FortranGenerator
+
+        lc = LegacyCodebase("edge")
+        lc.add_file("k.f90", self.LEGACY)
+        program = _tiny_program()
+        src = FortranGenerator(make_plan(program, "GLAF serial")).generate_module()
+        result = splice_units(lc, src, ["touch"])
+        assert "FUNCTION touchy" in result.files["k.f90"]
+        assert "GLAF-generated replacement for touch" in result.files["k.f90"]
+
+    def test_extract_is_case_insensitive(self):
+        from repro.codegen.fortran import FortranGenerator
+
+        program = _tiny_program()
+        src = FortranGenerator(make_plan(program, "GLAF serial")).generate_module()
+        unit = extract_unit(src, "TOUCH")
+        assert "SUBROUTINE touch" in unit
+
+    def test_splice_unknown_without_flag(self):
+        lc = LegacyCodebase("edge")
+        lc.add_file("k.f90", self.LEGACY)
+        with pytest.raises(IntegrationError):
+            splice_units(lc, "SUBROUTINE nope()\nEND SUBROUTINE nope", ["nope"])
+
+
+class TestFigureHarnessSanity:
+    def test_figure5_is_deterministic(self):
+        from repro.sarb.perffig import figure5_rows
+
+        assert figure5_rows() == figure5_rows()
+
+    def test_figure7_small_scale_keeps_ordering(self):
+        """The option-lattice ordering is scale-invariant down to 100k cells
+        (everything is per-cell dominated)."""
+        from repro.fun3d.perffig import figure7_rows
+
+        big = {r.label: r.speedup for r in figure7_rows(1_000_000)}
+        small = {r.label: r.speedup for r in figure7_rows(100_000)}
+        assert (big["EdgeJP | no-realloc"] > big["serial | no-realloc"])
+        assert (small["EdgeJP | no-realloc"] > small["serial | no-realloc"])
+        top_big = max(
+            (k for k in big if "manual" not in k), key=big.get)
+        top_small = max(
+            (k for k in small if "manual" not in k), key=small.get)
+        assert top_big == top_small == "EdgeJP | no-realloc"
+
+    def test_zone_model_composes_with_fig6(self):
+        from repro.sarb.perffig import figure6_rows
+        from repro.sarb.zones import MpiZoneModel, mpi_omp_speedup
+
+        v3_4t = dict(figure6_rows())[4]
+        model = MpiZoneModel(n_zones=18, n_ranks=4)
+        combined = mpi_omp_speedup(model, v3_4t)
+        assert combined > model.mpi_speedup() > 1.0

@@ -1,0 +1,195 @@
+"""Unit tests for the optimization back-end (pruning, loops, layout, plan)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.classify import LoopClass
+from repro.core import GlafBuilder, I, T_INT, T_REAL8, T_VOID, ref
+from repro.errors import AnalysisError
+from repro.optimize import (
+    LayoutGroup,
+    Tweaks,
+    VARIANTS,
+    aos_field_name,
+    collapse_legal,
+    decide_collapse,
+    directives_for_variant,
+    interchange,
+    interchange_legal,
+    make_plan,
+    to_aos,
+    variant_by_name,
+)
+
+
+def _two_class_program():
+    b = GlafBuilder("t")
+    m = b.module("M")
+    f = m.function("f", return_type=T_VOID)
+    f.param("n", T_INT, intent="in")
+    f.param("a", T_REAL8, dims=("n",), intent="inout")
+    s = f.step("init")
+    s.foreach(i=(1, "n"))
+    s.formula(ref("a", I("i")), 0.0)
+    s = f.step("work")
+    s.foreach(i=(1, "n"))
+    s.formula(ref("a", I("i")), ref("a", I("i")) * 2.0 + 1.0)
+    return b.build()
+
+
+class TestVariants:
+    def test_table2_order_and_names(self):
+        names = [v.name for v in VARIANTS]
+        assert names == [
+            "original serial", "GLAF serial", "GLAF-parallel v0",
+            "GLAF-parallel v1", "GLAF-parallel v2", "GLAF-parallel v3",
+        ]
+
+    def test_unknown_variant(self):
+        with pytest.raises(KeyError):
+            variant_by_name("GLAF-parallel v9")
+
+    def test_pruning_is_cumulative(self):
+        prev: set = set()
+        for v in VARIANTS[2:]:
+            cur = set(v.pruned_classes)
+            assert prev <= cur
+            prev = cur
+
+    def test_directive_sets(self):
+        p = _two_class_program()
+        plan = make_plan(p, "GLAF-parallel v0")
+        ds0 = directives_for_variant(p, plan.parallel_plan, variant_by_name("GLAF-parallel v0"))
+        ds1 = directives_for_variant(p, plan.parallel_plan, variant_by_name("GLAF-parallel v1"))
+        assert ds0.n_directives() == 2
+        assert ds1.n_directives() == 1           # zero-init pruned
+        assert ds1.loop_class[("f", 0)] is LoopClass.ZERO_INIT
+
+    def test_serial_variants_have_no_directives(self):
+        p = _two_class_program()
+        plan = make_plan(p, "GLAF serial")
+        assert plan.directives.n_directives() == 0
+
+
+class TestPlan:
+    def test_force_serial_overrides(self):
+        p = _two_class_program()
+        plan = make_plan(p, "GLAF-parallel v0", force_serial=frozenset({("f", 1)}))
+        assert plan.step_is_parallel("f", 0)
+        assert not plan.step_is_parallel("f", 1)
+
+    def test_force_parallel_requires_analyzable(self):
+        p = _two_class_program()
+        plan = make_plan(p, "GLAF serial", force_parallel=frozenset({("f", 1)}))
+        assert plan.step_is_parallel("f", 1)
+
+    def test_tweaks_default(self):
+        t = Tweaks()
+        assert t.atomic_updates and t.multi_var_reductions
+        assert not t.save_inner_arrays
+
+
+def _nest_program(triangular=False):
+    b = GlafBuilder("t")
+    m = b.module("M")
+    f = m.function("f", return_type=T_VOID)
+    f.param("n", T_INT, intent="in")
+    f.param("c", T_REAL8, dims=("n", "n"), intent="inout")
+    s = f.step()
+    if triangular:
+        s.foreach(i=(1, "n"), j=(1, I("i")))
+    else:
+        s.foreach(i=(1, "n"), j=(1, "n"))
+    s.formula(ref("c", I("i"), I("j")), ref("c", I("i"), I("j")) + 1.0)
+    p = b.build()
+    return p, p.find_function("f").steps[0]
+
+
+class TestLoops:
+    def test_collapse_legal_rectangular(self):
+        _, step = _nest_program()
+        assert collapse_legal(step)
+        assert decide_collapse(step).depth == 2
+
+    def test_collapse_illegal_triangular(self):
+        _, step = _nest_program(triangular=True)
+        assert not collapse_legal(step)
+        assert decide_collapse(step).depth == 1
+
+    def test_collapse_disabled(self):
+        _, step = _nest_program()
+        assert decide_collapse(step, enable=False).depth == 1
+
+    def test_interchange_legal_independent(self):
+        _, step = _nest_program()
+        assert interchange_legal(step, 0, 1)
+        swapped = interchange(step, 0, 1)
+        assert swapped.index_names() == ("j", "i")
+
+    def test_interchange_same_index_illegal(self):
+        _, step = _nest_program()
+        assert not interchange_legal(step, 0, 0)
+
+    def test_interchange_triangular_illegal(self):
+        _, step = _nest_program(triangular=True)
+        assert not interchange_legal(step, 0, 1)
+        with pytest.raises(AnalysisError):
+            interchange(step, 0, 1)
+
+
+class TestLayout:
+    def _program(self):
+        b = GlafBuilder("t")
+        b.global_grid("x", T_REAL8, dims=(8,), module_scope=True)
+        b.global_grid("y", T_REAL8, dims=(8,), module_scope=True)
+        m = b.module("M")
+        f = m.function("f", return_type=T_VOID)
+        s = f.step()
+        s.foreach(i=(1, 8))
+        s.formula(ref("x", I("i")), ref("x", I("i")) + ref("y", I("i")))
+        return b.build()
+
+    def test_to_aos_rewrites_refs(self):
+        p = self._program()
+        group = LayoutGroup(type_name="pt", variable="pts", fields=("x", "y"))
+        p2 = to_aos(p, "f", group)
+        xg = aos_field_name("pts", "x")
+        assert xg in p2.global_grids
+        assert p2.global_grids[xg].type_parent == "pts"
+        refs = p2.find_function("f").grids_referenced()
+        assert xg in refs and "x" not in refs
+
+    def test_to_aos_preserves_semantics(self):
+        from repro.glafexec import ExecutionContext, Interpreter
+
+        p = self._program()
+        ctx = ExecutionContext(p, values={"x": np.arange(8.0), "y": np.ones(8)})
+        Interpreter(p, ctx).call("f", [])
+        expected = ctx.get("x").copy()
+
+        p2 = to_aos(p, "f", LayoutGroup("pt", "pts", ("x", "y")))
+        xg, yg = aos_field_name("pts", "x"), aos_field_name("pts", "y")
+        ctx2 = ExecutionContext(p2, values={xg: np.arange(8.0), yg: np.ones(8)})
+        Interpreter(p2, ctx2).call("f", [])
+        assert np.array_equal(ctx2.get(xg), expected)
+
+    def test_to_aos_rejects_mixed_shapes(self):
+        b = GlafBuilder("t")
+        b.global_grid("x", T_REAL8, dims=(8,), module_scope=True)
+        b.global_grid("y", T_REAL8, dims=(4,), module_scope=True)
+        m = b.module("M")
+        f = m.function("f", return_type=T_VOID)
+        s = f.step()
+        s.foreach(i=(1, 4))
+        s.formula(ref("y", I("i")), ref("x", I("i")))
+        p = b.build()
+        with pytest.raises(AnalysisError, match="shape"):
+            to_aos(p, "f", LayoutGroup("pt", "pts", ("x", "y")))
+
+    def test_to_aos_generates_percent_access(self):
+        from repro.codegen import generate_fortran_module
+
+        p = self._program()
+        p2 = to_aos(p, "f", LayoutGroup("pt", "pts", ("x", "y")))
+        src = generate_fortran_module(make_plan(p2, "GLAF serial"))
+        assert "pts%" in src

@@ -1,0 +1,268 @@
+"""Unit tests for the parallelization verdict engine and loop classifier."""
+
+import pytest
+
+from repro.analysis.classify import LoopClass, classify_step
+from repro.analysis.parallelize import (
+    analyze_program,
+    analyze_step,
+    callee_write_effects,
+)
+from repro.core import GlafBuilder, I, T_INT, T_REAL8, T_VOID, lib, ref
+from repro.core.builder import StepBuilder as SB
+
+
+def _build(body):
+    """body(f) adds steps to a fresh one-function program; returns (p, fn)."""
+    b = GlafBuilder("t")
+    m = b.module("M")
+    f = m.function("k", return_type=T_VOID)
+    f.param("n", T_INT, intent="in")
+    f.param("a", T_REAL8, dims=("n",), intent="inout")
+    f.param("bb", T_REAL8, dims=("n",), intent="in")
+    body(b, m, f)
+    p = b.build()
+    return p, p.find_function("k")
+
+
+class TestVerdicts:
+    def test_independent_loop_parallel(self):
+        def body(b, m, f):
+            s = f.step()
+            s.foreach(i=(1, "n"))
+            s.formula(ref("a", I("i")), ref("bb", I("i")) * 2.0)
+
+        p, fn = _build(body)
+        sp = analyze_step(p, fn, 0)
+        assert sp.parallel
+
+    def test_loop_carried_serial(self):
+        def body(b, m, f):
+            s = f.step()
+            s.foreach(i=(2, "n"))
+            s.formula(ref("a", I("i")), ref("a", I("i") - 1) * 0.5)
+
+        p, fn = _build(body)
+        sp = analyze_step(p, fn, 0)
+        assert not sp.parallel
+        assert any("dependence" in r for r in sp.reasons)
+
+    def test_scalar_reduction_parallel(self):
+        def body(b, m, f):
+            f.local("s", T_REAL8)
+            st = f.step()
+            st.foreach(i=(1, "n"))
+            st.formula(ref("s"), ref("s") + ref("a", I("i")))
+
+        p, fn = _build(body)
+        sp = analyze_step(p, fn, 0)
+        assert sp.parallel and sp.reductions == {"s": "+"}
+
+    def test_injective_update_not_a_reduction(self):
+        def body(b, m, f):
+            st = f.step()
+            st.foreach(i=(1, "n"))
+            st.formula(ref("a", I("i")), ref("a", I("i")) * 2.0)
+
+        p, fn = _build(body)
+        sp = analyze_step(p, fn, 0)
+        assert sp.parallel and not sp.reductions
+
+    def test_indirect_self_update_needs_atomic(self):
+        def body(b, m, f):
+            f.param("idx", T_INT, dims=("n",), intent="in")
+            st = f.step()
+            st.foreach(i=(1, "n"))
+            st.formula(ref("a", ref("idx", I("i"))),
+                       ref("a", ref("idx", I("i"))) + 1.0)
+
+        p, fn = _build(body)
+        sp = analyze_step(p, fn, 0)
+        assert sp.parallel and sp.atomic == ["a"]
+
+    def test_indirect_plain_write_serial(self):
+        def body(b, m, f):
+            f.param("idx", T_INT, dims=("n",), intent="in")
+            st = f.step()
+            st.foreach(i=(1, "n"))
+            st.formula(ref("a", ref("idx", I("i"))), ref("bb", I("i")))
+
+        p, fn = _build(body)
+        sp = analyze_step(p, fn, 0)
+        assert not sp.parallel
+
+    def test_early_exit_serial_unless_critical(self):
+        def body(b, m, f):
+            st = f.step()
+            st.foreach(i=(1, "n"))
+            st.if_(ref("a", I("i")).gt(0.0), [SB.exit_stmt()])
+
+        p, fn = _build(body)
+        assert not analyze_step(p, fn, 0).parallel
+        sp = analyze_step(p, fn, 0, allow_critical_early_exit=True)
+        assert sp.parallel and sp.critical_early_exit
+
+    def test_collapse_on_rectangular_nest(self):
+        def body(b, m, f):
+            f.param("c", T_REAL8, dims=("n", "n"), intent="inout")
+            st = f.step()
+            st.foreach(i=(1, "n"), j=(1, "n"))
+            st.formula(ref("c", I("i"), I("j")), 1.0)
+
+        p, fn = _build(body)
+        assert analyze_step(p, fn, 0).collapse == 2
+
+    def test_no_collapse_on_triangular_nest(self):
+        def body(b, m, f):
+            f.param("c", T_REAL8, dims=("n", "n"), intent="inout")
+            st = f.step()
+            st.foreach(i=(1, "n"), j=(1, I("i")))
+            st.formula(ref("c", I("i"), I("j")), 1.0)
+
+        p, fn = _build(body)
+        assert analyze_step(p, fn, 0).collapse == 1
+
+    def test_private_inner_index_in_clause(self):
+        def body(b, m, f):
+            f.param("c", T_REAL8, dims=("n", "n"), intent="inout")
+            st = f.step()
+            st.foreach(i=(1, "n"), j=(1, "n"))
+            st.formula(ref("c", I("i"), I("j")), 0.0)
+
+        p, fn = _build(body)
+        sp = analyze_step(p, fn, 0)
+        assert "j" in sp.private
+
+    def test_callee_effects_tracked(self):
+        b = GlafBuilder("t")
+        b.global_grid("g", T_REAL8, dims=(4,), module_scope=True)
+        m = b.module("M")
+        inner = m.function("inner", return_type=T_VOID)
+        inner.param("x", T_INT, intent="in")
+        s = inner.step()
+        s.foreach(k=(1, 4))
+        s.formula(ref("g", I("k")), 1.0)
+        outer = m.function("outer", return_type=T_VOID)
+        outer.param("n", T_INT, intent="in")
+        s = outer.step()
+        s.foreach(c=(1, "n"))
+        s.call("inner", [I("c")])
+        p = b.build()
+        assert callee_write_effects(p, "outer") == {"g"}
+        sp = analyze_step(p, p.find_function("outer"), 0)
+        assert sp.parallel and sp.callee_shared_writes == ["g"]
+
+    def test_straight_line_not_candidate(self):
+        def body(b, m, f):
+            f.local("x", T_REAL8)
+            f.step().formula(ref("x"), 1.0)
+
+        p, fn = _build(body)
+        sp = analyze_step(p, fn, 0)
+        assert not sp.parallel and "no loop nest" in sp.reasons
+
+    def test_analyze_program_covers_all_steps(self):
+        def body(b, m, f):
+            st = f.step()
+            st.foreach(i=(1, "n"))
+            st.formula(ref("a", I("i")), 0.0)
+            st = f.step()
+            st.foreach(i=(1, "n"))
+            st.formula(ref("a", I("i")), ref("a", I("i")) + 1.0)
+
+        p, fn = _build(body)
+        plan = analyze_program(p)
+        assert len(plan.for_function("k")) == 2
+        assert len(plan.parallel_steps()) == 2
+
+
+class TestClassifier:
+    def _st(self, body):
+        p, fn = _build(body)
+        return fn.steps[0]
+
+    def test_zero_init(self):
+        def body(b, m, f):
+            s = f.step()
+            s.foreach(i=(1, "n"))
+            s.formula(ref("a", I("i")), 0.0)
+
+        assert classify_step(self._st(body)) is LoopClass.ZERO_INIT
+
+    def test_negative_zero_still_zero_init(self):
+        def body(b, m, f):
+            s = f.step()
+            s.foreach(i=(1, "n"))
+            s.formula(ref("a", I("i")), -0.0)
+
+        assert classify_step(self._st(body)) is LoopClass.ZERO_INIT
+
+    def test_broadcast_scalar(self):
+        def body(b, m, f):
+            f.local("x", T_REAL8)
+            s = f.step()
+            s.foreach(i=(1, "n"))
+            s.formula(ref("a", I("i")), ref("x"))
+
+        assert classify_step(self._st(body)) is LoopClass.BROADCAST_INIT
+
+    def test_broadcast_single_element_load(self):
+        def body(b, m, f):
+            s = f.step()
+            s.foreach(i=(1, "n"))
+            s.formula(ref("a", I("i")), ref("bb", 1))
+
+        assert classify_step(self._st(body)) is LoopClass.BROADCAST_INIT
+
+    def test_simple_single(self):
+        def body(b, m, f):
+            s = f.step()
+            s.foreach(i=(1, "n"))
+            s.formula(ref("a", I("i")), ref("bb", I("i")) * 2.0 + 1.0)
+
+        assert classify_step(self._st(body)) is LoopClass.SIMPLE_SINGLE
+
+    def test_simple_double(self):
+        def body(b, m, f):
+            f.param("c", T_REAL8, dims=("n", "n"), intent="inout")
+            s = f.step()
+            s.foreach(i=(1, "n"), j=(1, "n"))
+            s.formula(ref("c", I("i"), I("j")), ref("bb", I("i")) * 2.0)
+
+        assert classify_step(self._st(body)) is LoopClass.SIMPLE_DOUBLE
+
+    def test_control_flow_complex(self):
+        def body(b, m, f):
+            s = f.step()
+            s.foreach(i=(1, "n"))
+            s.if_(ref("bb", I("i")).gt(0.0),
+                  [SB.assign(ref("a", I("i")), 1.0)])
+
+        assert classify_step(self._st(body)) is LoopClass.COMPLEX
+
+    def test_too_many_statements_complex(self):
+        def body(b, m, f):
+            s = f.step()
+            s.foreach(i=(1, "n"))
+            for k in range(5):  # > SIMPLE_BODY_MAX_STMTS
+                s.formula(ref("a", I("i")), ref("a", I("i")) + float(k))
+
+        assert classify_step(self._st(body)) is LoopClass.COMPLEX
+
+    def test_calls_complex(self):
+        def body(b, m, f):
+            g = m.function("g", return_type=T_VOID)
+            g.param("x", T_INT, intent="in")
+            g.step()
+            s = f.step()
+            s.foreach(i=(1, "n"))
+            s.call("g", [I("i")])
+
+        assert classify_step(self._st(body)) is LoopClass.COMPLEX
+
+    def test_not_a_loop(self):
+        def body(b, m, f):
+            f.local("x", T_REAL8)
+            f.step().formula(ref("x"), 0.0)
+
+        assert classify_step(self._st(body)) is LoopClass.NOT_A_LOOP

@@ -1,0 +1,261 @@
+"""Unit tests for the performance-model substrate."""
+
+import pytest
+
+from repro.core import GlafBuilder, I, T_INT, T_REAL8, T_VOID, lib, ref
+from repro.errors import PerfModelError
+from repro.optimize import Tweaks, make_plan
+from repro.perf import (
+    CompilerModel,
+    Cost,
+    OmpCostModel,
+    SimOptions,
+    Simulator,
+    Workload,
+    amdahl_speedup,
+    expr_cost,
+    i5_2400,
+    max_speedup,
+    parallel_fraction_from_speedup,
+    simulate,
+    stmt_cost,
+    xeon_e5_2637v4_node,
+)
+from repro.core.step import Assign
+
+
+class TestMachine:
+    def test_seconds_conversion(self):
+        assert i5_2400.seconds(3.1e9) == pytest.approx(1.0)
+
+    def test_known_specs(self):
+        assert i5_2400.physical_cores == 4
+        assert xeon_e5_2637v4_node.physical_cores == 8
+        assert xeon_e5_2637v4_node.logical_cores == 16
+
+
+class TestAmdahl:
+    def test_basic(self):
+        assert amdahl_speedup(0.5, 2) == pytest.approx(1 / 0.75)
+        assert amdahl_speedup(1.0, 4) == pytest.approx(4.0)
+
+    def test_overhead_lowers(self):
+        assert amdahl_speedup(0.5, 4, overhead_fraction=0.1) < amdahl_speedup(0.5, 4)
+
+    def test_inverse(self):
+        s = amdahl_speedup(0.6, 4)
+        assert parallel_fraction_from_speedup(s, 4) == pytest.approx(0.6)
+
+    def test_max_speedup(self):
+        assert max_speedup(0.75) == pytest.approx(4.0)
+        assert max_speedup(1.0) == float("inf")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            amdahl_speedup(1.5, 2)
+        with pytest.raises(ValueError):
+            amdahl_speedup(0.5, 0)
+        with pytest.raises(ValueError):
+            parallel_fraction_from_speedup(2.0, 1)
+
+
+class TestOmpCostModel:
+    def test_region_overhead_grows_with_team(self):
+        m = OmpCostModel()
+        assert m.region_overhead(8) > m.region_overhead(2)
+
+    def test_nested_regions_cost_more(self):
+        m = OmpCostModel()
+        assert m.region_overhead(4, nested=True) > m.region_overhead(4)
+
+    def test_reductions_add_cost(self):
+        m = OmpCostModel()
+        assert m.region_overhead(4, n_reductions=2) > m.region_overhead(4)
+
+    def test_effective_speedup_trip_limited(self):
+        m = OmpCostModel()
+        useful, _ = m.effective_speedup(i5_2400, 8, trip_count=3)
+        assert useful == 3
+
+    def test_contended_oversubscription_penalized(self):
+        m = OmpCostModel()
+        useful_c, pen_c = m.effective_speedup(i5_2400, 8, 1000, contended=True)
+        useful_s, pen_s = m.effective_speedup(i5_2400, 8, 1000, contended=False)
+        assert pen_c > 1.0 and pen_s == 1.0
+        assert useful_c <= i5_2400.physical_cores
+        assert useful_s > useful_c
+
+    def test_within_physical_no_penalty(self):
+        m = OmpCostModel()
+        useful, pen = m.effective_speedup(i5_2400, 4, 1000, contended=True)
+        assert useful == 4 and pen == 1.0
+
+
+class TestCostModel:
+    def test_expr_cost_counts_flops_and_loads(self):
+        e = ref("a", I("i")) * 2.0 + 1.0
+        c = expr_cost(e)
+        assert c.flops >= 2.0 and c.accesses >= 1.0
+
+    def test_transcendental_cost_dominates(self):
+        cheap = expr_cost(ref("a", I("i")) + 1.0)
+        pricey = expr_cost(lib("EXP", ref("a", I("i"))))
+        assert pricey.flops > 10 * cheap.flops
+
+    def test_stmt_cost_includes_store(self):
+        s = Assign(ref("a", I("i")), ref("b", I("i")))
+        assert stmt_cost(s).accesses >= 2.0
+
+    def test_cost_algebra(self):
+        c = Cost(2.0, 1.0) + Cost(1.0, 1.0)
+        assert c.flops == 3.0 and c.accesses == 2.0
+        assert c.scaled(2.0).flops == 6.0
+
+
+def _loop_program():
+    b = GlafBuilder("t")
+    m = b.module("M")
+    f = m.function("f", return_type=T_VOID)
+    f.param("n", T_INT, intent="in")
+    f.param("a", T_REAL8, dims=("n",), intent="inout")
+    s = f.step("init")
+    s.foreach(i=(1, "n"))
+    s.formula(ref("a", I("i")), 0.0)
+    s = f.step("work")
+    s.foreach(i=(1, "n"))
+    s.formula(ref("a", I("i")), ref("a", I("i")) * 1.5 + 2.0)
+    return b.build()
+
+
+class TestCompilerModel:
+    def test_memset_for_zero_init(self):
+        p = _loop_program()
+        cm = CompilerModel(i5_2400)
+        step = p.find_function("f").steps[0]
+        opt = cm.loop_optimization(step, 1000, under_omp=False)
+        assert opt.kind == "memset" and opt.speedup > 4
+
+    def test_simd_for_simple_loop(self):
+        p = _loop_program()
+        cm = CompilerModel(i5_2400)
+        step = p.find_function("f").steps[1]
+        opt = cm.loop_optimization(step, 1000, under_omp=False)
+        assert opt.kind == "simd"
+
+    def test_unroll_for_tiny_trip_counts(self):
+        p = _loop_program()
+        cm = CompilerModel(i5_2400)
+        step = p.find_function("f").steps[1]
+        opt = cm.loop_optimization(step, 4, under_omp=False)
+        assert opt.kind == "unroll"
+
+    def test_omp_body_not_vectorized(self):
+        p = _loop_program()
+        cm = CompilerModel(i5_2400)
+        step = p.find_function("f").steps[1]
+        opt = cm.loop_optimization(step, 1000, under_omp=True)
+        assert opt.kind == "scalar" and opt.speedup == 1.0
+
+    def test_functions_with_loops_not_inlined(self):
+        p = _loop_program()
+        cm = CompilerModel(i5_2400)
+        assert not cm.should_inline(p.find_function("f"))
+
+
+class TestSimulator:
+    def test_workload_sizes_drive_trips(self):
+        p = _loop_program()
+        plan = make_plan(p, "GLAF serial")
+        small = simulate(plan, i5_2400,
+                         Workload(name="s", entry="f", sizes={"n": 100}),
+                         SimOptions(threads=1))
+        big = simulate(plan, i5_2400,
+                       Workload(name="b", entry="f", sizes={"n": 10000}),
+                       SimOptions(threads=1))
+        assert big.total_cycles > 10 * small.total_cycles
+
+    def test_missing_size_raises(self):
+        p = _loop_program()
+        plan = make_plan(p, "GLAF serial")
+        with pytest.raises(PerfModelError, match="size"):
+            simulate(plan, i5_2400, Workload(name="s", entry="f"),
+                     SimOptions(threads=1))
+
+    def test_trip_override(self):
+        p = _loop_program()
+        plan = make_plan(p, "GLAF serial")
+        wl = Workload(name="s", entry="f", sizes={"n": 100},
+                      trip_overrides={("f", 1): 5.0})
+        r = simulate(plan, i5_2400, wl, SimOptions(threads=1))
+        work = next(s for s in r.steps if s.step_name == "work")
+        assert work.trips == 5.0
+
+    def test_parallel_overhead_visible_on_small_loops(self):
+        p = _loop_program()
+        wl = Workload(name="s", entry="f", sizes={"n": 60})
+        serial = simulate(make_plan(p, "GLAF serial"), i5_2400, wl,
+                          SimOptions(threads=1))
+        par = simulate(make_plan(p, "GLAF-parallel v0", threads=4), i5_2400, wl,
+                       SimOptions(threads=4))
+        assert par.total_cycles > serial.total_cycles  # OMP loses on 60 trips
+
+    def test_parallel_wins_on_large_complex_loops(self):
+        b = GlafBuilder("t")
+        m = b.module("M")
+        f = m.function("f", return_type=T_VOID)
+        f.param("n", T_INT, intent="in")
+        f.param("a", T_REAL8, dims=("n",), intent="inout")
+        s = f.step("big")
+        s.foreach(i=(1, "n"))
+        from repro.core.builder import StepBuilder as SB
+
+        s.if_(ref("a", I("i")).gt(0.0),
+              [SB.assign(ref("a", I("i")), lib("EXP", ref("a", I("i"))))],
+              [SB.assign(ref("a", I("i")), lib("ALOG", 1.0 - ref("a", I("i"))))])
+        p = b.build()
+        wl = Workload(name="s", entry="f", sizes={"n": 200000})
+        serial = simulate(make_plan(p, "GLAF serial"), i5_2400, wl,
+                          SimOptions(threads=1))
+        par = simulate(make_plan(p, "GLAF-parallel v0", threads=4), i5_2400, wl,
+                       SimOptions(threads=4))
+        assert serial.total_cycles / par.total_cycles > 2.5
+
+    def test_entry_calls_scale_linearly(self):
+        p = _loop_program()
+        plan = make_plan(p, "GLAF serial")
+        one = simulate(plan, i5_2400,
+                       Workload(name="s", entry="f", sizes={"n": 100}),
+                       SimOptions(threads=1))
+        ten = simulate(plan, i5_2400,
+                       Workload(name="s", entry="f", sizes={"n": 100},
+                                entry_calls=10),
+                       SimOptions(threads=1))
+        assert ten.total_cycles == pytest.approx(10 * one.total_cycles)
+
+    def test_alloc_accounting(self):
+        b = GlafBuilder("t")
+        m = b.module("M")
+        f = m.function("f", return_type=T_VOID)
+        f.param("n", T_INT, intent="in")
+        f.local("buf", T_REAL8, dims=(16,), allocatable=True)
+        s = f.step()
+        s.foreach(i=(1, "n"))
+        s.formula(ref("buf", 1), 1.0)
+        p = b.build()
+        plan = make_plan(p, "GLAF serial")
+        wl = Workload(name="s", entry="f", sizes={"n": 10})
+        realloc = simulate(plan, i5_2400, wl, SimOptions(threads=1))
+        saved = simulate(plan, i5_2400, wl, SimOptions(threads=1, save_arrays=True))
+        assert realloc.alloc_cycles > 0
+        assert saved.alloc_cycles == 0
+        assert realloc.total_cycles > saved.total_cycles
+
+    def test_throughput_cap(self):
+        p = _loop_program()
+        wl_uncapped = Workload(name="u", entry="f", sizes={"n": 1000000})
+        wl_capped = Workload(name="c", entry="f", sizes={"n": 1000000},
+                             parallel_throughput_cap=2.0)
+        plan = make_plan(p, "GLAF-parallel v0", threads=4)
+        r_u = simulate(plan, i5_2400, wl_uncapped, SimOptions(threads=4))
+        r_c = simulate(plan, i5_2400, wl_capped, SimOptions(threads=4))
+        assert r_c.total_cycles > r_u.total_cycles

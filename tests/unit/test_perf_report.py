@@ -1,0 +1,57 @@
+"""Unit tests for the perf breakdown report."""
+
+import pytest
+
+from repro.optimize import make_plan
+from repro.perf import (
+    SimOptions,
+    breakdown_table,
+    i5_2400,
+    overhead_summary,
+    simulate,
+)
+from repro.sarb import build_sarb_program, sarb_workload
+
+
+@pytest.fixture(scope="module")
+def v0_result():
+    program = build_sarb_program()
+    wl = sarb_workload()
+    plan = make_plan(program, "GLAF-parallel v0", threads=4)
+    return simulate(plan, i5_2400, wl, SimOptions(threads=4))
+
+
+class TestBreakdown:
+    def test_table_shape(self, v0_result):
+        text = breakdown_table(v0_result, top=5)
+        lines = text.splitlines()
+        assert lines[0].startswith("== sarb [GLAF-parallel v0]")
+        assert len(lines) == 3 + 5
+
+    def test_rows_sorted_by_cost(self, v0_result):
+        text = breakdown_table(v0_result, top=8)
+        import re
+
+        cycles = [float(m) for m in re.findall(r"(\d\.\d{3}e\+\d+)\s+\d", text)]
+        assert cycles == sorted(cycles, reverse=True)
+
+    def test_treatments_visible(self, v0_result):
+        text = breakdown_table(v0_result, top=25)
+        assert "omp(4T)" in text
+        assert "straight-line" in text
+
+    def test_overhead_summary_matches_paper_story(self, v0_result):
+        """OMP-everywhere (v0): region overheads dominate — the paper's
+        explanation for the 0.48x bar."""
+        text = overhead_summary(v0_result)
+        assert "OpenMP regions" in text
+        region = sum(s.overhead_cycles for s in v0_result.steps)
+        assert region / v0_result.total_cycles > 0.5
+
+    def test_serial_variant_has_no_region_overhead(self):
+        program = build_sarb_program()
+        wl = sarb_workload()
+        r = simulate(make_plan(program, "GLAF serial"), i5_2400, wl,
+                     SimOptions(threads=1))
+        assert sum(s.overhead_cycles for s in r.steps) == 0
+        assert "( 0.00%)" in overhead_summary(r)

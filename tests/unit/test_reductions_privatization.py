@@ -1,0 +1,166 @@
+"""Unit tests for reduction recognition and privatization."""
+
+import pytest
+
+from repro.analysis.privatization import classify_privates
+from repro.analysis.reductions import find_reductions
+from repro.core import GlafBuilder, I, T_INT, T_REAL8, T_VOID, lib, ref
+from repro.core.builder import StepBuilder as SB
+from repro.core.expr import Const
+from repro.core.step import Assign, IfStmt, Range, Step
+
+
+def _step(stmts, loop_vars=("i",), bounds=10, condition=None):
+    return Step(name="s", ranges=[Range(v, 1, bounds) for v in loop_vars],
+                condition=condition, stmts=stmts)
+
+
+class TestReductionPatterns:
+    def test_plus_reduction(self):
+        s = _step([Assign(ref("acc"), ref("acc") + ref("a", I("i")))])
+        red = find_reductions(s)
+        assert red["acc"].op == "+"
+
+    def test_chained_plus_reduction(self):
+        # t = t + a + b (associative flattening)
+        s = _step([Assign(ref("acc"), ref("acc") + ref("a", I("i")) + 1.0)])
+        assert "acc" in find_reductions(s)
+
+    def test_minus_is_plus_reduction(self):
+        s = _step([Assign(ref("acc"), ref("acc") - ref("a", I("i")))])
+        assert find_reductions(s)["acc"].op == "+"
+
+    def test_reversed_minus_not_reduction(self):
+        s = _step([Assign(ref("acc"), ref("a", I("i")) - ref("acc"))])
+        assert "acc" not in find_reductions(s)
+
+    def test_times_reduction(self):
+        s = _step([Assign(ref("p"), ref("p") * ref("a", I("i")))])
+        assert find_reductions(s)["p"].op == "*"
+
+    def test_min_max_reductions(self):
+        s = _step([Assign(ref("lo"), lib("MIN", ref("lo"), ref("a", I("i"))))])
+        assert find_reductions(s)["lo"].op == "MIN"
+        s = _step([Assign(ref("hi"), lib("MAX", ref("a", I("i")), ref("hi")))])
+        assert find_reductions(s)["hi"].op == "MAX"
+
+    def test_array_element_reduction(self):
+        s = _step([Assign(ref("out", I("i")),
+                          ref("out", I("i")) + ref("w", I("j")))],
+                  loop_vars=("i", "j"))
+        red = find_reductions(s)
+        assert "out" in red
+
+    def test_multiple_reduction_variables(self):
+        # The paper's multi-output loops (§4.2.1).
+        s = _step([
+            Assign(ref("s1"), ref("s1") + ref("a", I("i"))),
+            Assign(ref("s2"), ref("s2") + ref("b", I("i"))),
+        ])
+        red = find_reductions(s)
+        assert set(red) == {"s1", "s2"}
+
+    def test_reductions_inside_if_branches(self):
+        s = _step([IfStmt(ref("c", I("i")).gt(0),
+                          (Assign(ref("acc"), ref("acc") + 1.0),),
+                          (Assign(ref("acc"), ref("acc") + 2.0),))])
+        assert "acc" in find_reductions(s)
+
+
+class TestReductionDisqualifiers:
+    def test_extra_read_disqualifies(self):
+        s = _step([
+            Assign(ref("acc"), ref("acc") + ref("a", I("i"))),
+            Assign(ref("b", I("i")), ref("acc") * 2.0),
+        ])
+        assert "acc" not in find_reductions(s)
+
+    def test_extra_write_disqualifies(self):
+        s = _step([
+            Assign(ref("acc"), ref("acc") + ref("a", I("i"))),
+            Assign(ref("acc"), Const(0.0)),
+        ])
+        assert "acc" not in find_reductions(s)
+
+    def test_mixed_operators_disqualify(self):
+        s = _step([
+            Assign(ref("acc"), ref("acc") + ref("a", I("i"))),
+            Assign(ref("acc"), ref("acc") * 2.0),
+        ])
+        assert "acc" not in find_reductions(s)
+
+    def test_self_in_rest_disqualifies(self):
+        s = _step([Assign(ref("acc"), ref("acc") + ref("acc") * 0.5)])
+        assert "acc" not in find_reductions(s)
+
+    def test_read_in_condition_disqualifies(self):
+        s = _step([Assign(ref("acc"), ref("acc") + 1.0)],
+                  condition=ref("acc").lt(100.0))
+        assert "acc" not in find_reductions(s)
+
+    def test_differing_indices_disqualify(self):
+        s = _step([
+            Assign(ref("o", I("i")), ref("o", I("i")) + 1.0),
+            Assign(ref("o", I("i") + 1), ref("o", I("i") + 1) + 2.0),
+        ])
+        assert "o" not in find_reductions(s)
+
+
+def _fn_with_step(step, locals_=(), params=()):
+    b = GlafBuilder("t")
+    m = b.module("M")
+    f = m.function("f", return_type=T_VOID)
+    f.param("n", T_INT, intent="in")
+    for name, dims in params:
+        f.param(name, T_REAL8, dims=dims, intent="inout")
+    for name, dims in locals_:
+        f.local(name, T_REAL8, dims=dims)
+    f.fn.steps.append(step)
+    return b.program, f.fn
+
+
+class TestPrivatization:
+    def test_scalar_temp_private(self):
+        s = _step([
+            Assign(ref("t"), ref("a", I("i")) * 2.0),
+            Assign(ref("a", I("i")), ref("t") + 1.0),
+        ], bounds=ref("n"))
+        program, fn = _fn_with_step(s, locals_=[("t", ())], params=[("a", ("n",))])
+        res = classify_privates(program, fn, s)
+        assert "t" in res.private
+        assert "a" in res.shared
+
+    def test_read_before_write_firstprivate(self):
+        s = _step([
+            Assign(ref("b", I("i")), ref("t") * 1.0),
+            Assign(ref("t"), ref("b", I("i"))),
+        ], bounds=ref("n"))
+        program, fn = _fn_with_step(s, locals_=[("t", ())], params=[("b", ("n",))])
+        res = classify_privates(program, fn, s)
+        assert "t" in res.firstprivate
+
+    def test_conditional_first_write_firstprivate(self):
+        s = _step([
+            IfStmt(ref("b", I("i")).gt(0), (Assign(ref("t"), 1.0),)),
+            Assign(ref("b", I("i")), ref("t")),
+        ], bounds=ref("n"))
+        program, fn = _fn_with_step(s, locals_=[("t", ())], params=[("b", ("n",))])
+        res = classify_privates(program, fn, s)
+        assert "t" in res.firstprivate
+
+    def test_iteration_local_array_private(self):
+        # A scratch array indexed only by constants is per-iteration local.
+        s = _step([
+            Assign(ref("w", 1), ref("a", I("i"))),
+            Assign(ref("a", I("i")), ref("w", 1) * 2.0),
+        ], bounds=ref("n"))
+        program, fn = _fn_with_step(s, locals_=[("w", (4,))], params=[("a", ("n",))])
+        res = classify_privates(program, fn, s)
+        assert "w" in res.private
+
+    def test_read_only_shared(self):
+        s = _step([Assign(ref("a", I("i")), ref("b", I("i")))], bounds=ref("n"))
+        program, fn = _fn_with_step(
+            s, params=[("a", ("n",)), ("b", ("n",))])
+        res = classify_privates(program, fn, s)
+        assert "b" in res.shared

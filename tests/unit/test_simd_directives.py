@@ -1,0 +1,92 @@
+"""Tests for the SIMD-directive extension across back-ends."""
+
+import pytest
+
+from repro.codegen import generate_c_source, generate_fortran_module
+from repro.core import GlafBuilder, I, T_INT, T_REAL8, T_VOID, ref
+from repro.fortranlib.parser import parse_source
+from repro.optimize import make_plan
+from repro.perf import SimOptions, Workload, i5_2400, simulate
+
+
+def _program():
+    b = GlafBuilder("simd")
+    m = b.module("M")
+    f = m.function("f", return_type=T_VOID)
+    f.param("n", T_INT, intent="in")
+    f.param("a", T_REAL8, dims=("n",), intent="inout")
+    f.local("s", T_REAL8)
+    st = f.step("work")
+    st.foreach(i=(1, "n"))
+    st.formula(ref("s"), ref("s") + ref("a", I("i")) * 2.0)
+    return b.build()
+
+
+def _simd_plan(program):
+    return make_plan(program, "GLAF serial", force_simd=frozenset({("f", 0)}))
+
+
+class TestEmission:
+    def test_fortran_simd_with_reduction(self):
+        src = generate_fortran_module(_simd_plan(_program()))
+        assert "!$OMP SIMD REDUCTION(+:s)" in src
+        assert "!$OMP END SIMD" in src
+        assert "!$OMP PARALLEL DO" not in src
+
+    def test_c_simd_with_reduction(self):
+        src = generate_c_source(_simd_plan(_program()))
+        assert "#pragma omp simd reduction(+:s)" in src
+        assert "#pragma omp parallel for" not in src
+
+    def test_simd_suppressed_when_parallel(self):
+        program = _program()
+        plan = make_plan(program, "GLAF-parallel v0",
+                         force_simd=frozenset({("f", 0)}))
+        assert plan.step_is_parallel("f", 0)
+        assert not plan.step_is_simd("f", 0)
+        src = generate_fortran_module(plan)
+        assert "!$OMP PARALLEL DO" in src and "!$OMP SIMD" not in src
+
+    def test_generated_simd_fortran_reparses(self):
+        src = generate_fortran_module(_simd_plan(_program()))
+        tree = parse_source(src)
+        assert tree.modules[0].subprograms[0].name == "f"
+
+
+class TestModel:
+    def test_simd_between_none_and_parallel_on_big_branchy_loop(self):
+        from repro.core.builder import StepBuilder as SB
+        from repro.core import lib
+
+        b = GlafBuilder("m")
+        m = b.module("M")
+        f = m.function("f", return_type=T_VOID)
+        f.param("n", T_INT, intent="in")
+        f.param("a", T_REAL8, dims=("n",), intent="inout")
+        st = f.step("branchy")
+        st.foreach(i=(1, "n"))
+        st.if_(ref("a", I("i")).gt(0.0),
+               [SB.assign(ref("a", I("i")), lib("EXP", ref("a", I("i"))))],
+               [SB.assign(ref("a", I("i")), ref("a", I("i")) * 0.5)])
+        program = b.build()
+        wl = Workload(name="w", entry="f", sizes={"n": 100000})
+
+        def cycles(**kw):
+            plan = make_plan(program, kw.pop("variant"), threads=4, **kw)
+            return simulate(plan, i5_2400, wl, SimOptions(threads=4)).total_cycles
+
+        none = cycles(variant="GLAF serial")
+        simd = cycles(variant="GLAF serial", force_simd=frozenset({("f", 0)}))
+        omp = cycles(variant="GLAF-parallel v0")
+        # Masked SIMD beats scalar on a branchy loop the auto-vectorizer
+        # skipped; threads beat both at this trip count.
+        assert omp < simd < none
+
+    def test_simd_never_slower_than_scalar(self):
+        program = _program()
+        wl = Workload(name="w", entry="f", sizes={"n": 500})
+        none = simulate(make_plan(program, "GLAF serial"), i5_2400, wl,
+                        SimOptions(threads=1)).total_cycles
+        simd = simulate(_simd_plan(program), i5_2400, wl,
+                        SimOptions(threads=1)).total_cycles
+        assert simd <= none * 1.0001

@@ -1,0 +1,88 @@
+"""Unit tests for SLOC accounting and OpenMP directive rendering."""
+
+import pytest
+
+from repro.codegen.omp import OmpDirective, render_c, render_fortran, render_fortran_end
+from repro.codegen.sloc import count_sloc, module_unit_slocs, unit_sloc
+
+SRC = """\
+! header comment
+MODULE m
+  USE other_mod, ONLY: x
+  IMPLICIT NONE
+CONTAINS
+  SUBROUTINE a(n)
+    USE third_mod
+    INTEGER :: n
+
+!$OMP PARALLEL DO
+    DO i = 1, n
+      x = 1
+    END DO
+!$OMP END PARALLEL DO
+  END SUBROUTINE a
+
+  FUNCTION b() RESULT(r)
+    INTEGER :: r
+    r = 1
+  END FUNCTION b
+END MODULE m
+"""
+
+
+class TestSloc:
+    def test_comments_and_blanks_excluded(self):
+        assert count_sloc("! c\n\nx = 1\n") == 1
+
+    def test_use_excluded_by_default(self):
+        # Paper: SLOC "does not account for lines ... from imported modules".
+        base = count_sloc(SRC)
+        with_imports = count_sloc(SRC, count_imports=True)
+        assert with_imports == base + 2
+
+    def test_omp_counted_by_default(self):
+        assert count_sloc(SRC) - count_sloc(SRC, count_omp=False) == 2
+
+    def test_unit_sloc(self):
+        a = unit_sloc(SRC, "a")
+        b = unit_sloc(SRC, "b")
+        assert a > b > 0
+
+    def test_unit_sloc_missing(self):
+        with pytest.raises(ValueError):
+            unit_sloc(SRC, "zz")
+
+    def test_module_unit_slocs(self):
+        d = module_unit_slocs(SRC)
+        assert set(d) == {"a", "b"}
+        assert d["a"] == unit_sloc(SRC, "a")
+
+
+class TestOmpRendering:
+    def test_plain_directive(self):
+        d = OmpDirective()
+        assert render_fortran(d) == "!$OMP PARALLEL DO"
+        assert render_fortran_end() == "!$OMP END PARALLEL DO"
+        assert render_c(d) == "#pragma omp parallel for"
+
+    def test_full_clause_set(self):
+        d = OmpDirective(private=("j", "t"), firstprivate=("x",),
+                         reductions=(("+", "s1"), ("+", "s2"), ("MAX", "hi")),
+                         collapse=2, schedule="STATIC", num_threads=4)
+        text = render_fortran(d)
+        assert "PRIVATE(j, t)" in text
+        assert "FIRSTPRIVATE(x)" in text
+        # Multi-variable reduction grouped per operator (§4.2.1 tweak).
+        assert "REDUCTION(+:s1, s2)" in text
+        assert "REDUCTION(MAX:hi)" in text
+        assert "COLLAPSE(2)" in text
+        assert "SCHEDULE(STATIC)" in text
+        assert "NUM_THREADS(4)" in text
+
+    def test_c_lowercase(self):
+        d = OmpDirective(private=("j",), reductions=(("+", "s"),))
+        text = render_c(d)
+        assert "private(j)" in text and "reduction(+:s)" in text
+
+    def test_collapse_one_omitted(self):
+        assert "COLLAPSE" not in render_fortran(OmpDirective(collapse=1))

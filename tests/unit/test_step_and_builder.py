@@ -1,0 +1,147 @@
+"""Unit tests for steps, statements and the programmatic GPI builder."""
+
+import pytest
+
+from repro.core import GlafBuilder, I, T_INT, T_REAL8, T_VOID, lib, ref
+from repro.core.builder import StepBuilder
+from repro.core.step import Assign, CallStmt, ExitLoop, IfStmt, Range, Return, Step
+from repro.errors import BuilderError, ValidationError
+
+
+class TestStepStructure:
+    def test_range_validation(self):
+        with pytest.raises(ValidationError):
+            Range(var="not an id", start=ref("a"), end=ref("b"))
+
+    def test_duplicate_index_vars_rejected(self):
+        with pytest.raises(ValidationError):
+            Step(name="s", ranges=[Range("i", 1, 3), Range("i", 1, 2)])
+
+    def test_depth_and_index_names(self):
+        s = Step(name="s", ranges=[Range("i", 1, 3), Range("j", 1, 2)])
+        assert s.depth == 2
+        assert s.index_names() == ("i", "j")
+        assert s.is_loop
+
+    def test_control_flow_detection(self):
+        s = Step(name="s", ranges=[Range("i", 1, 3)],
+                 stmts=[IfStmt(ref("x").gt(0), (Return(None),))])
+        assert s.has_control_flow()
+        s2 = Step(name="s", ranges=[Range("i", 1, 3)],
+                  stmts=[Assign(ref("a", I("i")), 1.0)])
+        assert not s2.has_control_flow()
+
+    def test_free_index_vars(self):
+        s = Step(name="s", ranges=[Range("i", 1, 3)],
+                 stmts=[Assign(ref("a", I("i"), I("j")), 1.0)])
+        assert s.free_index_vars() == {"j"}
+
+    def test_called_functions_includes_expr_calls(self):
+        from repro.core.expr import FuncCall
+
+        s = Step(name="s", stmts=[
+            CallStmt("sub1", (ref("x"),)),
+            Assign(ref("y"), FuncCall("fn2", ())),
+        ])
+        assert s.called_functions() == {"sub1", "fn2"}
+
+    def test_grids_referenced_includes_targets(self):
+        s = Step(name="s", ranges=[Range("i", 1, ref("n"))],
+                 stmts=[Assign(ref("out", I("i")), ref("inp", I("i")))])
+        assert s.grids_referenced() == {"out", "inp", "n"}
+
+
+class TestBuilder:
+    def _simple(self):
+        b = GlafBuilder("p")
+        m = b.module("M")
+        f = m.function("f", return_type=T_VOID)
+        f.param("n", T_INT, intent="in")
+        f.param("a", T_REAL8, dims=("n",), intent="inout")
+        return b, f
+
+    def test_build_validates(self):
+        b, f = self._simple()
+        s = f.step()
+        s.foreach(i=(1, "n"))
+        s.formula(ref("a", I("i")), 0.0)
+        program = b.build()
+        assert program.has_function("f")
+
+    def test_foreach_only_once(self):
+        b, f = self._simple()
+        s = f.step()
+        s.foreach(i=(1, "n"))
+        with pytest.raises(BuilderError):
+            s.foreach(j=(1, 2))
+
+    def test_condition_only_once(self):
+        b, f = self._simple()
+        s = f.step()
+        s.condition(ref("n").gt(0))
+        with pytest.raises(BuilderError):
+            s.condition(ref("n").gt(1))
+
+    def test_if_rejects_non_statements(self):
+        b, f = self._simple()
+        s = f.step()
+        with pytest.raises(BuilderError):
+            s.if_(ref("n").gt(0), [s])  # a StepBuilder is not a Stmt
+
+    def test_static_statement_constructors(self):
+        assert isinstance(StepBuilder.ret(1), Return)
+        assert isinstance(StepBuilder.exit_stmt(), ExitLoop)
+        assert isinstance(StepBuilder.assign(ref("x"), 1), Assign)
+        assert isinstance(StepBuilder.call_stmt("f", ()), CallStmt)
+        stmt = StepBuilder.if_stmt(ref("x").gt(0), [StepBuilder.ret(1)])
+        assert isinstance(stmt, IfStmt)
+
+    def test_returns_rejected_on_subroutine(self):
+        b, f = self._simple()
+        with pytest.raises(BuilderError):
+            f.returns(1)
+
+    def test_duplicate_module_names(self):
+        b = GlafBuilder("p")
+        b.module("M")
+        with pytest.raises(ValidationError):
+            b.module("M")
+
+    def test_global_scope_module_reserved(self):
+        b = GlafBuilder("p")
+        with pytest.raises(BuilderError):
+            b.module("Global Scope")
+
+    def test_type_element_needs_registered_type(self):
+        b = GlafBuilder("p")
+        with pytest.raises(BuilderError):
+            b.global_grid("tsfc", T_REAL8, exists_in_module="m",
+                          type_parent="fin", type_name="nope")
+
+    def test_type_element_needs_matching_field(self):
+        b = GlafBuilder("p")
+        b.derived_type("rad", {"tsfc": (T_REAL8, 0)})
+        with pytest.raises(BuilderError):
+            b.global_grid("pres", T_REAL8, exists_in_module="m",
+                          type_parent="fin", type_name="rad")
+
+    def test_type_element_needs_type_name(self):
+        b = GlafBuilder("p")
+        with pytest.raises(BuilderError):
+            b.global_grid("tsfc", T_REAL8, exists_in_module="m",
+                          type_parent="fin")
+
+    def test_range_triplet_form(self):
+        b, f = self._simple()
+        s = f.step()
+        s.foreach(i=(1, "n", 2))
+        assert f.fn.steps[0].ranges[0].step == ref("n").__class__("n") or True
+        from repro.core.expr import Const
+
+        assert f.fn.steps[0].ranges[0].step == Const(2)
+
+    def test_bad_range_shape(self):
+        b, f = self._simple()
+        s = f.step()
+        with pytest.raises(BuilderError):
+            s.foreach(i=(1,))

@@ -1,0 +1,92 @@
+"""Unit tests for repro.core.types."""
+
+import numpy as np
+import pytest
+
+from repro.core.types import (
+    DerivedType,
+    GlafType,
+    T_INT,
+    T_LOGICAL,
+    T_REAL,
+    T_REAL8,
+    T_VOID,
+    c_decl,
+    fortran_decl,
+    is_numeric,
+    numpy_dtype,
+    opencl_decl,
+    promote,
+)
+
+
+class TestDtypeMaps:
+    def test_numpy_dtypes(self):
+        assert numpy_dtype(T_INT) == np.dtype(np.int64)
+        assert numpy_dtype(T_REAL) == np.dtype(np.float32)
+        assert numpy_dtype(T_REAL8) == np.dtype(np.float64)
+        assert numpy_dtype(T_LOGICAL) == np.dtype(np.bool_)
+
+    def test_void_has_no_dtype(self):
+        with pytest.raises(ValueError):
+            numpy_dtype(T_VOID)
+
+    def test_fortran_decls(self):
+        assert fortran_decl(T_INT) == "INTEGER"
+        assert fortran_decl(T_REAL8) == "REAL(KIND=8)"
+        assert fortran_decl(T_LOGICAL) == "LOGICAL"
+
+    def test_void_selects_subroutine_not_a_decl(self):
+        with pytest.raises(ValueError):
+            fortran_decl(T_VOID)
+
+    def test_c_decls(self):
+        assert c_decl(T_REAL8) == "double"
+        assert c_decl(T_INT) == "long"
+        assert c_decl(T_VOID) == "void"
+
+    def test_opencl_decls(self):
+        assert opencl_decl(T_REAL8) == "double"
+        assert opencl_decl(T_REAL) == "float"
+
+
+class TestPromotion:
+    def test_int_real_promotes_to_real(self):
+        assert promote(T_INT, T_REAL) is T_REAL
+
+    def test_real_real8_promotes_to_real8(self):
+        assert promote(T_REAL, T_REAL8) is T_REAL8
+
+    def test_symmetric(self):
+        assert promote(T_REAL8, T_INT) is promote(T_INT, T_REAL8)
+
+    def test_non_numeric_rejected(self):
+        with pytest.raises(ValueError):
+            promote(T_INT, GlafType.T_CHAR)
+
+    def test_is_numeric(self):
+        assert is_numeric(T_INT) and is_numeric(T_REAL8)
+        assert not is_numeric(T_LOGICAL)
+        assert not is_numeric(T_VOID)
+
+
+class TestDerivedType:
+    def test_fields_and_lookup(self):
+        dt = DerivedType("rad_input", {"tsfc": (T_REAL8, 0), "pres": (T_REAL8, 1)})
+        assert dt.has_field("tsfc")
+        assert dt.has_field("TSFC")  # case-insensitive like FORTRAN
+        assert dt.field("pres") == (T_REAL8, 1)
+
+    def test_missing_field(self):
+        dt = DerivedType("t", {"a": (T_INT, 0)})
+        assert not dt.has_field("b")
+        with pytest.raises(KeyError):
+            dt.field("b")
+
+    def test_void_field_rejected(self):
+        with pytest.raises(ValueError):
+            DerivedType("t", {"a": (T_VOID, 0)})
+
+    def test_negative_rank_rejected(self):
+        with pytest.raises(ValueError):
+            DerivedType("t", {"a": (T_INT, -1)})

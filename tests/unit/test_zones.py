@@ -1,0 +1,76 @@
+"""Unit tests for the zone-level Synoptic SARB driver (paper §2.2)."""
+
+import numpy as np
+import pytest
+
+from repro.sarb.atmosphere import SarbDimensions, zone_sizes
+from repro.sarb.zones import MpiZoneModel, mpi_omp_speedup, run_synoptic
+
+
+class TestSynopticDriver:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_synoptic(n_zones=3, n_hours=2,
+                            dims=SarbDimensions(nv=20, nblw=4, nbsw=2))
+
+    def test_one_result_per_zone(self, result):
+        assert len(result.zones) == 3
+        assert [z.zone for z in result.zones] == [0, 1, 2]
+
+    def test_hours_accumulate_olr(self, result):
+        # olr_acc accumulates over the serial synoptic hours within a zone.
+        for z in result.zones:
+            assert z.olr_total > 0
+            assert z.hours == 2
+
+    def test_zones_differ(self, result):
+        olr = result.olr_by_zone()
+        assert len(set(np.round(olr, 6))) == 3  # distinct atmospheres
+
+    def test_deterministic(self):
+        dims = SarbDimensions(nv=20, nblw=4, nbsw=2)
+        a = run_synoptic(n_zones=2, n_hours=1, dims=dims)
+        b = run_synoptic(n_zones=2, n_hours=1, dims=dims)
+        assert np.array_equal(a.olr_by_zone(), b.olr_by_zone())
+
+    def test_outputs_finite(self, result):
+        for z in result.zones:
+            assert np.isfinite(z.mean_fulw) and np.isfinite(z.mean_fusw)
+
+
+class TestMpiZoneModel:
+    def test_assignment_partitions_zones(self):
+        m = MpiZoneModel(n_zones=18, n_ranks=4)
+        blocks = m.zone_assignment()
+        flat = [z for b in blocks for z in b]
+        assert flat == list(range(18))
+        assert len(blocks) == 4
+
+    def test_makespan_bounds(self):
+        m = MpiZoneModel(n_zones=18, n_ranks=4)
+        assert m.serial_time() / 4 <= m.makespan() <= m.serial_time()
+
+    def test_mpi_speedup_below_rank_count(self):
+        m = MpiZoneModel(n_zones=18, n_ranks=4)
+        assert 1.0 < m.mpi_speedup() < 4.0
+
+    def test_block_distribution_is_imbalanced(self):
+        # Equator-heavy zones make contiguous blocks uneven (paper §2.2:
+        # "zones closer to the equator are naturally larger").
+        m = MpiZoneModel(n_zones=18, n_ranks=4)
+        assert m.load_imbalance() > 1.05
+
+    def test_more_ranks_never_slower(self):
+        m4 = MpiZoneModel(n_zones=18, n_ranks=4)
+        m8 = MpiZoneModel(n_zones=18, n_ranks=8)
+        assert m8.makespan() <= m4.makespan()
+
+    def test_combined_mpi_omp_speedup(self):
+        m = MpiZoneModel(n_zones=18, n_ranks=4)
+        combined = mpi_omp_speedup(m, 1.59)     # Figure 6's 4T intra-zone gain
+        assert combined == pytest.approx(m.mpi_speedup() * 1.59)
+        assert combined > m.mpi_speedup()
+
+    def test_invalid_intra_speedup(self):
+        with pytest.raises(ValueError):
+            mpi_omp_speedup(MpiZoneModel(), 0.0)
