@@ -4,7 +4,9 @@
 2. check every generated interface against the legacy codebase;
 3. splice the generated subroutines into the legacy source and run the
    legacy test-suite driver under the FORTRAN interpreter;
-4. reproduce Figure 5 and Figure 6 with the performance model.
+4. reproduce Figure 5 and Figure 6 with the performance model;
+5. profile the pipeline under :mod:`repro.observe` (the worked example of
+   ``docs/OBSERVABILITY.md``).
 
 Run:  python examples/sarb_integration.py
 """
@@ -67,6 +69,19 @@ def main():
     r = simulate(make_plan(program, "GLAF-parallel v0", threads=4),
                  i5_2400, sarb_workload(inp.dims), SimOptions(threads=4))
     print(overhead_summary(r))
+
+    print("\n=== step 7: profile the pipeline itself (docs/OBSERVABILITY.md) ===")
+    from repro import observe
+    from repro.codegen import generate_fortran_module
+
+    with observe.observed() as obs:
+        plan = make_plan(program, "GLAF-parallel v2", threads=4)
+        generate_fortran_module(plan)
+    print(observe.render_stage_summary(obs.tracer))
+    pruned = [d for d in obs.decisions.for_stage("pruning")
+              if d.verdict == "pruned"]
+    print(f"v2 pruned {len(pruned)} directive(s); "
+          f"run 'python -m repro profile' for the full decision log")
 
 
 if __name__ == "__main__":

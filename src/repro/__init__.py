@@ -35,6 +35,8 @@ Package map (see DESIGN.md):
 * :mod:`repro.sarb`        — Synoptic SARB case study
 * :mod:`repro.fun3d`       — FUN3D Jacobian-reconstruction case study
 * :mod:`repro.bench`       — experiment registry (tables/figures)
+* :mod:`repro.observe`     — tracing / metrics / decision logging
+  (no-op by default; see docs/OBSERVABILITY.md)
 """
 
 from .core import (

@@ -150,6 +150,8 @@ def step_accesses(step: Step) -> list[Access]:
     callee's own effects are summarized separately (see
     :mod:`repro.analysis.parallelize`).
     """
+    from ..observe import get_metrics
+
     index_vars = set(step.index_names())
     accesses: list[Access] = []
     pos = 0
@@ -201,4 +203,8 @@ def step_accesses(step: Step) -> list[Access]:
         for r in collect_reads(step.condition):
             accesses.append(mk(r, False, False))
     visit(step.stmts, cond)
+    m = get_metrics()
+    if m.enabled:
+        m.counter("analysis.accesses.collected").inc(len(accesses))
+        m.counter("analysis.accesses.steps").inc()
     return accesses

@@ -65,6 +65,11 @@ def _dim_relation(a: AffineForm | None, b: AffineForm | None) -> tuple[str, int 
 def test_pair(w: Access, other: Access, loop_vars: tuple[str, ...]) -> Dependence:
     """Dependence between a write and another access to the same grid."""
     assert w.grid == other.grid and w.is_write
+    from ..observe import get_metrics
+
+    _m = get_metrics()
+    if _m.enabled:
+        _m.counter("analysis.dependence.tests").inc()
     if len(w.affine) != len(other.affine):
         # Whole-array reference vs indexed reference: conservatively carried.
         return Dependence(DepKind.UNKNOWN, w.grid, detail="rank-mismatched reference")

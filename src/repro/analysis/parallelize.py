@@ -36,6 +36,7 @@ from dataclasses import dataclass, field
 from ..core.expr import GridRef, walk
 from ..core.function import GlafFunction, GlafProgram
 from ..core.step import Assign, CallStmt, ExitLoop, Return, Step, walk_stmts
+from ..observe import get_decisions, get_metrics, get_tracer
 from .accesses import step_accesses
 from .dependence import DepKind, test_pair, write_is_injective
 from .privatization import classify_privates
@@ -115,6 +116,39 @@ def callee_write_effects(
 
 
 def analyze_step(
+    program: GlafProgram,
+    fn: GlafFunction,
+    step_index: int,
+    *,
+    allow_critical_early_exit: bool = False,
+) -> StepParallelism:
+    with get_tracer().span("analysis.step", function=fn.name, step=step_index):
+        sp = _analyze_step(
+            program, fn, step_index,
+            allow_critical_early_exit=allow_critical_early_exit,
+        )
+    decisions = get_decisions()
+    if decisions.enabled:
+        from .classify import classify_step
+
+        attrs: dict[str, object] = {}
+        if sp.collapse > 1:
+            attrs["collapse"] = sp.collapse
+        if sp.reductions:
+            attrs["reductions"] = ",".join(sorted(sp.reductions))
+        if sp.atomic:
+            attrs["atomic"] = ",".join(sp.atomic)
+        decisions.record(
+            "parallelize", fn.name, step_index, sp.step_name,
+            "parallel" if sp.parallel else "serial",
+            loop_class=classify_step(fn.steps[step_index]).value,
+            reasons=sp.reasons,
+            **attrs,
+        )
+    return sp
+
+
+def _analyze_step(
     program: GlafProgram,
     fn: GlafFunction,
     step_index: int,
@@ -279,10 +313,16 @@ def analyze_program(
     critical_early_exit_functions: frozenset[str] | set[str] = frozenset(),
 ) -> ParallelPlan:
     """Analyze every step of every function."""
-    plan = ParallelPlan(program_name=program.name)
-    for fn in program.functions():
-        allow = fn.name in critical_early_exit_functions
-        for i in range(len(fn.steps)):
-            sp = analyze_step(program, fn, i, allow_critical_early_exit=allow)
-            plan.steps[sp.key] = sp
+    with get_tracer().span("analysis.parallelize", program=program.name) as tsp:
+        plan = ParallelPlan(program_name=program.name)
+        for fn in program.functions():
+            allow = fn.name in critical_early_exit_functions
+            for i in range(len(fn.steps)):
+                sp = analyze_step(program, fn, i, allow_critical_early_exit=allow)
+                plan.steps[sp.key] = sp
+        n_par = sum(1 for sp in plan.steps.values() if sp.parallel)
+        tsp.set(steps=len(plan.steps), parallel=n_par)
+        m = get_metrics()
+        m.counter("analysis.steps").inc(len(plan.steps))
+        m.counter("analysis.steps.parallel").inc(n_par)
     return plan

@@ -40,6 +40,11 @@ def classify_privates(
     program: GlafProgram, fn: GlafFunction, step: Step
 ) -> PrivatizationResult:
     """Classify every grid accessed by ``step`` for a parallel run of its nest."""
+    from ..observe import get_metrics
+
+    _m = get_metrics()
+    if _m.enabled:
+        _m.counter("analysis.privatization.steps").inc()
     loop_vars = set(step.index_names())
     accesses = step_accesses(step)
     by_grid: dict[str, list[Access]] = {}

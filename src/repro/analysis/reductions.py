@@ -88,6 +88,17 @@ def _match_update(stmt: Assign) -> tuple[str, Expr] | None:
 
 def find_reductions(step: Step) -> dict[str, Reduction]:
     """Reductions in a step, keyed by grid name."""
+    from ..observe import get_metrics, get_tracer
+
+    with get_tracer().span("analysis.reductions", step=step.name) as _sp:
+        found = _find_reductions(step)
+        _sp.set(found=len(found))
+        if found:
+            get_metrics().counter("analysis.reductions.found").inc(len(found))
+        return found
+
+
+def _find_reductions(step: Step) -> dict[str, Reduction]:
     updates: dict[str, list[tuple[Assign, str, Expr]]] = {}
     other_writes: set[str] = set()
     other_reads: set[str] = set()

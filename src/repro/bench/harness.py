@@ -65,5 +65,11 @@ def format_table(result: ExperimentResult) -> str:
 
 
 def run_and_format(exp: Experiment) -> tuple[ExperimentResult, str]:
-    result = exp.run()
+    from ..observe import get_metrics, get_tracer
+
+    with get_tracer().span("bench.experiment", id=exp.experiment_id,
+                           paper_ref=exp.paper_ref) as _sp:
+        result = exp.run()
+        _sp.set(rows=len(result.rows))
+        get_metrics().counter("bench.experiments.run").inc()
     return result, format_table(result)

@@ -10,15 +10,35 @@
   parallelization verdicts.
 * ``sloc PROJECT.json`` — per-subprogram SLOC of the generated FORTRAN.
 * ``variants`` — list the Table-2 pruning variants.
+* ``profile PROJECT.json`` — run the whole pipeline under the
+  :mod:`repro.observe` tracer and print the per-stage timing tree, the
+  metrics, and the parallelization decision log (``--json FILE`` exports
+  the trace document; see ``docs/OBSERVABILITY.md``).
+
+``experiments`` and ``generate`` also accept ``--profile [FILE]``: with no
+argument the observability report is printed to stderr after the normal
+output; with a file argument the JSON trace is written there instead.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Sequence
 
 __all__ = ["main", "build_parser"]
+
+_PROFILE_REPORT = object()     # sentinel: bare --profile (text report to stderr)
+
+
+def _add_profile_flag(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--profile", nargs="?", const=_PROFILE_REPORT, default=None,
+        metavar="FILE",
+        help="trace the run; print a report to stderr, or write a JSON "
+             "trace to FILE when given",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -30,6 +50,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     exp = sub.add_parser("experiments", help="run paper experiments")
     exp.add_argument("ids", nargs="*", help="experiment ids (default: all)")
+    _add_profile_flag(exp)
 
     gen = sub.add_parser("generate", help="generate code from a project file")
     gen.add_argument("project", help="path to a saved GLAF project JSON")
@@ -38,6 +59,7 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--variant", default="GLAF-parallel v0",
                      help='pruning variant (e.g. "GLAF serial", "GLAF-parallel v3")')
     gen.add_argument("--threads", type=int, default=4)
+    _add_profile_flag(gen)
 
     ana = sub.add_parser("analyze", help="print loop classes and verdicts")
     ana.add_argument("project")
@@ -46,6 +68,21 @@ def build_parser() -> argparse.ArgumentParser:
     sloc.add_argument("project")
 
     sub.add_parser("variants", help="list Table-2 variants")
+
+    prof = sub.add_parser(
+        "profile",
+        help="trace the pipeline stages for a project and explain decisions",
+    )
+    prof.add_argument("project", help="path to a saved GLAF project JSON")
+    prof.add_argument("--variant", default="GLAF-parallel v0",
+                      help="pruning variant to plan and generate for")
+    prof.add_argument("--threads", type=int, default=4)
+    prof.add_argument("--target",
+                      choices=["fortran", "c", "opencl", "python", "all"],
+                      default="fortran",
+                      help="back-end(s) to run through codegen")
+    prof.add_argument("--json", dest="json_path", metavar="FILE",
+                      help="also write the JSON trace document to FILE")
     return p
 
 
@@ -144,18 +181,90 @@ def _cmd_variants(args) -> int:
     return 0
 
 
+def _cmd_profile(args) -> int:
+    from . import observe
+    from .codegen import (
+        generate_c_source,
+        generate_fortran_module,
+        generate_opencl,
+        generate_python_source,
+    )
+    from .fortranlib.parser import parse_source
+    from .optimize import make_plan
+
+    targets = (["fortran", "c", "opencl", "python"]
+               if args.target == "all" else [args.target])
+    with observe.observed() as obs:
+        with observe.get_tracer().span("pipeline", project=args.project,
+                                       variant=args.variant):
+            program = _load_program(args.project)
+            plan = make_plan(program, args.variant, threads=args.threads)
+            for target in targets:
+                if target == "fortran":
+                    # Round-trip the generated module through the FORTRAN
+                    # front end so the lexer/parser stages show up too.
+                    parse_source(generate_fortran_module(plan))
+                elif target == "c":
+                    generate_c_source(plan)
+                elif target == "python":
+                    generate_python_source(plan)
+                else:
+                    generate_opencl(plan)
+    print(obs.report(title=f"repro profile: {args.project} "
+                           f"(variant {args.variant!r})"))
+    if args.json_path:
+        with open(args.json_path, "w") as f:
+            json.dump(obs.to_json(project=args.project, variant=args.variant,
+                                  targets=targets), f, indent=2)
+        print(f"\ntrace written to {args.json_path}", file=sys.stderr)
+    return 0
+
+
 _COMMANDS = {
     "experiments": _cmd_experiments,
     "generate": _cmd_generate,
     "analyze": _cmd_analyze,
     "sloc": _cmd_sloc,
     "variants": _cmd_variants,
+    "profile": _cmd_profile,
 }
 
 
 def main(argv: Sequence[str] | None = None) -> int:
+    from . import observe
+    from .errors import GlafError
+
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    cmd = _COMMANDS[args.command]
+
+    def run() -> int:
+        try:
+            return cmd(args)
+        except FileNotFoundError as e:
+            print(f"error: no such file: {e.filename or e}", file=sys.stderr)
+            return 2
+        except KeyError as e:
+            # Unknown variant / function name surfaced by the pipeline.
+            print(f"error: {e.args[0] if e.args else e}", file=sys.stderr)
+            return 2
+        except GlafError as e:
+            print(f"error: {e}", file=sys.stderr)
+            return 1
+
+    profile = getattr(args, "profile", None)
+    if profile is None:
+        return run()
+
+    with observe.observed() as obs:
+        rc = run()
+    if profile is _PROFILE_REPORT:
+        print(obs.report(title=f"profile: repro {args.command}"),
+              file=sys.stderr)
+    else:
+        with open(profile, "w") as f:
+            json.dump(obs.to_json(command=args.command), f, indent=2)
+        print(f"trace written to {profile}", file=sys.stderr)
+    return rc
 
 
 if __name__ == "__main__":  # pragma: no cover

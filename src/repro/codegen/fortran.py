@@ -524,4 +524,10 @@ class FortranGenerator:
 
 def generate_fortran_module(plan: OptimizationPlan, module_name: str | None = None) -> str:
     """Convenience wrapper: one call, one generated MODULE."""
-    return FortranGenerator(plan, module_name).generate_module()
+    from ..observe import get_metrics, get_tracer
+
+    with get_tracer().span("codegen.fortran", variant=plan.variant.name) as _sp:
+        src = FortranGenerator(plan, module_name).generate_module()
+        _sp.set(lines=src.count("\n"))
+        get_metrics().counter("codegen.fortran.lines").inc(src.count("\n"))
+        return src

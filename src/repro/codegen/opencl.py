@@ -139,4 +139,10 @@ class OpenCLGenerator:
 
 
 def generate_opencl(plan: OptimizationPlan) -> OpenCLOutput:
-    return OpenCLGenerator(plan).generate()
+    from ..observe import get_metrics, get_tracer
+
+    with get_tracer().span("codegen.opencl", variant=plan.variant.name) as _sp:
+        out = OpenCLGenerator(plan).generate()
+        _sp.set(kernels=len(out.launch_plan))
+        get_metrics().counter("codegen.opencl.kernels").inc(len(out.launch_plan))
+        return out

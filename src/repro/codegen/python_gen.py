@@ -323,4 +323,10 @@ class PythonGenerator:
 
 
 def generate_python_source(plan: OptimizationPlan) -> str:
-    return PythonGenerator(plan).generate_source()
+    from ..observe import get_metrics, get_tracer
+
+    with get_tracer().span("codegen.python", variant=plan.variant.name) as _sp:
+        src = PythonGenerator(plan).generate_source()
+        _sp.set(lines=src.count("\n"))
+        get_metrics().counter("codegen.python.lines").inc(src.count("\n"))
+        return src

@@ -257,4 +257,10 @@ def save_project(program: GlafProgram, path: str | Path) -> None:
 
 
 def load_project(path: str | Path) -> GlafProgram:
-    return program_from_dict(json.loads(Path(path).read_text()))
+    from ..observe import get_tracer
+
+    with get_tracer().span("project.load", path=str(path)) as _sp:
+        program = program_from_dict(json.loads(Path(path).read_text()))
+        _sp.set(program=program.name,
+                functions=len(list(program.functions())))
+        return program

@@ -28,6 +28,13 @@ __all__ = ["validate_program", "validate_function"]
 
 
 def validate_program(program: GlafProgram) -> None:
+    from ..observe import get_tracer
+
+    with get_tracer().span("project.validate", program=program.name):
+        _validate_program(program)
+
+
+def _validate_program(program: GlafProgram) -> None:
     names = [fn.name for fn in program.functions()]
     if len(names) != len(set(names)):
         dupes = sorted({n for n in names if names.count(n) > 1})

@@ -45,6 +45,16 @@ _NUM_RE = re.compile(
 
 
 def tokenize(source: str) -> list[Token]:
+    from ..observe import get_metrics, get_tracer
+
+    with get_tracer().span("fortran.lex") as _sp:
+        tokens = _tokenize(source)
+        _sp.set(tokens=len(tokens))
+        get_metrics().counter("fortran.lex.tokens").inc(len(tokens))
+        return tokens
+
+
+def _tokenize(source: str) -> list[Token]:
     tokens: list[Token] = []
     lines = source.splitlines()
     pending_continuation = False

@@ -59,7 +59,14 @@ _ATTR_KEYWORDS = {"parameter", "allocatable", "save", "pointer", "target"}
 
 
 def parse_source(source: str) -> FSourceFile:
-    return Parser(source).parse_file()
+    from ..observe import get_metrics, get_tracer
+
+    with get_tracer().span("fortran.parse") as _sp:
+        f = Parser(source).parse_file()
+        n_units = len(f.modules) + len(f.programs) + len(f.subprograms)
+        _sp.set(units=n_units)
+        get_metrics().counter("fortran.parse.units").inc(n_units)
+        return f
 
 
 class Parser:

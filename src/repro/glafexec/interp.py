@@ -110,6 +110,19 @@ class Interpreter:
     # ------------------------------------------------------------------
     def call(self, name: str, args: list[Any] | tuple = ()) -> Any:
         """Call a GLAF function; returns its value (None for subroutines)."""
+        from ..observe import get_metrics, get_tracer
+
+        _m = get_metrics()
+        if _m.enabled:
+            _m.counter("exec.interp.calls").inc()
+        if self._depth == 0:
+            # Only the outermost call gets a span; nested calls would swamp
+            # the trace and are already counted by ExecStats / the counter.
+            with get_tracer().span("exec.interp", entry=name):
+                return self._call(name, args)
+        return self._call(name, args)
+
+    def _call(self, name: str, args: list[Any] | tuple = ()) -> Any:
         fn = self.program.find_function(name)
         if len(args) != len(fn.params):
             raise ExecutionError(

@@ -33,10 +33,13 @@ def run_interpreted(
     save_inner_arrays: bool = False,
 ) -> tuple[Any, ExecutionContext, Interpreter]:
     """Run ``entry`` through the IR interpreter on a fresh context."""
-    ctx = ExecutionContext(program, sizes=sizes, values=values)
-    interp = Interpreter(program, ctx, save_inner_arrays=save_inner_arrays)
-    result = interp.call(entry, list(args))
-    return result, ctx, interp
+    from ..observe import get_tracer
+
+    with get_tracer().span("exec.run.interp", entry=entry, program=program.name):
+        ctx = ExecutionContext(program, sizes=sizes, values=values)
+        interp = Interpreter(program, ctx, save_inner_arrays=save_inner_arrays)
+        result = interp.call(entry, list(args))
+        return result, ctx, interp
 
 
 class GeneratedModule:
@@ -76,12 +79,14 @@ def run_generated_python(
     ``Globals`` object, so global effects are observable on the returned
     context exactly as with the interpreter path.
     """
+    from ..observe import get_tracer
     from ..optimize.plan import Tweaks
 
-    ctx = ExecutionContext(program, sizes=sizes, values=values)
-    plan = make_plan(
-        program, variant, tweaks=Tweaks(save_inner_arrays=save_inner_arrays)
-    )
-    mod = GeneratedModule(plan, ctx)
-    result = mod.call(entry, list(args))
-    return result, ctx
+    with get_tracer().span("exec.run.python", entry=entry, program=program.name):
+        ctx = ExecutionContext(program, sizes=sizes, values=values)
+        plan = make_plan(
+            program, variant, tweaks=Tweaks(save_inner_arrays=save_inner_arrays)
+        )
+        mod = GeneratedModule(plan, ctx)
+        result = mod.call(entry, list(args))
+        return result, ctx

@@ -1,0 +1,128 @@
+"""Zero-dependency observability for the GLAF pipeline.
+
+The subsystem has three legs, each with a module-level no-op default so
+un-instrumented runs cost nothing (see ``docs/OBSERVABILITY.md``):
+
+* :mod:`repro.observe.trace` — a :class:`Tracer` of nestable spans
+  (``with tracer.span("analysis.dependence", step=name):``) capturing
+  wall time, call counts, and key/value attributes;
+* :mod:`repro.observe.metrics` — a thread-safe :class:`MetricsRegistry`
+  of counters / gauges / histograms;
+* :mod:`repro.observe.decisions` — a :class:`DecisionLog` of structured
+  "why" events from the parallelization analyzer, the pruning passes,
+  and the model-guided advisor.
+
+The usual entry point is :func:`observed`, which installs all three for
+the duration of a ``with`` block and hands back the bundle::
+
+    from repro import observe
+
+    with observe.observed() as obs:
+        plan = make_plan(program, "GLAF-parallel v2")
+        src = generate_fortran_module(plan)
+    print(observe.render_report(obs.tracer, obs.metrics, obs.decisions))
+
+``repro profile PROJECT.json`` and the ``--profile`` flag on
+``experiments`` / ``generate`` are the CLI front doors to the same
+machinery; :mod:`repro.observe.report` renders the flame-style tree, the
+per-stage summary, and the JSON export (schema ``repro.observe.trace/v1``).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator
+
+from .decisions import (
+    NULL_DECISIONS,
+    Decision,
+    DecisionLog,
+    NullDecisionLog,
+    get_decisions,
+    set_decisions,
+)
+from .metrics import (
+    NULL_METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetricsRegistry,
+    get_metrics,
+    set_metrics,
+)
+from .report import (
+    TRACE_SCHEMA,
+    render_decisions,
+    render_metrics,
+    render_report,
+    render_stage_summary,
+    render_tree,
+    stage_totals,
+    trace_to_json,
+)
+from .trace import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    get_tracer,
+    set_tracer,
+)
+
+__all__ = [
+    # trace
+    "Span", "Tracer", "NullTracer", "NULL_TRACER", "get_tracer", "set_tracer",
+    # metrics
+    "Counter", "Gauge", "Histogram", "MetricsRegistry", "NullMetricsRegistry",
+    "NULL_METRICS", "get_metrics", "set_metrics",
+    # decisions
+    "Decision", "DecisionLog", "NullDecisionLog", "NULL_DECISIONS",
+    "get_decisions", "set_decisions",
+    # reporting
+    "TRACE_SCHEMA", "render_tree", "render_stage_summary", "render_metrics",
+    "render_decisions", "render_report", "stage_totals", "trace_to_json",
+    # session
+    "Observation", "observed", "is_observing",
+]
+
+
+@dataclass
+class Observation:
+    """The tracer + metrics + decision log installed by one :func:`observed`."""
+
+    tracer: Tracer
+    metrics: MetricsRegistry
+    decisions: DecisionLog
+
+    def to_json(self, **meta: object) -> dict[str, object]:
+        return trace_to_json(self.tracer, self.metrics, self.decisions, **meta)
+
+    def report(self, title: str = "pipeline profile") -> str:
+        return render_report(self.tracer, self.metrics, self.decisions,
+                             title=title)
+
+
+def is_observing() -> bool:
+    """True while a real (non-null) tracer is installed."""
+    return get_tracer().enabled
+
+
+@contextmanager
+def observed() -> Iterator[Observation]:
+    """Install a fresh tracer/metrics/decision-log trio for the block.
+
+    Restores whatever was installed before on exit, so observations nest
+    (the inner one wins while active).
+    """
+    obs = Observation(Tracer(), MetricsRegistry(), DecisionLog())
+    prev_t = set_tracer(obs.tracer)
+    prev_m = set_metrics(obs.metrics)
+    prev_d = set_decisions(obs.decisions)
+    try:
+        yield obs
+    finally:
+        set_tracer(prev_t)
+        set_metrics(prev_m)
+        set_decisions(prev_d)

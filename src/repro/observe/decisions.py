@@ -1,0 +1,147 @@
+"""Structured "why" events from the analysis and optimization passes.
+
+Timing says *where* the pipeline spends its effort; decisions say *what it
+concluded*.  The parallelization analyzer, the pruning pipeline, and the
+model-guided advisor each emit one :class:`Decision` per (function, step)
+they rule on, carrying the loop class, the verdict, and the reasons — so
+the paper's Table 2 variant differences ("why did v2 drop this loop but
+keep that one?") can be answered from a single ``repro profile`` run.
+
+Stages and their verdict vocabularies:
+
+==============  =====================================================
+``parallelize``  ``parallel`` | ``serial``
+``pruning``      ``kept`` | ``pruned`` | ``not-parallel``
+``advisor``      ``omp`` | ``simd`` | ``none``
+==============  =====================================================
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Decision",
+    "DecisionLog",
+    "NullDecisionLog",
+    "NULL_DECISIONS",
+    "get_decisions",
+    "set_decisions",
+]
+
+
+@dataclass(frozen=True)
+class Decision:
+    """One structured verdict from an analysis/optimization pass."""
+
+    stage: str                      # 'parallelize' | 'pruning' | 'advisor'
+    function: str
+    step_index: int
+    step_name: str
+    verdict: str
+    loop_class: str = ""
+    reasons: tuple[str, ...] = ()
+    attrs: tuple[tuple[str, object], ...] = ()
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "stage": self.stage,
+            "function": self.function,
+            "step_index": self.step_index,
+            "step_name": self.step_name,
+            "verdict": self.verdict,
+            "loop_class": self.loop_class,
+            "reasons": list(self.reasons),
+            "attrs": dict(self.attrs),
+        }
+
+
+@dataclass
+class DecisionLog:
+    """Append-only, thread-safe list of :class:`Decision` events."""
+
+    events: list[Decision] = field(default_factory=list)
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    enabled = True
+
+    def record(
+        self,
+        stage: str,
+        function: str,
+        step_index: int,
+        step_name: str,
+        verdict: str,
+        *,
+        loop_class: str = "",
+        reasons: tuple[str, ...] | list[str] = (),
+        **attrs: object,
+    ) -> None:
+        d = Decision(
+            stage=stage,
+            function=function,
+            step_index=step_index,
+            step_name=step_name,
+            verdict=verdict,
+            loop_class=loop_class,
+            reasons=tuple(reasons),
+            attrs=tuple(sorted(attrs.items())),
+        )
+        with self._lock:
+            self.events.append(d)
+
+    def for_stage(self, stage: str) -> list[Decision]:
+        with self._lock:
+            return [d for d in self.events if d.stage == stage]
+
+    def by_function(self) -> dict[str, list[Decision]]:
+        """Events grouped per subroutine/function, insertion-ordered."""
+        out: dict[str, list[Decision]] = {}
+        with self._lock:
+            for d in self.events:
+                out.setdefault(d.function, []).append(d)
+        return out
+
+    def reset(self) -> None:
+        with self._lock:
+            self.events.clear()
+
+
+class NullDecisionLog:
+    """Default no-op log: ``record`` discards, queries return empty."""
+
+    enabled = False
+    events: list[Decision] = []
+
+    def record(self, *args, **kwargs) -> None:
+        return None
+
+    def for_stage(self, stage: str) -> list[Decision]:
+        return []
+
+    def by_function(self) -> dict[str, list[Decision]]:
+        return {}
+
+    def reset(self) -> None:
+        return None
+
+
+NULL_DECISIONS = NullDecisionLog()
+
+_decisions: DecisionLog | NullDecisionLog = NULL_DECISIONS
+
+
+def get_decisions() -> DecisionLog | NullDecisionLog:
+    """The process-wide decision log (no-op unless observation is active)."""
+    return _decisions
+
+
+def set_decisions(
+    log: DecisionLog | NullDecisionLog | None,
+) -> DecisionLog | NullDecisionLog:
+    """Install ``log`` (``None`` restores the no-op); returns the previous."""
+    global _decisions
+    prev = _decisions
+    _decisions = log if log is not None else NULL_DECISIONS
+    return prev

@@ -1,0 +1,237 @@
+"""Reporting: flame-style tree, per-stage summary, JSON export, decisions.
+
+Three views over one observation:
+
+* :func:`render_tree` — siblings aggregated by span name into a
+  flame-style text tree (total ms, call count, attrs of singletons);
+* :func:`render_stage_summary` — a table keyed by pipeline stage (the
+  first dotted component of the span name: ``fortran``, ``analysis``,
+  ``optimize``, ``codegen``, ``exec``, ``bench``, …) with cumulative and
+  self time;
+* :func:`trace_to_json` / :func:`render_report` — the machine-readable
+  export (schema ``repro.observe.trace/v1``, documented in
+  ``docs/OBSERVABILITY.md``) and the human-readable composite used by
+  ``repro profile`` and ``--profile``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .decisions import Decision, DecisionLog, NullDecisionLog
+from .metrics import MetricsRegistry, NullMetricsRegistry
+from .trace import NullTracer, Span, Tracer
+
+__all__ = [
+    "TRACE_SCHEMA",
+    "aggregate_children",
+    "render_tree",
+    "stage_totals",
+    "render_stage_summary",
+    "render_metrics",
+    "render_decisions",
+    "trace_to_json",
+    "render_report",
+]
+
+TRACE_SCHEMA = "repro.observe.trace/v1"
+
+
+@dataclass
+class _Agg:
+    """Siblings with the same span name, merged."""
+
+    name: str
+    count: int = 0
+    total: float = 0.0
+    attrs: dict[str, object] = field(default_factory=dict)
+    children: list[Span] = field(default_factory=list)
+
+
+def aggregate_children(spans: list[Span]) -> list[_Agg]:
+    """Merge sibling spans by name, preserving first-seen order."""
+    out: dict[str, _Agg] = {}
+    for s in spans:
+        a = out.get(s.name)
+        if a is None:
+            a = out[s.name] = _Agg(name=s.name)
+        a.count += 1
+        a.total += s.duration
+        a.children.extend(s.children)
+        if a.count == 1:
+            a.attrs = dict(s.attrs)
+        else:
+            a.attrs = {}           # attrs only shown for unmerged spans
+    return list(out.values())
+
+
+def _fmt_ms(seconds: float) -> str:
+    return f"{seconds * 1e3:8.3f}ms"
+
+
+def _fmt_attrs(attrs: dict[str, object]) -> str:
+    if not attrs:
+        return ""
+    inner = ", ".join(f"{k}={v}" for k, v in sorted(attrs.items()))
+    return f"  [{inner}]"
+
+
+def render_tree(tracer: Tracer | NullTracer, *, max_depth: int = 12) -> str:
+    """Flame-style text tree of the recorded spans."""
+    lines: list[str] = []
+
+    def emit(aggs: list[_Agg], depth: int) -> None:
+        if depth >= max_depth:
+            return
+        for a in aggs:
+            calls = f" x{a.count}" if a.count > 1 else ""
+            lines.append(
+                f"{_fmt_ms(a.total)}  {'  ' * depth}{a.name}{calls}"
+                f"{_fmt_attrs(a.attrs)}"
+            )
+            emit(aggregate_children(a.children), depth + 1)
+
+    emit(aggregate_children(list(tracer.roots)), 0)
+    if not lines:
+        return "(no spans recorded)"
+    return "\n".join(lines)
+
+
+def stage_totals(tracer: Tracer | NullTracer) -> list[dict[str, object]]:
+    """Cumulative/self time and call count per pipeline stage.
+
+    The stage is the first dotted component of the span name.  *Cumulative*
+    counts a stage's time only at its outermost spans (nested same-stage
+    spans are not double counted); *self* excludes time spent in child
+    spans of any stage.
+    """
+    rows: dict[str, dict[str, object]] = {}
+
+    def row(stage: str) -> dict[str, object]:
+        r = rows.get(stage)
+        if r is None:
+            r = rows[stage] = {"stage": stage, "calls": 0,
+                               "cumulative_s": 0.0, "self_s": 0.0}
+        return r
+
+    def visit(span: Span, enclosing: str | None) -> None:
+        stage = span.name.split(".", 1)[0]
+        r = row(stage)
+        r["calls"] = int(r["calls"]) + 1
+        if stage != enclosing:
+            r["cumulative_s"] = float(r["cumulative_s"]) + span.duration
+        child_time = sum(c.duration for c in span.children)
+        r["self_s"] = float(r["self_s"]) + max(0.0, span.duration - child_time)
+        for c in span.children:
+            visit(c, stage)
+
+    for root in tracer.roots:
+        visit(root, None)
+    return sorted(rows.values(), key=lambda r: -float(r["cumulative_s"]))
+
+
+def render_stage_summary(tracer: Tracer | NullTracer) -> str:
+    rows = stage_totals(tracer)
+    if not rows:
+        return "(no stages recorded)"
+    lines = [f"{'stage':<12s} {'calls':>6s} {'cumulative':>12s} {'self':>12s}"]
+    lines.append(f"{'-' * 12} {'-' * 6} {'-' * 12} {'-' * 12}")
+    for r in rows:
+        lines.append(
+            f"{r['stage']:<12s} {r['calls']:>6d} "
+            f"{float(r['cumulative_s']) * 1e3:>10.3f}ms "
+            f"{float(r['self_s']) * 1e3:>10.3f}ms"
+        )
+    return "\n".join(lines)
+
+
+def render_metrics(metrics: MetricsRegistry | NullMetricsRegistry) -> str:
+    snap = metrics.snapshot()
+    lines: list[str] = []
+    for name, v in snap["counters"].items():
+        lines.append(f"{name:<40s} {v:>10d}")
+    for name, v in snap["gauges"].items():
+        lines.append(f"{name:<40s} {v:>10g}")
+    for name, s in snap["histograms"].items():
+        lines.append(
+            f"{name:<40s} n={s['count']} mean={s['mean']:.4g} "
+            f"min={s['min']:.4g} max={s['max']:.4g}"
+        )
+    return "\n".join(lines) if lines else "(no metrics recorded)"
+
+
+def _decision_line(d: Decision) -> str:
+    cls = f" class={d.loop_class}" if d.loop_class else ""
+    why = f" — {d.reasons[0]}" if d.reasons else ""
+    extra = {k: v for k, v in d.attrs if v not in ("", None) and k != "variant"}
+    ex = ("  [" + ", ".join(f"{k}={v}" for k, v in sorted(extra.items())) + "]"
+          if extra else "")
+    return (f"    step {d.step_index} {d.step_name:<24s} "
+            f"[{d.stage}:{d.verdict}]{cls}{why}{ex}")
+
+
+def render_decisions(log: DecisionLog | NullDecisionLog) -> str:
+    """Decision events grouped per subroutine/function."""
+    grouped = log.by_function()
+    if not grouped:
+        return "(no decisions recorded)"
+    lines: list[str] = []
+    for fname, events in grouped.items():
+        lines.append(f"  {fname}")
+        for d in events:
+            lines.append(_decision_line(d))
+    return "\n".join(lines)
+
+
+def _span_to_dict(span: Span, epoch: float) -> dict[str, object]:
+    return {
+        "name": span.name,
+        "start_s": round(span.start - epoch, 9),
+        "duration_s": round(span.duration, 9),
+        "thread": span.thread,
+        "attrs": dict(span.attrs),
+        "children": [_span_to_dict(c, epoch) for c in span.children],
+    }
+
+
+def trace_to_json(
+    tracer: Tracer | NullTracer,
+    metrics: MetricsRegistry | NullMetricsRegistry | None = None,
+    decisions: DecisionLog | NullDecisionLog | None = None,
+    **meta: object,
+) -> dict[str, object]:
+    """The exportable trace document (see ``docs/OBSERVABILITY.md``)."""
+    epoch = getattr(tracer, "epoch", 0.0)
+    doc: dict[str, object] = {
+        "schema": TRACE_SCHEMA,
+        "meta": dict(meta),
+        "spans": [_span_to_dict(r, epoch) for r in tracer.roots],
+        "stages": stage_totals(tracer),
+    }
+    if metrics is not None:
+        doc["metrics"] = metrics.snapshot()
+    if decisions is not None:
+        doc["decisions"] = [d.to_dict() for d in decisions.events]
+    return doc
+
+
+def render_report(
+    tracer: Tracer | NullTracer,
+    metrics: MetricsRegistry | NullMetricsRegistry | None = None,
+    decisions: DecisionLog | NullDecisionLog | None = None,
+    *,
+    title: str = "pipeline profile",
+) -> str:
+    """The composite human-readable report printed by ``repro profile``."""
+    parts = [f"== {title} =="]
+    parts.append("\n-- span tree --")
+    parts.append(render_tree(tracer))
+    parts.append("\n-- per-stage summary --")
+    parts.append(render_stage_summary(tracer))
+    if metrics is not None:
+        parts.append("\n-- metrics --")
+        parts.append(render_metrics(metrics))
+    if decisions is not None:
+        parts.append("\n-- parallelization decisions --")
+        parts.append(render_decisions(decisions))
+    return "\n".join(parts)

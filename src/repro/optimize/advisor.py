@@ -100,6 +100,37 @@ def advise(
     the directive stays.  Greedy per-step toggling is exact here because
     the simulator's step costs are additive.
     """
+    from ..observe import get_decisions, get_tracer
+
+    with get_tracer().span("optimize.advisor", program=program.name,
+                           threads=threads) as _sp:
+        auto_plan, report = _advise(program, machine, workload,
+                                    threads=threads, tweaks=tweaks)
+        _sp.set(kept=len(report.kept()), simd=len(report.simd()),
+                dropped=len(report.dropped()))
+    decisions = get_decisions()
+    if decisions.enabled:
+        for d in report.decisions:
+            decisions.record(
+                "advisor", d.function, d.step_index, d.step_name, d.choice,
+                loop_class=d.loop_class,
+                reasons=(
+                    f"model cycles: omp={d.cycles_with_omp:.0f} "
+                    f"simd={d.cycles_with_simd:.0f} "
+                    f"none={d.cycles_without_omp:.0f}",
+                ),
+            )
+    return auto_plan, report
+
+
+def _advise(
+    program: GlafProgram,
+    machine,
+    workload,
+    *,
+    threads: int = 4,
+    tweaks: Tweaks | None = None,
+) -> tuple[OptimizationPlan, AdvisorReport]:
     from ..perf.simulate import SimOptions, Simulator
     from ..analysis.classify import classify_step
 

@@ -90,13 +90,21 @@ def make_plan(
     force_simd: frozenset[tuple[str, int]] = frozenset(),
 ) -> OptimizationPlan:
     """Analyze ``program`` and build the plan for one variant."""
+    from ..observe import get_metrics, get_tracer
+
     if isinstance(variant, str):
         variant = variant_by_name(variant)
     tweaks = tweaks or Tweaks()
-    pplan = analyze_program(
-        program, critical_early_exit_functions=tweaks.critical_early_exit
-    )
-    directives = directives_for_variant(program, pplan, variant)
+    with get_tracer().span("optimize.plan", program=program.name,
+                           variant=variant.name, threads=threads) as _sp:
+        pplan = analyze_program(
+            program, critical_early_exit_functions=tweaks.critical_early_exit
+        )
+        directives = directives_for_variant(program, pplan, variant)
+        _sp.set(directives=directives.n_directives())
+        get_metrics().gauge("optimize.plan.directives").set(
+            directives.n_directives()
+        )
     return OptimizationPlan(
         program=program,
         parallel_plan=pplan,

@@ -1,9 +1,13 @@
 """Unit tests for the command-line interface."""
 
+import json
+
 import pytest
 
+from repro import observe
 from repro.cli import main
 from repro.core.project import save_project
+from repro.observe import TRACE_SCHEMA
 from repro.sarb import build_sarb_program
 
 
@@ -64,3 +68,88 @@ class TestCli:
         assert main(["sloc", project_file]) == 0
         out = capsys.readouterr().out
         assert "longwave_entropy_model" in out
+
+
+class TestProfileCommand:
+    def test_profile_prints_tree_and_decisions(self, project_file, capsys):
+        assert main(["profile", project_file]) == 0
+        out = capsys.readouterr().out
+        assert "-- span tree --" in out
+        assert "optimize.plan" in out
+        assert "analysis.parallelize" in out
+        assert "codegen.fortran" in out
+        # Generated FORTRAN is round-tripped through the front end, so the
+        # lexer/parser stages appear in the same tree.
+        assert "fortran.parse" in out
+        assert "-- per-stage summary --" in out
+        assert "-- parallelization decisions --" in out
+        assert "[parallelize:parallel]" in out
+        assert "[pruning:" in out
+
+    def test_profile_variant_shows_pruning_reasons(self, project_file, capsys):
+        assert main(["profile", project_file,
+                     "--variant", "GLAF-parallel v2"]) == 0
+        out = capsys.readouterr().out
+        assert "prunes class simple-single" in out
+
+    def test_profile_all_targets(self, project_file, capsys):
+        assert main(["profile", project_file, "--target", "all"]) == 0
+        out = capsys.readouterr().out
+        for span in ("codegen.fortran", "codegen.c", "codegen.opencl",
+                     "codegen.python"):
+            assert span in out
+
+    def test_profile_json_export(self, project_file, capsys, tmp_path):
+        trace = tmp_path / "trace.json"
+        assert main(["profile", project_file, "--json", str(trace)]) == 0
+        doc = json.loads(trace.read_text())
+        assert doc["schema"] == TRACE_SCHEMA
+        assert doc["meta"]["project"] == project_file
+        assert doc["spans"][0]["name"] == "pipeline"
+        assert doc["metrics"]["counters"]["analysis.steps"] == 26
+        assert any(d["stage"] == "parallelize" for d in doc["decisions"])
+
+    def test_profile_leaves_noop_installed(self, project_file, capsys):
+        assert main(["profile", project_file]) == 0
+        assert not observe.is_observing()
+        capsys.readouterr()
+
+    def test_missing_project_is_a_friendly_error(self, capsys):
+        assert main(["profile", "/nonexistent/project.json"]) == 2
+        assert "no such file" in capsys.readouterr().err
+
+    def test_unknown_variant_is_a_friendly_error(self, project_file, capsys):
+        assert main(["profile", project_file, "--variant", "bogus"]) == 2
+        assert "unknown variant" in capsys.readouterr().err
+
+
+class TestProfileFlag:
+    def test_generate_profile_reports_to_stderr(self, project_file, capsys):
+        assert main(["generate", project_file, "--profile"]) == 0
+        captured = capsys.readouterr()
+        assert "MODULE glaf_sarb_mod" in captured.out       # normal output intact
+        assert "-- span tree --" in captured.err
+        assert "codegen.fortran" in captured.err
+
+    def test_generate_profile_json(self, project_file, capsys, tmp_path):
+        trace = tmp_path / "gen.json"
+        assert main(["generate", project_file, "--profile", str(trace)]) == 0
+        doc = json.loads(trace.read_text())
+        assert doc["schema"] == TRACE_SCHEMA
+        assert doc["meta"] == {"command": "generate"}
+        names = {s["name"] for s in doc["spans"]}
+        assert "codegen.fortran" in names and "optimize.plan" in names
+
+    def test_experiments_profile_json(self, capsys, tmp_path):
+        trace = tmp_path / "exp.json"
+        assert main(["experiments", "T2", "--profile", str(trace)]) == 0
+        doc = json.loads(trace.read_text())
+        assert doc["schema"] == TRACE_SCHEMA
+        names = {s["name"] for s in doc["spans"]}
+        assert "bench.experiment" in names
+
+    def test_no_profile_records_nothing(self, project_file, capsys):
+        assert main(["generate", project_file]) == 0
+        assert not observe.is_observing()
+        assert observe.get_metrics().snapshot()["counters"] == {}
+        capsys.readouterr()

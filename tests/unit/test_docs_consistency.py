@@ -1,0 +1,72 @@
+"""Docs stay in sync with the code they describe.
+
+Two invariants, enforced so a new CLI subcommand or package cannot land
+without its documentation:
+
+* every ``repro`` subcommand registered in :func:`repro.cli.build_parser`
+  is documented in ``README.md``;
+* every public package under ``src/repro/`` is mentioned in
+  ``docs/ARCHITECTURE.md``.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.cli import build_parser
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+def _subcommands() -> list[str]:
+    parser = build_parser()
+    subparsers = [a for a in parser._actions
+                  if a.__class__.__name__ == "_SubParsersAction"]
+    assert subparsers, "build_parser() must register subcommands"
+    return sorted(subparsers[0].choices)
+
+
+def _packages() -> list[str]:
+    src = REPO / "src" / "repro"
+    return sorted(p.name for p in src.iterdir()
+                  if p.is_dir() and (p / "__init__.py").exists()
+                  and not p.name.startswith("_"))
+
+
+class TestReadmeCoversCli:
+    def test_all_subcommands_documented(self):
+        readme = (REPO / "README.md").read_text()
+        missing = [c for c in _subcommands() if f"`{c}" not in readme]
+        assert not missing, (
+            f"README.md CLI section is missing subcommand(s): {missing}"
+        )
+
+    def test_profile_flag_documented(self):
+        readme = (REPO / "README.md").read_text()
+        assert "--profile" in readme
+
+
+class TestArchitectureCoversPackages:
+    def test_architecture_doc_exists(self):
+        assert (REPO / "docs" / "ARCHITECTURE.md").exists()
+
+    def test_all_packages_mentioned(self):
+        arch = (REPO / "docs" / "ARCHITECTURE.md").read_text()
+        missing = [p for p in _packages() if f"repro.{p}" not in arch]
+        assert not missing, (
+            f"docs/ARCHITECTURE.md does not mention package(s): {missing}"
+        )
+
+    def test_linked_from_readme_and_tutorial(self):
+        assert "ARCHITECTURE.md" in (REPO / "README.md").read_text()
+        assert "ARCHITECTURE.md" in (REPO / "docs" / "TUTORIAL.md").read_text()
+
+
+class TestObservabilityDoc:
+    def test_exists_and_names_the_schema(self):
+        doc = (REPO / "docs" / "OBSERVABILITY.md").read_text()
+        from repro.observe import TRACE_SCHEMA
+
+        assert TRACE_SCHEMA in doc
+        assert "repro profile" in doc
+        assert "sarb_integration" in doc
