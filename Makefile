@@ -2,13 +2,19 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench examples figures outputs clean
+.PHONY: install test ci bench examples figures outputs clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
 
 test:
 	$(PYTHON) -m pytest tests/
+
+# What .github/workflows/ci.yml runs: compile check, full suite, fault sweep.
+ci:
+	$(PYTHON) -m compileall -q src
+	PYTHONPATH=src $(PYTHON) -m pytest -x -q
+	PYTHONPATH=src $(PYTHON) -m repro faultcheck
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

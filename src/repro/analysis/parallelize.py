@@ -37,6 +37,7 @@ from ..core.expr import GridRef, walk
 from ..core.function import GlafFunction, GlafProgram
 from ..core.step import Assign, CallStmt, ExitLoop, Return, Step, walk_stmts
 from ..observe import get_decisions, get_metrics, get_tracer
+from ..robust import inject
 from .accesses import step_accesses
 from .dependence import DepKind, test_pair, write_is_injective
 from .privatization import classify_privates
@@ -127,6 +128,8 @@ def analyze_step(
             program, fn, step_index,
             allow_critical_early_exit=allow_critical_early_exit,
         )
+    sp = inject("analysis.parallelize.verdict", sp,
+                function=fn.name, step=step_index) or sp
     decisions = get_decisions()
     if decisions.enabled:
         from .classify import classify_step

@@ -13,11 +13,22 @@
 * ``profile PROJECT.json`` — run the whole pipeline under the
   :mod:`repro.observe` tracer and print the per-stage timing tree, the
   metrics, and the parallelization decision log (``--json FILE`` exports
-  the trace document; see ``docs/OBSERVABILITY.md``).
+  the trace document; see ``docs/OBSERVABILITY.md``).  With ``--guarded``
+  the project's case-study workload is also executed under the
+  :class:`repro.glafexec.GuardedRunner`, so guard demotions show up in the
+  decision log; ``--fault SITE:KIND[:FUNCTION]`` (repeatable) injects
+  seeded faults first (see ``docs/ROBUSTNESS.md``).
+* ``faultcheck`` — sweep every registered fault-injection site and report
+  whether each fault was recovered or surfaced as a typed error.
 
 ``experiments`` and ``generate`` also accept ``--profile [FILE]``: with no
 argument the observability report is printed to stderr after the normal
 output; with a file argument the JSON trace is written there instead.
+``experiments --guarded`` routes the case-study interpreter runs through
+guarded execution with serial fallback.
+
+Any uncaught :class:`repro.errors.GlafError` prints a one-line
+``error: ...`` and exits 2; only raw (non-framework) exceptions traceback.
 """
 
 from __future__ import annotations
@@ -50,6 +61,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     exp = sub.add_parser("experiments", help="run paper experiments")
     exp.add_argument("ids", nargs="*", help="experiment ids (default: all)")
+    exp.add_argument("--guarded", action="store_true",
+                     help="run interpreter workloads under the divergence "
+                          "guard (serial fallback on mis-parallelization)")
     _add_profile_flag(exp)
 
     gen = sub.add_parser("generate", help="generate code from a project file")
@@ -83,6 +97,24 @@ def build_parser() -> argparse.ArgumentParser:
                       help="back-end(s) to run through codegen")
     prof.add_argument("--json", dest="json_path", metavar="FILE",
                       help="also write the JSON trace document to FILE")
+    prof.add_argument("--guarded", action="store_true",
+                      help="also execute the project's case-study workload "
+                           "under the divergence guard")
+    prof.add_argument("--fault", action="append", default=[],
+                      metavar="SITE:KIND[:FUNCTION]",
+                      help="inject a fault before running (repeatable); "
+                           "see 'repro faultcheck' for the site registry")
+    prof.add_argument("--fault-seed", type=int, default=0,
+                      help="seed for the injected fault plan (default 0)")
+
+    fc = sub.add_parser(
+        "faultcheck",
+        help="sweep every fault-injection site; verify recover/surface",
+    )
+    fc.add_argument("--seed", type=int, default=0,
+                    help="seed for the deterministic fault plans (default 0)")
+    fc.add_argument("--json", dest="json_path", metavar="FILE",
+                    help="also write the report as JSON to FILE")
     return p
 
 
@@ -97,6 +129,7 @@ def _load_program(path: str):
 
 def _cmd_experiments(args) -> int:
     from .bench import EXPERIMENTS, run_and_format
+    from .glafexec import guarded
 
     ids = args.ids or list(EXPERIMENTS)
     unknown = [i for i in ids if i not in EXPERIMENTS]
@@ -104,10 +137,11 @@ def _cmd_experiments(args) -> int:
         print(f"unknown experiment id(s): {', '.join(unknown)}; "
               f"available: {', '.join(EXPERIMENTS)}", file=sys.stderr)
         return 2
-    for exp_id in ids:
-        _, text = run_and_format(EXPERIMENTS[exp_id])
-        print(text)
-        print()
+    with guarded(enabled=bool(getattr(args, "guarded", False))):
+        for exp_id in ids:
+            _, text = run_and_format(EXPERIMENTS[exp_id])
+            print(text)
+            print()
     return 0
 
 
@@ -192,12 +226,27 @@ def _cmd_profile(args) -> int:
     from .fortranlib.parser import parse_source
     from .optimize import make_plan
 
+    from contextlib import ExitStack
+
+    from .robust import FaultPlan, FaultSpec, fault_injection
+
+    specs = [FaultSpec.parse(text) for text in args.fault]
     targets = (["fortran", "c", "opencl", "python"]
                if args.target == "all" else [args.target])
-    with observe.observed() as obs:
+    with observe.observed() as obs, ExitStack() as stack:
+        if specs:
+            stack.enter_context(
+                fault_injection(FaultPlan(specs, seed=args.fault_seed)))
         with observe.get_tracer().span("pipeline", project=args.project,
                                        variant=args.variant):
             program = _load_program(args.project)
+            if args.guarded:
+                # Execute the case-study workload under the divergence
+                # guard first, so an injected mis-parallelization is both
+                # caused and recovered inside this one profiled run.
+                from .robust.scenarios import scenario_for
+
+                scenario_for(program.name).run_guarded()
             plan = make_plan(program, args.variant, threads=args.threads)
             for target in targets:
                 if target == "fortran":
@@ -220,6 +269,18 @@ def _cmd_profile(args) -> int:
     return 0
 
 
+def _cmd_faultcheck(args) -> int:
+    from .robust.faultcheck import run_faultcheck
+
+    report = run_faultcheck(seed=args.seed)
+    print(report.render())
+    if args.json_path:
+        with open(args.json_path, "w") as f:
+            json.dump(report.to_json(), f, indent=2)
+        print(f"report written to {args.json_path}", file=sys.stderr)
+    return 0 if report.ok else 1
+
+
 _COMMANDS = {
     "experiments": _cmd_experiments,
     "generate": _cmd_generate,
@@ -227,6 +288,7 @@ _COMMANDS = {
     "sloc": _cmd_sloc,
     "variants": _cmd_variants,
     "profile": _cmd_profile,
+    "faultcheck": _cmd_faultcheck,
 }
 
 
@@ -248,8 +310,10 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(f"error: {e.args[0] if e.args else e}", file=sys.stderr)
             return 2
         except GlafError as e:
+            # Framework errors are user-facing: one line, exit 2, no
+            # traceback.  Raw exceptions still propagate (they are bugs).
             print(f"error: {e}", file=sys.stderr)
-            return 1
+            return 2
 
     profile = getattr(args, "profile", None)
     if profile is None:

@@ -32,6 +32,7 @@ from ..core.step import Assign, CallStmt, ExitLoop, IfStmt, Return, Step, Stmt
 from ..core.types import GlafType
 from ..errors import CodegenError
 from ..optimize.plan import OptimizationPlan
+from ..robust import inject
 from .base import Emitter, ExprRenderer, PRECEDENCE
 
 __all__ = ["PythonGenerator", "generate_python_source"]
@@ -284,6 +285,8 @@ class PythonGenerator:
             target = renderer.render(s.target)
             g = self.program.resolve_grid(fn, s.target.grid)
             value = renderer.render(s.expr)
+            value = inject("codegen.python.assign", value,
+                           function=fn.name) or value
             if g.rank == 0 and not target.endswith("[()]") and not target.startswith("g."):
                 # Plain local scalar: keep the dtype stable across assignment.
                 em.emit(f"{target} = {_DTYPE[g.ty]}({value})")

@@ -260,7 +260,12 @@ def load_project(path: str | Path) -> GlafProgram:
     from ..observe import get_tracer
 
     with get_tracer().span("project.load", path=str(path)) as _sp:
-        program = program_from_dict(json.loads(Path(path).read_text()))
+        try:
+            doc = json.loads(Path(path).read_text())
+        except json.JSONDecodeError as e:
+            raise ValidationError(
+                f"project file {path} is not valid JSON: {e}") from e
+        program = program_from_dict(doc)
         _sp.set(program=program.name,
                 functions=len(list(program.functions())))
         return program

@@ -33,8 +33,37 @@ class FortranSyntaxError(GlafError):
     def __init__(self, message: str, line: int | None = None, col: int | None = None):
         self.line = line
         self.col = col
-        loc = f" (line {line}" + (f", col {col}" if col is not None else "") + ")" if line else ""
+        parts = []
+        if line is not None:
+            parts.append(f"line {line}")
+        if col is not None:
+            parts.append(f"col {col}")
+        loc = f" ({', '.join(parts)})" if parts else ""
         super().__init__(message + loc)
+
+
+class DiagnosticBundle(FortranSyntaxError):
+    """Several syntax errors collected by the recovering parser.
+
+    In recovery mode (``parse_source(src, recover=True)``) the parser
+    resynchronizes at statement and unit boundaries instead of stopping at
+    the first error; every error it skipped past is collected here.  The
+    partially-parsed source file (every unit that did parse) is attached as
+    ``partial`` so callers can degrade instead of failing outright.
+    """
+
+    def __init__(self, diagnostics, partial=None):
+        self.diagnostics = list(diagnostics)
+        self.partial = partial
+        n = len(self.diagnostics)
+        first = self.diagnostics[0] if self.diagnostics else None
+        msg = f"{n} syntax error(s) collected"
+        if first is not None:
+            msg += f"; first: {first}"
+        super().__init__(msg)
+        if first is not None:
+            self.line = first.line
+            self.col = first.col
 
 
 class FortranRuntimeError(GlafError):
@@ -51,6 +80,14 @@ class InterfaceMismatchError(IntegrationError):
 
 class ExecutionError(GlafError):
     """The GLAF IR interpreter hit a runtime fault."""
+
+
+class ResourceLimitError(ExecutionError):
+    """An execution watchdog tripped (iteration budget or wall-clock limit).
+
+    Deliberately *not* recoverable by the divergence guard: re-executing a
+    step that already exhausted its budget can only make things worse, so
+    the guard re-raises this instead of falling back to serial."""
 
 
 class PerfModelError(GlafError):

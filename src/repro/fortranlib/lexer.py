@@ -12,6 +12,7 @@ import re
 from dataclasses import dataclass
 
 from ..errors import FortranSyntaxError
+from ..robust import inject
 
 __all__ = ["Token", "tokenize", "TokenStream"]
 
@@ -49,6 +50,7 @@ def tokenize(source: str) -> list[Token]:
 
     with get_tracer().span("fortran.lex") as _sp:
         tokens = _tokenize(source)
+        tokens = inject("fortran.lex.tokens", tokens) or tokens
         _sp.set(tokens=len(tokens))
         get_metrics().counter("fortran.lex.tokens").inc(len(tokens))
         return tokens

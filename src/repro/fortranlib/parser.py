@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import re
 
-from ..errors import FortranSyntaxError
+from ..errors import DiagnosticBundle, FortranSyntaxError
 from .ast import (
     FAllocate,
     FAssign,
@@ -58,20 +58,73 @@ _TYPE_KEYWORDS = {"integer", "real", "double", "logical", "character", "type"}
 _ATTR_KEYWORDS = {"parameter", "allocatable", "save", "pointer", "target"}
 
 
-def parse_source(source: str) -> FSourceFile:
+def parse_source(source: str, *, recover: bool = False) -> FSourceFile:
+    """Parse ``source``; with ``recover=True`` the parser resynchronizes at
+    statement and unit boundaries, collecting every syntax error into one
+    :class:`DiagnosticBundle` (raised at the end, with the partial parse
+    attached) instead of stopping at the first."""
     from ..observe import get_metrics, get_tracer
 
     with get_tracer().span("fortran.parse") as _sp:
-        f = Parser(source).parse_file()
+        try:
+            f = Parser(source, recover=recover).parse_file()
+        except DiagnosticBundle:
+            raise
+        except FortranSyntaxError as e:
+            if recover:
+                # Lexer errors surface before any parsing can start; wrap
+                # them so recover-mode callers see one exception type.
+                raise DiagnosticBundle([e], partial=FSourceFile()) from e
+            raise
         n_units = len(f.modules) + len(f.programs) + len(f.subprograms)
         _sp.set(units=n_units)
         get_metrics().counter("fortran.parse.units").inc(n_units)
         return f
 
 
+class _RecoveryAbort(Exception):
+    """Internal: recovery cannot make progress (or hit the diagnostics cap)."""
+
+
 class Parser:
-    def __init__(self, source: str):
+    def __init__(self, source: str, *, recover: bool = False,
+                 max_diagnostics: int = 50):
         self.ts = TokenStream(tokenize(source))
+        self.recover = recover
+        self.max_diagnostics = max_diagnostics
+        self.diagnostics: list[FortranSyntaxError] = []
+
+    # ------------------------------------------------------------------
+    # error recovery
+    # ------------------------------------------------------------------
+    def _note(self, err: FortranSyntaxError) -> None:
+        self.diagnostics.append(err)
+        if len(self.diagnostics) >= self.max_diagnostics:
+            raise _RecoveryAbort()
+
+    def _resync(self) -> None:
+        """Statement-level resynchronization: skip past the next newline."""
+        ts = self.ts
+        while not (ts.at("newline") or ts.at("eof")):
+            ts.next()
+        if ts.at("newline"):
+            ts.next()
+
+    def _resync_unit(self) -> None:
+        """Unit-level resynchronization: skip lines until a unit start."""
+        ts = self.ts
+        while not ts.at("eof"):
+            ts.skip_newlines()
+            if ts.at("eof"):
+                return
+            if (
+                (ts.at_name("module") and ts.peek(1).kind == "name")
+                or ts.at_name("program")
+                or self._at_subprogram_start()
+            ):
+                return
+            while not (ts.at("newline") or ts.at("eof")):
+                ts.next()
 
     # ------------------------------------------------------------------
     # top level
@@ -81,19 +134,35 @@ class Parser:
         ts = self.ts
         ts.skip_newlines()
         while not ts.at("eof"):
-            if ts.at_name("module") and ts.peek(1).kind == "name":
-                out.modules.append(self.parse_module())
-            elif ts.at_name("program"):
-                out.programs.append(self.parse_program())
-            elif self._at_subprogram_start():
-                out.subprograms.append(self.parse_subprogram())
-            else:
-                t = ts.peek()
-                raise FortranSyntaxError(
-                    f"expected MODULE, PROGRAM, SUBROUTINE or FUNCTION, found {t.text!r}",
-                    t.line, t.col,
-                )
+            pos = ts.pos
+            try:
+                if ts.at_name("module") and ts.peek(1).kind == "name":
+                    out.modules.append(self.parse_module())
+                elif ts.at_name("program"):
+                    out.programs.append(self.parse_program())
+                elif self._at_subprogram_start():
+                    out.subprograms.append(self.parse_subprogram())
+                else:
+                    t = ts.peek()
+                    raise FortranSyntaxError(
+                        f"expected MODULE, PROGRAM, SUBROUTINE or FUNCTION, found {t.text!r}",
+                        t.line, t.col,
+                    )
+            except FortranSyntaxError as e:
+                if not self.recover:
+                    raise
+                try:
+                    self._note(e)
+                except _RecoveryAbort:
+                    break
+                self._resync_unit()
+                if ts.pos == pos:
+                    break
+            except _RecoveryAbort:
+                break
             ts.skip_newlines()
+        if self.diagnostics:
+            raise DiagnosticBundle(self.diagnostics, partial=out)
         return out
 
     def _at_subprogram_start(self) -> bool:
@@ -239,11 +308,26 @@ class Parser:
                     ts.skip_newlines()
                 break
             if self._at_spec_statement():
-                decls.append(self.parse_spec_statement())
+                self._recovering_parse(self.parse_spec_statement, decls)
             else:
-                body.append(self.parse_exec_statement())
+                self._recovering_parse(self.parse_exec_statement, body)
         self._parse_end(end_kinds, unit_name)
         return decls, body
+
+    def _recovering_parse(self, parse_fn, sink: list) -> None:
+        """Parse one statement into ``sink``; in recovery mode a syntax
+        error is recorded and the stream resynchronized past the next
+        newline (aborting if that makes no progress, e.g. at EOF)."""
+        pos = self.ts.pos
+        try:
+            sink.append(parse_fn())
+        except FortranSyntaxError as e:
+            if not self.recover:
+                raise
+            self._note(e)
+            self._resync()
+            if self.ts.pos == pos:
+                raise _RecoveryAbort()
 
     # ------------------------------------------------------------------
     # specification statements
@@ -641,7 +725,7 @@ class Parser:
                     ts.next()
                     ts.expect_eol()
                     break
-                body.append(self.parse_exec_statement())
+                self._recovering_parse(self.parse_exec_statement, body)
             return FIf(branches=branches, line=t.line)
         # One-line IF.
         stmt = self.parse_exec_statement()
@@ -686,7 +770,7 @@ class Parser:
                 ts.next()
                 ts.expect_eol()
                 return body
-            body.append(self.parse_exec_statement())
+            self._recovering_parse(self.parse_exec_statement, body)
 
     # ------------------------------------------------------------------
     # expressions

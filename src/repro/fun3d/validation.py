@@ -13,7 +13,13 @@ import numpy as np
 
 from ..codegen.fortran import FortranGenerator
 from ..fortranlib import FortranRuntime
-from ..glafexec import ExecutionContext, GeneratedModule, Interpreter
+from ..glafexec import (
+    ExecutionContext,
+    GeneratedModule,
+    GuardedRunner,
+    Interpreter,
+    guard_mode,
+)
 from ..integration import LegacyCodebase, splice_into_codebase
 from ..optimize.plan import Tweaks, make_plan
 from .jacobian import RMS_TOLERANCE, jac_rms, ref_jacobian_recon
@@ -41,12 +47,20 @@ def run_reference(mesh: TetMesh) -> np.ndarray:
     return ref_jacobian_recon(mesh)
 
 
-def run_ir_interpreter(mesh: TetMesh, *, save_inner_arrays: bool = False) -> np.ndarray:
+def run_ir_interpreter(mesh: TetMesh, *, save_inner_arrays: bool = False,
+                       guarded: bool | None = None) -> np.ndarray:
+    """Run through the IR interpreter; under ``--guarded`` (or explicit
+    ``guarded=True``) execution goes through :class:`GuardedRunner` with
+    per-step divergence probes and serial fallback."""
     program = build_fun3d_program()
     ctx = ExecutionContext(program, sizes=mesh_sizes(mesh),
                            values=context_values(mesh))
-    interp = Interpreter(program, ctx, save_inner_arrays=save_inner_arrays)
-    interp.call("edgejp", [mesh.ncell, mesh.nnz])
+    args = [mesh.ncell, mesh.nnz]
+    if guard_mode() if guarded is None else guarded:
+        GuardedRunner(program).run("edgejp", args, context=ctx)
+    else:
+        interp = Interpreter(program, ctx, save_inner_arrays=save_inner_arrays)
+        interp.call("edgejp", args)
     return ctx.get("jac").copy()
 
 

@@ -1,6 +1,17 @@
 """Functional execution of GLAF IR (reference semantics + generated Python)."""
 
 from .context import ExecutionContext, as_storage
+from .guard import (
+    GuardedInterpreter,
+    GuardedRun,
+    GuardedRunner,
+    GuardEvent,
+    PythonGuardResult,
+    guard_mode,
+    guarded,
+    guarded_python_run,
+    set_guard_mode,
+)
 from .interp import ExecStats, Interpreter
 from .runner import GeneratedModule, run_generated_python, run_interpreted
 from .shuffle import (
@@ -14,4 +25,7 @@ __all__ = [
     "ExecStats", "Interpreter",
     "GeneratedModule", "run_generated_python", "run_interpreted",
     "ParallelValidation", "ShuffledInterpreter", "validate_parallel_semantics",
+    "GuardEvent", "GuardedInterpreter", "GuardedRun", "GuardedRunner",
+    "PythonGuardResult", "guard_mode", "guarded", "guarded_python_run",
+    "set_guard_mode",
 ]

@@ -1,0 +1,360 @@
+"""Guarded execution: divergence-checked parallel steps with serial fallback.
+
+The paper validates auto-parallelized kernels offline, by side-by-side
+comparison against the legacy output (§4, Table 1).  The
+:class:`GuardedRunner` moves that check *into* the run: every step the
+optimization plan marks parallel is first *probed* in a shuffled iteration
+order (reusing :class:`ShuffledInterpreter` semantics) on a snapshot of the
+affected state, then executed serially; if the probe diverges from the
+serial result beyond tolerance — or raises an :class:`ExecutionError` —
+the step is demoted to serial for the rest of the run and a structured
+``guard:serial-fallback`` event is recorded in the PR-1 DecisionLog.
+
+The serial result is **always** the one kept, so a guarded run is
+bit-identical to a plain interpreted run; the probe only decides whether
+the parallel annotation deserves trust.  :class:`ResourceLimitError` is
+deliberately re-raised rather than recovered: a step that exhausted its
+budget will not do better when re-executed.
+
+:func:`guarded_python_run` applies the same policy to the generated-Python
+path: run it against the interpreter reference and fall back to the
+interpreter's result on divergence, :class:`CodegenError`, or
+:class:`ExecutionError`.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+import numpy as np
+
+from ..core.function import GlafProgram
+from ..core.step import Step
+from ..errors import CodegenError, ExecutionError, ResourceLimitError
+from ..optimize.plan import OptimizationPlan, make_plan
+from ..robust import ResourceLimits, inject
+from .context import ExecutionContext
+from .interp import Interpreter
+from .shuffle import ShuffledInterpreter
+
+__all__ = [
+    "GuardEvent", "GuardedInterpreter", "GuardedRun", "GuardedRunner",
+    "PythonGuardResult", "guarded_python_run",
+    "guard_mode", "guarded", "set_guard_mode",
+]
+
+DEFAULT_GUARD_TOLERANCE = 1e-9
+
+
+@dataclass(frozen=True)
+class GuardEvent:
+    """One serial-fallback demotion decided by the divergence guard."""
+
+    function: str
+    step_index: int
+    step_name: str
+    reason: str
+    max_abs_error: float | None = None
+    tolerance: float = DEFAULT_GUARD_TOLERANCE
+
+
+class GuardedInterpreter(ShuffledInterpreter):
+    """Interpreter that probes each plan-parallel step before trusting it.
+
+    For every plan-parallel loop step (without early exits): snapshot the
+    reachable state, execute the step once in a shuffled order (the probe),
+    snapshot again, roll back, execute serially, and compare.  Divergence
+    or an :class:`ExecutionError` inside the probe demotes the step —
+    stickily, so later executions of the same step skip the probe.
+
+    ``ExecStats`` iteration counts include the probe, so guarded runs
+    roughly double-count loop iterations; the *results* are those of the
+    serial execution, always.
+    """
+
+    def __init__(self, program: GlafProgram, context: ExecutionContext,
+                 plan: OptimizationPlan, *, seed: int = 1,
+                 tolerance: float = DEFAULT_GUARD_TOLERANCE, **kw: Any):
+        super().__init__(program, context, plan, seed=seed, **kw)
+        self.tolerance = tolerance
+        self.events: list[GuardEvent] = []
+        self.demoted: set[tuple[str, int]] = set()
+        self._suspended = 0
+
+    # ------------------------------------------------------------------
+    def _exec_step(self, frame, idx: int, step: Step) -> None:
+        key = (frame.fn.name, idx)
+        if (
+            self._suspended
+            or key in self.demoted
+            or not (self.plan.step_is_parallel(*key) and step.is_loop)
+            or self._has_exit(step)
+        ):
+            Interpreter._exec_step(self, frame, idx, step)
+            return
+
+        before = self._snapshot(frame)
+        probe_error: ExecutionError | None = None
+        after_probe: dict | None = None
+        self._suspended += 1
+        try:
+            inject("exec.interp.step", function=frame.fn.name, step=idx,
+                   parallel=True)
+            super()._exec_step(frame, idx, step)   # shuffled probe
+            after_probe = self._snapshot(frame)
+        except ResourceLimitError:
+            raise                        # budget exhausted: never retry
+        except ExecutionError as e:
+            probe_error = e
+        finally:
+            self._suspended -= 1
+
+        # Roll back and execute serially; the serial result is authoritative.
+        self._restore(frame, before)
+        self._suspended += 1
+        try:
+            Interpreter._exec_step(self, frame, idx, step)
+        finally:
+            self._suspended -= 1
+
+        if probe_error is not None:
+            self._demote(key, step,
+                         f"ExecutionError in parallel step: {probe_error}",
+                         None)
+            return
+        err = self._compare(after_probe, self._snapshot(frame))
+        if err > self.tolerance:
+            self._demote(
+                key, step,
+                f"shuffled-order divergence (max abs error {err:.3e} "
+                f"> tolerance {self.tolerance:.1e})", err)
+
+    @staticmethod
+    def _has_exit(step: Step) -> bool:
+        from ..core.step import ExitLoop, Return, walk_stmts
+        return any(isinstance(s, (Return, ExitLoop))
+                   for s in walk_stmts(step.stmts))
+
+    # ------------------------------------------------------------------
+    # snapshot / restore of everything a step can reach
+    # ------------------------------------------------------------------
+    def _snapshot(self, frame) -> dict[tuple, np.ndarray]:
+        snap: dict[tuple, np.ndarray] = {}
+        for name, arr in frame.storage.items():
+            snap[("frame", name)] = arr.copy()
+        for name, arr in self.context.globals.items():
+            snap[("global", name)] = arr.copy()
+        for key, arr in self._save_store.items():
+            snap[("save",) + key] = arr.copy()
+        return snap
+
+    def _restore(self, frame, snap: dict[tuple, np.ndarray]) -> None:
+        # In-place so aliases (by-reference arguments, SAVE'd storage held
+        # elsewhere) stay associated.
+        for name, arr in frame.storage.items():
+            arr[...] = snap[("frame", name)]
+        for name, arr in self.context.globals.items():
+            arr[...] = snap[("global", name)]
+        for key in list(self._save_store):
+            skey = ("save",) + key
+            if skey in snap:
+                self._save_store[key][...] = snap[skey]
+            else:
+                # SAVE'd local first allocated inside the probe: discard it
+                # so the serial execution allocates afresh.
+                del self._save_store[key]
+
+    def _compare(self, probe: dict, serial: dict) -> float:
+        worst = 0.0
+        for key, ref in serial.items():
+            got = probe.get(key)
+            if got is None or ref.size == 0:
+                continue
+            err = float(np.max(np.abs(
+                np.asarray(got, dtype=np.float64)
+                - np.asarray(ref, dtype=np.float64))))
+            worst = max(worst, err)
+        return worst
+
+    # ------------------------------------------------------------------
+    def _demote(self, key: tuple[str, int], step: Step, reason: str,
+                err: float | None) -> None:
+        self.demoted.add(key)
+        self.events.append(GuardEvent(
+            function=key[0], step_index=key[1], step_name=step.name,
+            reason=reason, max_abs_error=err, tolerance=self.tolerance,
+        ))
+        from ..observe import get_decisions, get_metrics
+
+        m = get_metrics()
+        if m.enabled:
+            m.counter("guard.serial_fallbacks").inc()
+        dl = get_decisions()
+        if dl.enabled:
+            dl.record(
+                "guard", key[0], key[1], step.name, "serial-fallback",
+                reasons=(reason,),
+                max_abs_error=err, tolerance=self.tolerance,
+            )
+
+
+@dataclass
+class GuardedRun:
+    """Result of one :class:`GuardedRunner.run` invocation."""
+
+    result: Any
+    context: ExecutionContext
+    events: list[GuardEvent]
+    demoted: frozenset[tuple[str, int]]
+    interpreter: GuardedInterpreter
+    plan: OptimizationPlan
+
+    @property
+    def fell_back(self) -> bool:
+        return bool(self.events)
+
+    def demoted_plan(self) -> OptimizationPlan:
+        """The plan with every demoted step force-serialized — hand this to
+        codegen to emit a variant that drops the untrusted directives."""
+        return self.plan.with_force_serial(self.demoted)
+
+
+class GuardedRunner:
+    """Front door for guarded execution of a program's entry point."""
+
+    def __init__(self, program: GlafProgram, plan: OptimizationPlan | None = None,
+                 *, variant: str = "GLAF-parallel v0", seed: int = 1,
+                 tolerance: float = DEFAULT_GUARD_TOLERANCE,
+                 limits: ResourceLimits | None = None):
+        self.program = program
+        self.plan = plan if plan is not None else make_plan(program, variant)
+        self.seed = seed
+        self.tolerance = tolerance
+        self.limits = limits
+
+    def run(self, entry: str, args: list[Any] | tuple = (), *,
+            sizes: dict[str, int] | None = None,
+            values: dict[str, Any] | None = None,
+            context: ExecutionContext | None = None) -> GuardedRun:
+        from ..observe import get_tracer
+
+        ctx = context if context is not None else ExecutionContext(
+            self.program, sizes=sizes, values=values)
+        interp = GuardedInterpreter(
+            self.program, ctx, self.plan, seed=self.seed,
+            tolerance=self.tolerance, limits=self.limits)
+        with get_tracer().span("exec.run.guarded", entry=entry,
+                               program=self.program.name):
+            result = interp.call(entry, list(args))
+        return GuardedRun(
+            result=result, context=ctx, events=list(interp.events),
+            demoted=frozenset(interp.demoted), interpreter=interp,
+            plan=self.plan,
+        )
+
+
+# ----------------------------------------------------------------------
+# guarded generated-Python execution
+# ----------------------------------------------------------------------
+@dataclass
+class PythonGuardResult:
+    """Outcome of :func:`guarded_python_run`."""
+
+    result: Any
+    context: ExecutionContext          # authoritative (interpreter on fallback)
+    fell_back: bool
+    reason: str = ""
+    max_abs_error: float | None = None
+    tolerance: float = DEFAULT_GUARD_TOLERANCE
+
+
+def guarded_python_run(
+    program: GlafProgram,
+    entry: str,
+    args: list[Any] | tuple = (),
+    *,
+    variant: str = "GLAF serial",
+    sizes: dict[str, int] | None = None,
+    values: dict[str, Any] | None = None,
+    compare: list[str] | None = None,
+    tolerance: float = DEFAULT_GUARD_TOLERANCE,
+) -> PythonGuardResult:
+    """Run the generated-Python path against the interpreter reference.
+
+    On divergence beyond ``tolerance`` over the ``compare`` grids (all
+    globals by default), or a :class:`CodegenError` / non-budget
+    :class:`ExecutionError` in the generated path, falls back to the
+    interpreter's result and records a ``guard:serial-fallback`` decision.
+    """
+    from ..observe import get_decisions
+    from .runner import run_generated_python, run_interpreted
+
+    ref_result, ref_ctx, _ = run_interpreted(
+        program, entry, args, sizes=sizes, values=values)
+    ref = ref_ctx.snapshot(compare)
+
+    def fallback(reason: str, err: float | None = None) -> PythonGuardResult:
+        dl = get_decisions()
+        if dl.enabled:
+            dl.record("guard", entry, -1, "generated-python",
+                      "serial-fallback", reasons=(reason,),
+                      max_abs_error=err, tolerance=tolerance)
+        return PythonGuardResult(
+            result=ref_result, context=ref_ctx, fell_back=True,
+            reason=reason, max_abs_error=err, tolerance=tolerance)
+
+    try:
+        py_result, py_ctx = run_generated_python(
+            program, entry, args, variant=variant, sizes=sizes, values=values)
+    except ResourceLimitError:
+        raise
+    except (CodegenError, ExecutionError) as e:
+        return fallback(f"{type(e).__name__} in generated Python: {e}")
+
+    worst = 0.0
+    for name, arr in py_ctx.snapshot(compare).items():
+        if arr.size == 0:
+            continue
+        err = float(np.max(np.abs(
+            np.asarray(arr, dtype=np.float64)
+            - np.asarray(ref[name], dtype=np.float64))))
+        worst = max(worst, err)
+    if worst > tolerance:
+        return fallback(
+            f"generated-Python divergence (max abs error {worst:.3e} "
+            f"> tolerance {tolerance:.1e})", worst)
+    return PythonGuardResult(
+        result=py_result, context=py_ctx, fell_back=False,
+        max_abs_error=worst, tolerance=tolerance)
+
+
+# ----------------------------------------------------------------------
+# process-wide guard mode (the CLI's --guarded flag)
+# ----------------------------------------------------------------------
+_GUARD_MODE = False
+
+
+def guard_mode() -> bool:
+    """True while guarded execution is requested (``--guarded``)."""
+    return _GUARD_MODE
+
+
+def set_guard_mode(enabled: bool) -> bool:
+    """Set the process-wide guard flag; returns the previous value."""
+    global _GUARD_MODE
+    prev = _GUARD_MODE
+    _GUARD_MODE = bool(enabled)
+    return prev
+
+
+@contextmanager
+def guarded(enabled: bool = True) -> Iterator[None]:
+    """Enable guard mode for the block (validation paths that support it
+    route execution through :class:`GuardedRunner`)."""
+    prev = set_guard_mode(enabled)
+    try:
+        yield
+    finally:
+        set_guard_mode(prev)

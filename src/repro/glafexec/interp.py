@@ -45,6 +45,8 @@ from ..core.step import (
 )
 from ..core.types import GlafType, numpy_dtype
 from ..errors import ExecutionError
+from ..robust import Budget, ResourceLimits
+from ..robust import faults as _faults
 from .context import ExecutionContext, as_storage
 
 __all__ = ["Interpreter", "ExecStats"]
@@ -93,11 +95,17 @@ class Interpreter:
         *,
         save_inner_arrays: bool = False,
         max_call_depth: int = 200,
+        limits: ResourceLimits | None = None,
     ):
         self.program = program
         self.context = context
         self.save_inner_arrays = save_inner_arrays
         self.max_call_depth = max_call_depth
+        self.limits = limits
+        self._budget = (
+            Budget(limits, what=f"interp({program.name})")
+            if limits is not None else None
+        )
         self.stats = ExecStats()
         self._save_store: dict[tuple[str, str], np.ndarray] = {}
         self._depth = 0
@@ -116,6 +124,8 @@ class Interpreter:
         if _m.enabled:
             _m.counter("exec.interp.calls").inc()
         if self._depth == 0:
+            if self._budget is not None:
+                self._budget.start()
             # Only the outermost call gets a span; nested calls would swamp
             # the trace and are already counted by ExecStats / the counter.
             with get_tracer().span("exec.interp", entry=name):
@@ -202,6 +212,9 @@ class Interpreter:
     # steps and statements
     # ------------------------------------------------------------------
     def _exec_step(self, frame: _Frame, idx: int, step: Step) -> None:
+        if _faults._ACTIVE is not None:
+            _faults.inject("exec.interp.step", function=frame.fn.name,
+                           step=idx, parallel=False)
         if not step.is_loop:
             if step.condition is not None and not self._truth(frame, step.condition):
                 return
@@ -212,6 +225,11 @@ class Interpreter:
     def _exec_nest(self, frame: _Frame, idx: int, step: Step, level: int) -> None:
         if level == len(step.ranges):
             self.stats.note_iter(frame.fn.name, idx)
+            if self._budget is not None:
+                self._budget.tick()
+            if _faults._ACTIVE is not None:
+                _faults.inject("exec.interp.iter", function=frame.fn.name,
+                               step=idx)
             if step.condition is not None and not self._truth(frame, step.condition):
                 return
             self._exec_stmts(frame, step.stmts)

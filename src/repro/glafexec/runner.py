@@ -15,8 +15,9 @@ import numpy as np
 
 from ..codegen.python_gen import generate_python_source
 from ..core.function import GlafProgram
-from ..errors import ExecutionError
+from ..errors import CodegenError, ExecutionError
 from ..optimize.plan import OptimizationPlan, make_plan
+from ..robust import ResourceLimits, wall_clock_guard
 from .context import ExecutionContext
 from .interp import Interpreter
 
@@ -31,13 +32,15 @@ def run_interpreted(
     sizes: dict[str, int] | None = None,
     values: dict[str, Any] | None = None,
     save_inner_arrays: bool = False,
+    limits: ResourceLimits | None = None,
 ) -> tuple[Any, ExecutionContext, Interpreter]:
     """Run ``entry`` through the IR interpreter on a fresh context."""
     from ..observe import get_tracer
 
     with get_tracer().span("exec.run.interp", entry=entry, program=program.name):
         ctx = ExecutionContext(program, sizes=sizes, values=values)
-        interp = Interpreter(program, ctx, save_inner_arrays=save_inner_arrays)
+        interp = Interpreter(program, ctx, save_inner_arrays=save_inner_arrays,
+                             limits=limits)
         result = interp.call(entry, list(args))
         return result, ctx, interp
 
@@ -47,17 +50,29 @@ class GeneratedModule:
 
     def __init__(self, plan: OptimizationPlan, context: ExecutionContext):
         self.source = generate_python_source(plan)
+        self.module_name = f"<glaf:{plan.program.name}>"
         self.namespace: dict[str, Any] = {}
-        exec(compile(self.source, f"<glaf:{plan.program.name}>", "exec"), self.namespace)
+        try:
+            exec(compile(self.source, self.module_name, "exec"), self.namespace)
+        except SyntaxError as e:
+            lines = self.source.splitlines()
+            bad = (lines[e.lineno - 1].strip()
+                   if e.lineno and 0 < e.lineno <= len(lines) else "?")
+            raise CodegenError(
+                f"generated Python for module {self.module_name} does not "
+                f"compile: {e.msg} at line {e.lineno}: {bad!r}"
+            ) from e
         self.globals_obj = self.namespace["Globals"](
             **{name: store for name, store in context.globals.items()}
         )
 
-    def call(self, entry: str, args: list[Any] | tuple = ()) -> Any:
+    def call(self, entry: str, args: list[Any] | tuple = (),
+             *, limits: ResourceLimits | None = None) -> Any:
         fn = self.namespace.get(entry)
         if fn is None:
             raise ExecutionError(f"generated module has no function {entry!r}")
-        return fn(self.globals_obj, *args)
+        with wall_clock_guard(limits, what=f"generated {self.module_name}"):
+            return fn(self.globals_obj, *args)
 
     def reset_save_store(self) -> None:
         self.namespace["reset_save_store"]()

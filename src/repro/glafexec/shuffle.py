@@ -25,6 +25,7 @@ from ..core.function import GlafProgram
 from ..core.step import ExitLoop, Return, Step, walk_stmts
 from ..errors import ExecutionError
 from ..optimize.plan import OptimizationPlan
+from ..robust import faults as _faults
 from .context import ExecutionContext
 from .interp import Interpreter
 
@@ -58,6 +59,11 @@ class ShuffledInterpreter(Interpreter):
         self.stats.note_iter(frame.fn.name, idx, len(tuples))
         names = step.index_names()
         for k in order:
+            if self._budget is not None:
+                self._budget.tick()
+            if _faults._ACTIVE is not None:
+                _faults.inject("exec.interp.iter", function=frame.fn.name,
+                               step=idx)
             for var, value in zip(names, tuples[k]):
                 frame.indices[var] = value
             if step.condition is not None and not self._truth(frame, step.condition):

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..errors import IntegrationError
+from ..errors import DiagnosticBundle, IntegrationError
 from ..fortranlib.ast import (
     FCommon,
     FDecl,
@@ -96,13 +96,29 @@ class LegacyCodebase:
         self.signatures: dict[str, SubprogramSignature] = {}
         self.subprogram_file: dict[str, str] = {}
         self.module_of_sub: dict[str, str | None] = {}
+        # filename -> syntax errors skipped while indexing with recover=True
+        self.diagnostics: dict[str, list] = {}
 
     # ------------------------------------------------------------------
-    def add_file(self, filename: str, source: str) -> None:
+    def add_file(self, filename: str, source: str, *, recover: bool = False) -> None:
+        """Parse and index one legacy source file.
+
+        With ``recover=True`` a file with syntax errors is still indexed
+        from its partial parse (every unit that did parse); the skipped
+        errors are kept in ``self.diagnostics[filename]`` so integration
+        reports can surface them instead of losing the whole codebase.
+        """
         if filename in self.files:
             raise IntegrationError(f"duplicate file {filename!r}")
         self.files[filename] = source
-        tree = parse_source(source)
+        if recover:
+            try:
+                tree = parse_source(source, recover=True)
+            except DiagnosticBundle as bundle:
+                tree = bundle.partial if bundle.partial is not None else FSourceFile()
+                self.diagnostics[filename] = list(bundle.diagnostics)
+        else:
+            tree = parse_source(source)
         self.parsed[filename] = tree
         for mod in tree.modules:
             self._index_module(filename, mod)

@@ -13,7 +13,15 @@ Stages and their verdict vocabularies:
 ``parallelize``  ``parallel`` | ``serial``
 ``pruning``      ``kept`` | ``pruned`` | ``not-parallel``
 ``advisor``      ``omp`` | ``simd`` | ``none``
+``guard``        ``serial-fallback``
+``fault``        ``injected``
 ==============  =====================================================
+
+The ``guard`` stage is emitted by :class:`repro.glafexec.GuardedRunner`
+when a divergence guard demotes a parallel step to serial; the ``fault``
+stage is emitted by :mod:`repro.robust.faults` whenever an injected fault
+fires, so a profiled fault-injection run shows cause and recovery side by
+side.
 """
 
 from __future__ import annotations

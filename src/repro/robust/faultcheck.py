@@ -1,0 +1,269 @@
+"""The ``repro faultcheck`` sweep: fire every registered fault, verify the
+pipeline degrades the way ``docs/ROBUSTNESS.md`` promises.
+
+For each :data:`repro.robust.faults.SITES` entry the sweep installs a
+seeded one-fault :class:`FaultPlan`, runs a representative workload, and
+classifies the outcome:
+
+* **recovered** — the recovery machinery engaged (parser resynchronization,
+  guard serial-fallback, generated-Python fallback) *and* the final results
+  match the fault-free reference;
+* **surfaced** — the fault could not be recovered but was reported as a
+  typed :class:`repro.errors.GlafError` (e.g. the watchdog's
+  :class:`ResourceLimitError`);
+* **failed** — a raw (non-GlafError) exception escaped, the fault never
+  fired, or results were silently corrupted.
+
+``repro faultcheck`` exits non-zero iff any site **failed**.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import DiagnosticBundle, GlafError, ResourceLimitError
+from .faults import SITES, FaultPlan, FaultSpec, fault_injection
+from .watchdog import ResourceLimits
+
+__all__ = ["SiteResult", "FaultCheckReport", "run_faultcheck"]
+
+_TOLERANCE = 1e-9
+
+# Two healthy units; the corrupt-token fault turns one token into garbage.
+_LEX_CHECK_SOURCE = """\
+subroutine scale_it(a, n)
+  integer, intent(in) :: n
+  real(kind=8), intent(inout) :: a(n)
+  integer :: i
+  do i = 1, n
+    a(i) = a(i) * 2.0
+  end do
+end subroutine scale_it
+
+subroutine shift_it(b, n)
+  integer, intent(in) :: n
+  real(kind=8), intent(inout) :: b(n)
+  integer :: i
+  do i = 1, n
+    b(i) = b(i) + 1.0
+  end do
+end subroutine shift_it
+"""
+
+
+@dataclass(frozen=True)
+class SiteResult:
+    """Outcome of exercising one injection site."""
+
+    site: str
+    kind: str
+    outcome: str          # 'recovered' | 'surfaced' | 'failed'
+    detail: str
+    fired: int            # faults that actually fired
+    events: int           # recovery events observed (guard demotions, diags)
+
+    @property
+    def ok(self) -> bool:
+        return self.outcome in ("recovered", "surfaced")
+
+
+@dataclass
+class FaultCheckReport:
+    seed: int
+    results: list[SiteResult]
+
+    @property
+    def ok(self) -> bool:
+        return all(r.ok for r in self.results)
+
+    def to_json(self) -> dict:
+        return {
+            "schema": "repro.robust.faultcheck/v1",
+            "seed": self.seed,
+            "ok": self.ok,
+            "sites": [
+                {"site": r.site, "kind": r.kind, "outcome": r.outcome,
+                 "detail": r.detail, "fired": r.fired, "events": r.events}
+                for r in self.results
+            ],
+        }
+
+    def render(self) -> str:
+        lines = [f"faultcheck (seed={self.seed}): "
+                 f"{len(self.results)} site(s) swept"]
+        width = max(len(r.site) for r in self.results)
+        for r in self.results:
+            lines.append(
+                f"  {r.site:<{width}}  {r.kind:<15}  {r.outcome:<9}  {r.detail}"
+            )
+        lines.append("result: " + ("OK" if self.ok else "FAILED"))
+        return "\n".join(lines)
+
+
+def _max_abs_err(got: dict[str, np.ndarray], ref: dict[str, np.ndarray]) -> float:
+    worst = 0.0
+    for name, arr in ref.items():
+        if arr.size == 0:
+            continue
+        err = float(np.max(np.abs(
+            np.asarray(got[name], dtype=np.float64)
+            - np.asarray(arr, dtype=np.float64))))
+        worst = max(worst, err)
+    return worst
+
+
+def _check_lexer(seed: int) -> SiteResult:
+    from ..fortranlib.parser import parse_source
+
+    site, kind = "fortran.lex.tokens", "corrupt-token"
+    plan = FaultPlan([FaultSpec(site, kind)], seed=seed)
+    try:
+        with fault_injection(plan):
+            parse_source(_LEX_CHECK_SOURCE, recover=True)
+        # The recovering parser skipped the corruption entirely — only
+        # acceptable if the fault genuinely fired and produced no error
+        # (it cannot: '?' is not parsable), so treat as failed.
+        return SiteResult(site, kind, "failed",
+                          "corrupted source parsed without diagnostics",
+                          len(plan.fired), 0)
+    except DiagnosticBundle as bundle:
+        partial = bundle.partial
+        units = (len(partial.subprograms) + len(partial.modules)
+                 + len(partial.programs)) if partial is not None else 0
+        if units >= 1:
+            return SiteResult(
+                site, kind, "recovered",
+                f"parser resynchronized: {len(bundle.diagnostics)} diagnostic(s), "
+                f"{units} unit(s) still parsed", len(plan.fired),
+                len(bundle.diagnostics))
+        return SiteResult(site, kind, "surfaced",
+                          f"typed DiagnosticBundle, no units salvaged: {bundle}",
+                          len(plan.fired), len(bundle.diagnostics))
+    except GlafError as e:
+        return SiteResult(site, kind, "surfaced",
+                          f"typed {type(e).__name__}: {e}", len(plan.fired), 0)
+
+
+def _check_guarded(site: str, kind: str, spec: FaultSpec, seed: int) -> SiteResult:
+    """Shared harness: SARB under GuardedRunner must demote and still match."""
+    from ..observe import observed
+    from .scenarios import scenario_for
+
+    scenario = scenario_for("sarb")
+    ref = scenario.reference()
+    plan = FaultPlan([spec], seed=seed)
+    with observed(), fault_injection(plan):
+        run = scenario.run_guarded(tolerance=_TOLERANCE)
+    if not plan.fired:
+        return SiteResult(site, kind, "failed", "fault never fired", 0, 0)
+    if not run.events:
+        return SiteResult(site, kind, "failed",
+                          "fault fired but the guard recorded no fallback",
+                          len(plan.fired), 0)
+    _, _, _, _, compare = scenario.setup()
+    err = _max_abs_err(run.context.snapshot(list(compare)), ref)
+    if err > _TOLERANCE:
+        return SiteResult(site, kind, "failed",
+                          f"fallback taken but outputs diverge ({err:.3e})",
+                          len(plan.fired), len(run.events))
+    demoted = ", ".join(f"{f}/{i}" for f, i in sorted(run.demoted))
+    return SiteResult(
+        site, kind, "recovered",
+        f"serial fallback on {demoted}; outputs match reference "
+        f"(max abs err {err:.1e})", len(plan.fired), len(run.events))
+
+
+def _check_codegen(seed: int) -> SiteResult:
+    from ..glafexec import guarded_python_run
+    from ..observe import observed
+    from .scenarios import scenario_for
+
+    site, kind = "codegen.python.assign", "perturb"
+    scenario = scenario_for("sarb")
+    program, args, sizes, values, compare = scenario.setup()
+    ref = scenario.reference()
+    plan = FaultPlan(
+        [FaultSpec(site, kind, match={"function": "shortwave_entropy_model"})],
+        seed=seed)
+    with observed(), fault_injection(plan):
+        result = guarded_python_run(
+            program, scenario.entry, args, sizes=sizes, values=values,
+            compare=list(compare), tolerance=_TOLERANCE)
+    if not plan.fired:
+        return SiteResult(site, kind, "failed", "fault never fired", 0, 0)
+    if not result.fell_back:
+        return SiteResult(site, kind, "failed",
+                          "perturbed generated Python was not detected",
+                          len(plan.fired), 0)
+    err = _max_abs_err(result.context.snapshot(list(compare)), ref)
+    if err > _TOLERANCE:
+        return SiteResult(site, kind, "failed",
+                          f"fallback taken but outputs diverge ({err:.3e})",
+                          len(plan.fired), 1)
+    return SiteResult(site, kind, "recovered",
+                      f"fell back to interpreter: {result.reason}",
+                      len(plan.fired), 1)
+
+
+def _check_watchdog(seed: int) -> SiteResult:
+    from ..glafexec import run_interpreted
+    from .scenarios import scenario_for
+
+    site, kind = "exec.interp.iter", "delay"
+    scenario = scenario_for("sarb")
+    program, args, sizes, values, _ = scenario.setup()
+    plan = FaultPlan(
+        [FaultSpec(site, kind, param=0.25, max_fires=10**6)], seed=seed)
+    limits = ResourceLimits(max_wall_seconds=0.05)
+    try:
+        with fault_injection(plan):
+            run_interpreted(program, scenario.entry, args,
+                            sizes=sizes, values=values, limits=limits)
+        return SiteResult(site, kind, "failed",
+                          "stalled run finished under its wall-clock limit",
+                          len(plan.fired), 0)
+    except ResourceLimitError as e:
+        return SiteResult(site, kind, "surfaced",
+                          f"watchdog raised ResourceLimitError: {e}",
+                          len(plan.fired), 1)
+
+
+def run_faultcheck(seed: int = 0) -> FaultCheckReport:
+    """Sweep every registered injection site; see the module docstring."""
+    checks = {
+        "fortran.lex.tokens":
+            lambda: _check_lexer(seed),
+        "analysis.parallelize.verdict":
+            lambda: _check_guarded(
+                "analysis.parallelize.verdict", "misparallelize",
+                FaultSpec("analysis.parallelize.verdict", "misparallelize",
+                          match={"function": "adjust2"}), seed),
+        "codegen.python.assign":
+            lambda: _check_codegen(seed),
+        "exec.interp.step":
+            lambda: _check_guarded(
+                "exec.interp.step", "raise",
+                FaultSpec("exec.interp.step", "raise",
+                          match={"parallel": True}), seed),
+        "exec.interp.iter":
+            lambda: _check_watchdog(seed),
+    }
+    missing = set(SITES) - set(checks)
+    if missing:
+        raise AssertionError(
+            f"faultcheck has no scenario for registered site(s): {sorted(missing)}"
+        )
+    results = []
+    for site in sorted(checks):
+        kinds = SITES[site].kinds
+        try:
+            results.append(checks[site]())
+        except GlafError as e:
+            results.append(SiteResult(site, kinds[0], "surfaced",
+                                      f"typed {type(e).__name__}: {e}", -1, 0))
+        except Exception as e:  # raw escape: exactly what the sweep polices
+            results.append(SiteResult(site, kinds[0], "failed",
+                                      f"raw {type(e).__name__}: {e}", -1, 0))
+    return FaultCheckReport(seed=seed, results=results)

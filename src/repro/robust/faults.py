@@ -1,0 +1,293 @@
+"""Deterministic fault injection at named pipeline sites.
+
+A :class:`FaultPlan` is a seeded list of :class:`FaultSpec` entries, each
+naming a registered :data:`SITES` entry.  Pipeline modules call the
+module-level :func:`inject` hook at their site; when no plan is active the
+hook is a cheap no-op, and under :func:`fault_injection` the active plan
+decides — deterministically — whether and how to corrupt the payload,
+raise an artificial :class:`repro.errors.ExecutionError`, or stall.
+
+The hooks are intentionally tiny (one call per site) so the injection
+surface is auditable: grep for ``inject(`` and compare against
+:data:`SITES`.  ``repro faultcheck`` sweeps every registered site and
+reports whether each fault was *recovered* or *surfaced* — see
+:mod:`repro.robust.faultcheck` and ``docs/ROBUSTNESS.md``.
+
+This module must stay dependency-light (errors + numpy only): the
+instrumented packages (``fortranlib``, ``analysis``, ``codegen``,
+``glafexec``) import it at module load.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+import numpy as np
+
+from ..errors import ExecutionError, ValidationError
+
+__all__ = [
+    "InjectionSite", "SITES", "FaultSpec", "FaultEvent", "FaultPlan",
+    "inject", "fault_injection", "get_fault_plan",
+]
+
+
+@dataclass(frozen=True)
+class InjectionSite:
+    """One named place in the pipeline where a fault can be injected."""
+
+    name: str
+    module: str          # dotted module containing the inject() hook
+    kinds: tuple[str, ...]
+    description: str
+
+
+SITES: dict[str, InjectionSite] = {
+    s.name: s for s in (
+        InjectionSite(
+            name="fortran.lex.tokens",
+            module="repro.fortranlib.lexer",
+            kinds=("corrupt-token",),
+            description="corrupt one lexed token of the FORTRAN source",
+        ),
+        InjectionSite(
+            name="analysis.parallelize.verdict",
+            module="repro.analysis.parallelize",
+            kinds=("misparallelize",),
+            description="force a serial (loop-carried) step to be marked parallel",
+        ),
+        InjectionSite(
+            name="codegen.python.assign",
+            module="repro.codegen.python_gen",
+            kinds=("perturb",),
+            description="numerically perturb one assignment in generated Python",
+        ),
+        InjectionSite(
+            name="exec.interp.step",
+            module="repro.glafexec.interp",
+            kinds=("raise",),
+            description="raise an artificial ExecutionError at a step boundary",
+        ),
+        InjectionSite(
+            name="exec.interp.iter",
+            module="repro.glafexec.interp",
+            kinds=("delay",),
+            description="stall one loop iteration (exercises the wall-clock watchdog)",
+        ),
+    )
+}
+
+
+@dataclass
+class FaultSpec:
+    """One planned fault: which site, what kind, when it fires.
+
+    ``at`` is the first *matching* visit at which the fault may fire (0 =
+    immediately); ``max_fires`` bounds how often it does (the default of 1
+    makes faults one-shot, so a serial re-execution after a fallback is
+    clean).  ``match`` filters visits by the metadata the hook supplies
+    (e.g. ``{"function": "adjust2"}`` or ``{"parallel": True}``).
+    """
+
+    site: str
+    kind: str
+    at: int = 0
+    max_fires: int = 1
+    param: float | None = None
+    match: dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        site = SITES.get(self.site)
+        if site is None:
+            raise ValidationError(
+                f"unknown injection site {self.site!r}; "
+                f"registered: {', '.join(sorted(SITES))}"
+            )
+        if self.kind not in site.kinds:
+            raise ValidationError(
+                f"site {self.site!r} does not support fault kind {self.kind!r} "
+                f"(supports: {', '.join(site.kinds)})"
+            )
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultSpec":
+        """Parse a CLI spec ``SITE:KIND[:FUNCTION]`` (``repro profile --fault``)."""
+        parts = text.split(":")
+        if len(parts) not in (2, 3) or not all(parts):
+            raise ValidationError(
+                f"bad fault spec {text!r}; expected SITE:KIND[:FUNCTION], "
+                "e.g. analysis.parallelize.verdict:misparallelize:adjust2"
+            )
+        match = {"function": parts[2]} if len(parts) == 3 else {}
+        return cls(site=parts[0], kind=parts[1], match=match)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """A fault that actually fired."""
+
+    site: str
+    kind: str
+    detail: str
+
+
+class FaultPlan:
+    """Seeded, deterministic schedule of faults for one pipeline run."""
+
+    def __init__(self, faults: list[FaultSpec] | tuple[FaultSpec, ...] = (),
+                 *, seed: int = 0):
+        self.faults = list(faults)
+        self.seed = seed
+        self.rng = np.random.default_rng(seed)
+        self.fired: list[FaultEvent] = []
+        self._visits: dict[int, int] = {}
+        self._fires: dict[int, int] = {}
+
+    def visit(self, site: str, payload: Any, meta: dict[str, object]) -> Any:
+        """One hook visit: apply the first armed matching fault, if any.
+
+        Returns a replacement payload (or ``None`` to keep the original);
+        ``raise``-kind faults raise :class:`ExecutionError` instead, and
+        ``delay``-kind faults sleep then return ``None``.
+        """
+        for i, spec in enumerate(self.faults):
+            if spec.site != site or not self._matches(spec, payload, meta):
+                continue
+            n = self._visits[i] = self._visits.get(i, 0) + 1
+            if n - 1 < spec.at or self._fires.get(i, 0) >= spec.max_fires:
+                continue
+            # Charge the fire up front so a 'raise'-kind fault is spent
+            # even though its exception propagates out of _apply.
+            self._fires[i] = self._fires.get(i, 0) + 1
+            out = self._apply(spec, payload, meta)
+            if out is _NO_EFFECT:
+                self._fires[i] -= 1
+                continue            # transform declined; stay armed
+            return out
+        return None
+
+    def _matches(self, spec: FaultSpec, payload: Any, meta: dict) -> bool:
+        for key, want in spec.match.items():
+            have = meta.get(key, _MISSING)
+            if have is _MISSING:
+                have = getattr(payload, key, _MISSING)
+            if have != want:
+                return False
+        return True
+
+    def _apply(self, spec: FaultSpec, payload: Any, meta: dict) -> Any:
+        if spec.kind == "raise":
+            self._record(spec, meta, "raised injected ExecutionError")
+            raise ExecutionError(
+                f"injected fault at {spec.site} ({_fmt_meta(meta)})"
+            )
+        if spec.kind == "delay":
+            seconds = spec.param if spec.param is not None else 0.2
+            self._record(spec, meta, f"stalled {seconds}s")
+            time.sleep(seconds)
+            return None
+        transform = _TRANSFORMS[spec.kind]
+        out, detail = transform(payload, spec, self.rng)
+        if out is _NO_EFFECT:
+            return _NO_EFFECT
+        self._record(spec, meta, detail)
+        return out
+
+    def _record(self, spec: FaultSpec, meta: dict, detail: str) -> None:
+        if meta:
+            detail = f"{detail} ({_fmt_meta(meta)})"
+        self.fired.append(FaultEvent(site=spec.site, kind=spec.kind, detail=detail))
+        from ..observe import get_decisions
+
+        dl = get_decisions()
+        if dl.enabled:
+            dl.record(
+                "fault", str(meta.get("function", "")),
+                int(meta.get("step", -1)), spec.site, "injected",
+                reasons=(detail,), kind=spec.kind,
+            )
+
+
+_MISSING = object()
+_NO_EFFECT = object()    # transform sentinel: fault had nothing to corrupt
+
+
+def _fmt_meta(meta: dict) -> str:
+    return ", ".join(f"{k}={v}" for k, v in sorted(meta.items())) or "no context"
+
+
+# ----------------------------------------------------------------------
+# site-specific payload transforms
+# ----------------------------------------------------------------------
+def _corrupt_token(tokens: Any, spec: FaultSpec, rng) -> tuple[Any, str]:
+    candidates = [i for i, t in enumerate(tokens)
+                  if t.kind not in ("newline", "eof")]
+    if not candidates:
+        return _NO_EFFECT, ""
+    i = candidates[int(rng.integers(len(candidates)))]
+    old = tokens[i]
+    bad = type(old)(kind="op", text="?", line=old.line, col=old.col)
+    out = list(tokens)
+    out[i] = bad
+    return out, (f"corrupted token {old.text!r} -> '?' at "
+                 f"line {old.line}, col {old.col}")
+
+
+def _misparallelize(sp: Any, spec: FaultSpec, rng) -> tuple[Any, str]:
+    if sp.parallel or sp.depth == 0:
+        return _NO_EFFECT, ""
+    why = sp.reasons[0] if sp.reasons else "unknown"
+    sp.parallel = True
+    sp.reasons = [f"FAULT-INJECTED: forced parallel despite: {why}"]
+    return sp, (f"forced step {sp.function}/{sp.step_name} parallel "
+                f"(was serial: {why})")
+
+
+def _perturb_assign(value: str, spec: FaultSpec, rng) -> tuple[Any, str]:
+    eps = spec.param if spec.param is not None else 1e-3
+    return (f"(({value}) * (1 + {eps!r}) + {eps!r})",
+            f"perturbed assignment RHS by eps={eps!r}")
+
+
+_TRANSFORMS = {
+    "corrupt-token": _corrupt_token,
+    "misparallelize": _misparallelize,
+    "perturb": _perturb_assign,
+}
+
+
+# ----------------------------------------------------------------------
+# the process-wide hook
+# ----------------------------------------------------------------------
+_ACTIVE: FaultPlan | None = None
+
+
+def get_fault_plan() -> FaultPlan | None:
+    """The currently-installed plan (``None`` almost always)."""
+    return _ACTIVE
+
+
+def inject(site: str, payload: Any = None, **meta: object) -> Any:
+    """Fault-injection hook.  No-op unless a :func:`fault_injection` plan
+    is active; otherwise returns a replacement payload or ``None``."""
+    if _ACTIVE is None:
+        return None
+    if site not in SITES:       # keep hooks honest even in tests
+        raise ValidationError(f"inject() called with unregistered site {site!r}")
+    return _ACTIVE.visit(site, payload, meta)
+
+
+@contextmanager
+def fault_injection(plan: FaultPlan) -> Iterator[FaultPlan]:
+    """Install ``plan`` for the duration of the block (plans nest; the
+    innermost wins)."""
+    global _ACTIVE
+    prev = _ACTIVE
+    _ACTIVE = plan
+    try:
+        yield plan
+    finally:
+        _ACTIVE = prev

@@ -21,7 +21,13 @@ import numpy as np
 
 from ..codegen.fortran import FortranGenerator
 from ..fortranlib import FortranRuntime
-from ..glafexec import ExecutionContext, GeneratedModule, Interpreter
+from ..glafexec import (
+    ExecutionContext,
+    GeneratedModule,
+    GuardedRunner,
+    Interpreter,
+    guard_mode,
+)
 from ..integration import LegacyCodebase, check_program, splice_into_codebase
 from ..optimize.plan import OptimizationPlan, make_plan
 from .atmosphere import DEFAULT_DIMS, AtmosphereInputs, SarbDimensions, make_inputs
@@ -84,11 +90,19 @@ def _context_values(inp: AtmosphereInputs) -> dict[str, np.ndarray]:
     }
 
 
-def run_ir_interpreter(inp: AtmosphereInputs) -> dict[str, np.ndarray]:
+def run_ir_interpreter(inp: AtmosphereInputs,
+                       *, guarded: bool | None = None) -> dict[str, np.ndarray]:
+    """Run through the IR interpreter; under ``--guarded`` (or explicit
+    ``guarded=True``) execution goes through :class:`GuardedRunner`, which
+    probes every plan-parallel step and falls back to serial on divergence
+    (results are bit-identical either way — the serial result is kept)."""
     program = build_sarb_program(inp.dims)
     ctx = ExecutionContext(program, values=_context_values(inp))
-    interp = Interpreter(program, ctx)
-    interp.call("entropy_interface", [inp.dims.nv, inp.dims.nblw, inp.dims.nbsw])
+    args = [inp.dims.nv, inp.dims.nblw, inp.dims.nbsw]
+    if guard_mode() if guarded is None else guarded:
+        GuardedRunner(program).run("entropy_interface", args, context=ctx)
+    else:
+        Interpreter(program, ctx).call("entropy_interface", args)
     return {n: ctx.get(n).copy() for n in OUTPUT_NAMES}
 
 

@@ -123,6 +123,63 @@ class TestProfileCommand:
         assert "unknown variant" in capsys.readouterr().err
 
 
+class TestRobustnessCli:
+    def test_faultcheck_sweeps_all_sites_and_exits_zero(self, capsys):
+        from repro.robust import SITES
+
+        assert main(["faultcheck"]) == 0
+        out = capsys.readouterr().out
+        for site in SITES:
+            assert site in out
+        assert "result: OK" in out
+
+    def test_faultcheck_json_export(self, capsys, tmp_path):
+        report = tmp_path / "faults.json"
+        assert main(["faultcheck", "--json", str(report)]) == 0
+        doc = json.loads(report.read_text())
+        assert doc["schema"] == "repro.robust.faultcheck/v1"
+        assert doc["ok"] is True
+        capsys.readouterr()
+
+    def test_profile_guarded_fault_shows_injection_and_fallback(
+            self, project_file, capsys):
+        assert main([
+            "profile", project_file, "--guarded",
+            "--fault", "analysis.parallelize.verdict:misparallelize:adjust2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "[fault:injected]" in out
+        assert "[guard:serial-fallback]" in out
+        assert "guard.serial_fallbacks" in out
+
+    def test_bad_fault_spec_is_a_friendly_error(self, project_file, capsys):
+        assert main(["profile", project_file, "--fault", "bogus"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "bad fault spec" in err
+
+    def test_unknown_fault_site_is_a_friendly_error(self, project_file, capsys):
+        assert main(["profile", project_file,
+                     "--fault", "no.such.site:raise"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "unknown injection site" in err
+
+    def test_glaf_error_exits_2_without_traceback(self, tmp_path, capsys):
+        # A structurally invalid project surfaces as a one-line error.
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert main(["generate", str(bad)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "Traceback" not in err
+
+    def test_guard_mode_resets_after_experiments(self, capsys):
+        from repro.glafexec import guard_mode
+
+        assert main(["experiments", "C1", "--guarded"]) == 0
+        assert not guard_mode()
+        capsys.readouterr()
+
+
 class TestProfileFlag:
     def test_generate_profile_reports_to_stderr(self, project_file, capsys):
         assert main(["generate", project_file, "--profile"]) == 0

@@ -70,3 +70,30 @@ class TestObservabilityDoc:
         assert TRACE_SCHEMA in doc
         assert "repro profile" in doc
         assert "sarb_integration" in doc
+
+
+class TestRobustnessDoc:
+    """docs/ROBUSTNESS.md must track the actual injection-site registry."""
+
+    def test_every_registered_site_documented(self):
+        doc = (REPO / "docs" / "ROBUSTNESS.md").read_text()
+        from repro.robust import SITES
+
+        missing = [name for name in SITES if f"`{name}`" not in doc]
+        assert not missing, (
+            f"docs/ROBUSTNESS.md is missing injection site(s): {missing}"
+        )
+
+    def test_every_fault_kind_documented(self):
+        doc = (REPO / "docs" / "ROBUSTNESS.md").read_text()
+        from repro.robust import SITES
+
+        kinds = {k for site in SITES.values() for k in site.kinds}
+        missing = [k for k in sorted(kinds) if f"`{k}`" not in doc]
+        assert not missing, (
+            f"docs/ROBUSTNESS.md is missing fault kind(s): {missing}"
+        )
+
+    def test_linked_from_readme(self):
+        assert "ROBUSTNESS.md" in (REPO / "README.md").read_text()
+        assert "faultcheck" in (REPO / "docs" / "ROBUSTNESS.md").read_text()

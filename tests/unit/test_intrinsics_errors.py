@@ -41,12 +41,19 @@ class TestErrorHierarchy:
         for name in ("ValidationError", "BuilderError", "AnalysisError",
                      "CodegenError", "FortranSyntaxError", "FortranRuntimeError",
                      "IntegrationError", "InterfaceMismatchError",
-                     "ExecutionError", "PerfModelError", "WorkloadError"):
+                     "ExecutionError", "PerfModelError", "WorkloadError",
+                     "ResourceLimitError", "DiagnosticBundle"):
             exc = getattr(errors, name)
             assert issubclass(exc, errors.GlafError)
 
     def test_interface_mismatch_is_integration_error(self):
         assert issubclass(errors.InterfaceMismatchError, errors.IntegrationError)
+
+    def test_resource_limit_is_execution_error(self):
+        assert issubclass(errors.ResourceLimitError, errors.ExecutionError)
+
+    def test_diagnostic_bundle_is_fortran_syntax_error(self):
+        assert issubclass(errors.DiagnosticBundle, errors.FortranSyntaxError)
 
     def test_fortran_syntax_error_location(self):
         e = errors.FortranSyntaxError("bad token", line=12, col=7)
@@ -56,3 +63,21 @@ class TestErrorHierarchy:
     def test_fortran_syntax_error_without_location(self):
         e = errors.FortranSyntaxError("bad token")
         assert "line" not in str(e)
+
+    def test_fortran_syntax_error_col_only_location(self):
+        # Regression: a col without a line used to render as '()' noise;
+        # each part must stand alone.
+        e = errors.FortranSyntaxError("bad token", col=7)
+        assert str(e) == "bad token (col 7)"
+        assert e.line is None and e.col == 7
+        e = errors.FortranSyntaxError("bad token", line=3)
+        assert str(e) == "bad token (line 3)"
+
+    def test_diagnostic_bundle_aggregates(self):
+        first = errors.FortranSyntaxError("oops", line=4, col=2)
+        bundle = errors.DiagnosticBundle(
+            [first, errors.FortranSyntaxError("later", line=9)])
+        assert "2 syntax error(s)" in str(bundle)
+        assert "oops" in str(bundle)
+        assert bundle.line == 4 and bundle.col == 2
+        assert bundle.partial is None

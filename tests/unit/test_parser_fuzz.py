@@ -1,0 +1,114 @@
+"""Property-based fuzzing of the FORTRAN-subset front end.
+
+Random mutations of the two case studies' legacy sources are pushed
+through the lexer and parser, in strict and in recovery mode.  The
+contract under test: the front end either parses the mutant or raises a
+typed :class:`FortranSyntaxError` (:class:`DiagnosticBundle` included) —
+it must never escape with a raw ``IndexError`` / ``KeyError`` /
+``RecursionError`` / ``AttributeError``, hang, or crash, no matter how
+the input is damaged."""
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.errors import DiagnosticBundle, FortranSyntaxError  # noqa: E402
+from repro.fortranlib.lexer import tokenize  # noqa: E402
+from repro.fortranlib.parser import parse_source  # noqa: E402
+
+
+def _corpus() -> list[str]:
+    from repro.fun3d import full_legacy_source as fun3d_source
+    from repro.fun3d.mesh import make_mesh
+    from repro.sarb import full_legacy_source as sarb_source
+
+    sources = list(sarb_source().values())
+    sources += list(fun3d_source(make_mesh(n_points=12, seed=3)).values())
+    return sources
+
+
+CORPUS = _corpus()
+
+# Characters the mutator splices in: operators the grammar knows, ones it
+# does not, digits, names, and whitespace — enough to hit lexer errors,
+# parser errors, and accidental re-parses alike.
+_NOISE = st.text(
+    alphabet="()*/+-=<>,:%;.!&?@#$[]{}'\"_x0 19\n\t",
+    min_size=1, max_size=12,
+)
+
+
+@st.composite
+def mutated_source(draw) -> str:
+    src = draw(st.sampled_from(CORPUS))
+    n_mutations = draw(st.integers(min_value=1, max_value=4))
+    for _ in range(n_mutations):
+        kind = draw(st.sampled_from(
+            ["replace", "insert", "delete", "drop_line", "dup_line",
+             "truncate"]))
+        if not src:
+            break
+        if kind in ("drop_line", "dup_line"):
+            lines = src.splitlines(keepends=True)
+            i = draw(st.integers(min_value=0, max_value=len(lines) - 1))
+            if kind == "drop_line":
+                del lines[i]
+            else:
+                lines.insert(i, lines[i])
+            src = "".join(lines)
+            continue
+        pos = draw(st.integers(min_value=0, max_value=len(src) - 1))
+        if kind == "replace":
+            src = src[:pos] + draw(_NOISE) + src[pos + 1:]
+        elif kind == "insert":
+            src = src[:pos] + draw(_NOISE) + src[pos:]
+        elif kind == "delete":
+            end = min(len(src), pos + draw(st.integers(1, 40)))
+            src = src[:pos] + src[end:]
+        else:  # truncate
+            src = src[:pos]
+    return src
+
+
+_FUZZ = settings(max_examples=60, deadline=None)
+
+
+class TestParserFuzz:
+    @_FUZZ
+    @given(src=mutated_source())
+    def test_lexer_raises_only_typed_errors(self, src):
+        try:
+            tokenize(src)
+        except FortranSyntaxError:
+            pass
+
+    @_FUZZ
+    @given(src=mutated_source())
+    def test_strict_parse_raises_only_typed_errors(self, src):
+        try:
+            parse_source(src)
+        except FortranSyntaxError:
+            pass
+
+    @_FUZZ
+    @given(src=mutated_source())
+    def test_recovering_parse_bundles_typed_diagnostics(self, src):
+        try:
+            parse_source(src, recover=True)
+        except DiagnosticBundle as bundle:
+            assert bundle.diagnostics
+            assert all(isinstance(d, FortranSyntaxError)
+                       for d in bundle.diagnostics)
+        except FortranSyntaxError:
+            # lexer-stage failure: no token stream to resynchronize over
+            pass
+
+    @given(src=st.sampled_from(CORPUS))
+    @settings(max_examples=len(CORPUS), deadline=None)
+    def test_unmutated_corpus_parses_both_modes(self, src):
+        strict = parse_source(src)
+        recovered = parse_source(src, recover=True)
+        assert ({sp.name for sp in strict.subprograms}
+                == {sp.name for sp in recovered.subprograms})
