@@ -10,14 +10,20 @@ install:
 test:
 	$(PYTHON) -m pytest tests/
 
-# What .github/workflows/ci.yml runs: compile check, full suite, fault sweep.
+# What .github/workflows/ci.yml runs: compile check, full suite, fault
+# sweep, and the benchmark regression gate against the committed baseline.
 ci:
 	$(PYTHON) -m compileall -q src
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
 	PYTHONPATH=src $(PYTHON) -m repro faultcheck
+	PYTHONPATH=src $(PYTHON) -m repro bench record --repeats 3 --out BENCH_ci.json
+	PYTHONPATH=src $(PYTHON) -m repro bench compare BENCH_1.json BENCH_ci.json --fail-on-regress 400
 
+# The shape-criteria suite plus a recorded BENCH_<n>.json artifact
+# (docs/BENCHMARKING.md documents the artifact schema and the workflow).
 bench:
-	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/ -q
+	PYTHONPATH=src $(PYTHON) -m repro bench record --repeats 3
 
 examples:
 	$(PYTHON) examples/quickstart.py
@@ -31,7 +37,7 @@ figures:
 
 outputs:
 	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt
-	$(PYTHON) -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/ -q 2>&1 | tee bench_output.txt
 
 clean:
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,4 +1,6 @@
-"""Benchmark harness: one registered experiment per paper table/figure."""
+"""Benchmark harness: one registered experiment per paper table/figure,
+plus the longitudinal recorder behind ``repro bench record/compare/trend``
+(:mod:`repro.bench.record`, artifacts ``BENCH_<n>.json``)."""
 
 from .experiments import (
     EXPERIMENTS,
@@ -11,7 +13,26 @@ from .experiments import (
     run_table1,
     run_table2,
 )
-from .harness import Experiment, ExperimentResult, format_table, run_and_format
+from .harness import (
+    Experiment,
+    ExperimentResult,
+    format_table,
+    run_and_format,
+    run_timed,
+)
+from .record import (
+    BENCH_SCHEMA,
+    BenchComparison,
+    BenchDelta,
+    bench_files,
+    compare_benchmarks,
+    environment_fingerprint,
+    load_bench,
+    next_bench_path,
+    record_benchmark,
+    render_trend,
+    write_benchmark,
+)
 
 __all__ = [
     "EXPERIMENTS", "get_experiment",
@@ -19,4 +40,8 @@ __all__ = [
     "run_fun3d_correctness", "run_sarb_correctness",
     "run_table1", "run_table2",
     "Experiment", "ExperimentResult", "format_table", "run_and_format",
+    "run_timed",
+    "BENCH_SCHEMA", "BenchComparison", "BenchDelta", "bench_files",
+    "compare_benchmarks", "environment_fingerprint", "load_bench",
+    "next_bench_path", "record_benchmark", "render_trend", "write_benchmark",
 ]

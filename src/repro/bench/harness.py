@@ -9,10 +9,12 @@ asserted in the benchmark suite.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable
 
-__all__ = ["ExperimentResult", "Experiment", "format_table", "run_and_format"]
+__all__ = ["ExperimentResult", "Experiment", "format_table", "run_and_format",
+           "run_timed"]
 
 
 @dataclass
@@ -29,6 +31,16 @@ class ExperimentResult:
 
     def as_dict(self, key_col: int = 0, val_col: int = 1) -> dict:
         return {r[key_col]: r[val_col] for r in self.rows}
+
+    def to_json(self) -> dict[str, object]:
+        """Machine-readable form of the paper table (``experiments --json``)."""
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "headers": list(self.headers),
+            "rows": [list(r) for r in self.rows],
+            "notes": self.notes,
+        }
 
 
 @dataclass(frozen=True)
@@ -65,11 +77,26 @@ def format_table(result: ExperimentResult) -> str:
 
 
 def run_and_format(exp: Experiment) -> tuple[ExperimentResult, str]:
+    result, _ = run_timed(exp)
+    return result, format_table(result)
+
+
+def run_timed(
+    exp: Experiment,
+    clock: Callable[[], float] = time.perf_counter,
+) -> tuple[ExperimentResult, float]:
+    """Run one experiment under the tracer; also measure its wall seconds.
+
+    ``clock`` is injectable (mirroring ``Tracer(clock=...)``) so the bench
+    recorder's statistics are deterministic in tests.
+    """
     from ..observe import get_metrics, get_tracer
 
     with get_tracer().span("bench.experiment", id=exp.experiment_id,
                            paper_ref=exp.paper_ref) as _sp:
+        t0 = clock()
         result = exp.run()
+        elapsed = clock() - t0
         _sp.set(rows=len(result.rows))
         get_metrics().counter("bench.experiments.run").inc()
-    return result, format_table(result)
+    return result, elapsed

@@ -20,12 +20,19 @@
   seeded faults first (see ``docs/ROBUSTNESS.md``).
 * ``faultcheck`` — sweep every registered fault-injection site and report
   whether each fault was recovered or surfaced as a typed error.
+* ``bench record|compare|trend`` — the longitudinal benchmark layer
+  (``docs/BENCHMARKING.md``): ``record`` runs the experiments N times and
+  writes the next schema-versioned ``BENCH_<n>.json`` artifact; ``compare
+  OLD NEW [--fail-on-regress PCT]`` prints the per-experiment diff and
+  exits 1 on wall-time regressions beyond the threshold; ``trend`` renders
+  the whole ``BENCH_*.json`` trajectory as one table.
 
 ``experiments`` and ``generate`` also accept ``--profile [FILE]``: with no
 argument the observability report is printed to stderr after the normal
 output; with a file argument the JSON trace is written there instead.
 ``experiments --guarded`` routes the case-study interpreter runs through
-guarded execution with serial fallback.
+guarded execution with serial fallback, and ``experiments --json FILE``
+writes the machine-readable tables (``ExperimentResult.to_json``).
 
 Any uncaught :class:`repro.errors.GlafError` prints a one-line
 ``error: ...`` and exits 2; only raw (non-framework) exceptions traceback.
@@ -64,6 +71,8 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("--guarded", action="store_true",
                      help="run interpreter workloads under the divergence "
                           "guard (serial fallback on mis-parallelization)")
+    exp.add_argument("--json", dest="json_path", metavar="FILE",
+                     help="also write the result tables as JSON to FILE")
     _add_profile_flag(exp)
 
     gen = sub.add_parser("generate", help="generate code from a project file")
@@ -97,6 +106,9 @@ def build_parser() -> argparse.ArgumentParser:
                       help="back-end(s) to run through codegen")
     prof.add_argument("--json", dest="json_path", metavar="FILE",
                       help="also write the JSON trace document to FILE")
+    prof.add_argument("--chrome", dest="chrome_path", metavar="FILE",
+                      help="also write the trace in Chrome trace-event "
+                           "format (open in chrome://tracing or Perfetto)")
     prof.add_argument("--guarded", action="store_true",
                       help="also execute the project's case-study workload "
                            "under the divergence guard")
@@ -115,6 +127,35 @@ def build_parser() -> argparse.ArgumentParser:
                     help="seed for the deterministic fault plans (default 0)")
     fc.add_argument("--json", dest="json_path", metavar="FILE",
                     help="also write the report as JSON to FILE")
+
+    bench = sub.add_parser(
+        "bench",
+        help="record, compare, and trend BENCH_<n>.json benchmark artifacts",
+    )
+    bsub = bench.add_subparsers(dest="bench_command", required=True)
+
+    rec = bsub.add_parser(
+        "record", help="run the experiments N times, write the next artifact")
+    rec.add_argument("ids", nargs="*",
+                     help="experiment ids to record (default: all)")
+    rec.add_argument("--repeats", type=int, default=3,
+                     help="repeats per experiment (default 3)")
+    rec.add_argument("--out", metavar="FILE",
+                     help="artifact path (default: next BENCH_<n>.json here)")
+
+    cmp_ = bsub.add_parser(
+        "compare", help="diff two artifacts; gate on wall-time regressions")
+    cmp_.add_argument("old", help="baseline BENCH_*.json")
+    cmp_.add_argument("new", help="candidate BENCH_*.json")
+    cmp_.add_argument("--fail-on-regress", type=float, default=None,
+                      metavar="PCT",
+                      help="exit 1 if any experiment's wall-time median "
+                           "regressed by more than PCT percent")
+
+    trend = bsub.add_parser(
+        "trend", help="summarize every BENCH_*.json into one trajectory table")
+    trend.add_argument("--dir", dest="bench_dir", default=".",
+                       help="directory holding the artifacts (default: .)")
     return p
 
 
@@ -137,11 +178,19 @@ def _cmd_experiments(args) -> int:
         print(f"unknown experiment id(s): {', '.join(unknown)}; "
               f"available: {', '.join(EXPERIMENTS)}", file=sys.stderr)
         return 2
+    results = []
     with guarded(enabled=bool(getattr(args, "guarded", False))):
         for exp_id in ids:
-            _, text = run_and_format(EXPERIMENTS[exp_id])
+            result, text = run_and_format(EXPERIMENTS[exp_id])
+            results.append(result)
             print(text)
             print()
+    if getattr(args, "json_path", None):
+        with open(args.json_path, "w") as f:
+            json.dump({"schema": "repro.bench.experiments/v1",
+                       "experiments": [r.to_json() for r in results]},
+                      f, indent=2)
+        print(f"tables written to {args.json_path}", file=sys.stderr)
     return 0
 
 
@@ -266,6 +315,45 @@ def _cmd_profile(args) -> int:
             json.dump(obs.to_json(project=args.project, variant=args.variant,
                                   targets=targets), f, indent=2)
         print(f"\ntrace written to {args.json_path}", file=sys.stderr)
+    if args.chrome_path:
+        with open(args.chrome_path, "w") as f:
+            json.dump(obs.to_chrome_trace(project=args.project,
+                                          variant=args.variant), f, indent=2)
+        print(f"chrome trace written to {args.chrome_path} "
+              f"(open in chrome://tracing or https://ui.perfetto.dev)",
+              file=sys.stderr)
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    from .bench import record
+
+    if args.bench_command == "record":
+        doc = record.record_benchmark(ids=args.ids or None,
+                                      repeats=args.repeats)
+        out = args.out or record.next_bench_path()
+        path = record.write_benchmark(doc, out)
+        n_exp = len(doc["experiments"])
+        print(f"recorded {n_exp} experiment(s) x {args.repeats} repeat(s) "
+              f"-> {path}")
+        return 0
+
+    if args.bench_command == "compare":
+        import os
+
+        comparison = record.compare_benchmarks(
+            record.load_bench(args.old),
+            record.load_bench(args.new),
+            fail_on_regress=args.fail_on_regress,
+            old_label=os.path.basename(args.old),
+            new_label=os.path.basename(args.new),
+        )
+        print(comparison.render())
+        return 0 if comparison.ok else 1
+
+    entries = [(p.name, record.load_bench(p))
+               for p in record.bench_files(args.bench_dir)]
+    print(record.render_trend(entries))
     return 0
 
 
@@ -289,6 +377,7 @@ _COMMANDS = {
     "variants": _cmd_variants,
     "profile": _cmd_profile,
     "faultcheck": _cmd_faultcheck,
+    "bench": _cmd_bench,
 }
 
 

@@ -96,3 +96,7 @@ class PerfModelError(GlafError):
 
 class WorkloadError(GlafError):
     """A case-study workload specification is invalid."""
+
+
+class BenchArtifactError(GlafError):
+    """A ``BENCH_<n>.json`` artifact is malformed or has the wrong schema."""

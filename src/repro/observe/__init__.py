@@ -52,6 +52,7 @@ from .metrics import (
     get_metrics,
     set_metrics,
 )
+from .bench import BENCH_SCHEMA, RepeatStats, stage_seconds, summarize_repeats
 from .report import (
     TRACE_SCHEMA,
     render_decisions,
@@ -60,6 +61,7 @@ from .report import (
     render_stage_summary,
     render_tree,
     stage_totals,
+    to_chrome_trace,
     trace_to_json,
 )
 from .trace import (
@@ -83,6 +85,9 @@ __all__ = [
     # reporting
     "TRACE_SCHEMA", "render_tree", "render_stage_summary", "render_metrics",
     "render_decisions", "render_report", "stage_totals", "trace_to_json",
+    "to_chrome_trace",
+    # bench statistics
+    "BENCH_SCHEMA", "RepeatStats", "summarize_repeats", "stage_seconds",
     # session
     "Observation", "observed", "is_observing",
 ]
@@ -99,6 +104,9 @@ class Observation:
     def to_json(self, **meta: object) -> dict[str, object]:
         return trace_to_json(self.tracer, self.metrics, self.decisions, **meta)
 
+    def to_chrome_trace(self, **meta: object) -> dict[str, object]:
+        return to_chrome_trace(self.tracer, **meta)
+
     def report(self, title: str = "pipeline profile") -> str:
         return render_report(self.tracer, self.metrics, self.decisions,
                              title=title)
@@ -110,13 +118,16 @@ def is_observing() -> bool:
 
 
 @contextmanager
-def observed() -> Iterator[Observation]:
+def observed(clock=None) -> Iterator[Observation]:
     """Install a fresh tracer/metrics/decision-log trio for the block.
 
     Restores whatever was installed before on exit, so observations nest
-    (the inner one wins while active).
+    (the inner one wins while active).  ``clock`` is handed to the
+    :class:`Tracer` so recorded durations are deterministic under test
+    (the bench recorder threads its injected clock through here).
     """
-    obs = Observation(Tracer(), MetricsRegistry(), DecisionLog())
+    obs = Observation(Tracer(clock) if clock is not None else Tracer(),
+                      MetricsRegistry(), DecisionLog())
     prev_t = set_tracer(obs.tracer)
     prev_m = set_metrics(obs.metrics)
     prev_d = set_decisions(obs.decisions)

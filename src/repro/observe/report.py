@@ -31,6 +31,7 @@ __all__ = [
     "render_metrics",
     "render_decisions",
     "trace_to_json",
+    "to_chrome_trace",
     "render_report",
 ]
 
@@ -213,6 +214,61 @@ def trace_to_json(
     if decisions is not None:
         doc["decisions"] = [d.to_dict() for d in decisions.events]
     return doc
+
+
+def _chrome_arg(value: object) -> object:
+    """Chrome trace ``args`` values must be JSON-serializable primitives."""
+    if isinstance(value, (bool, int, float, str)) or value is None:
+        return value
+    return str(value)
+
+
+def to_chrome_trace(
+    tracer: Tracer | NullTracer, **meta: object
+) -> dict[str, object]:
+    """Export the recorded spans in Chrome trace-event format.
+
+    The result loads directly into ``chrome://tracing`` or Perfetto
+    (https://ui.perfetto.dev).  Every span becomes a complete event
+    (``"ph": "X"``) with microsecond ``ts``/``dur`` relative to the trace
+    epoch; its pipeline stage (the first dotted name component) becomes the
+    event category, so the UI can filter by stage.  Threads are mapped to
+    stable integer ``tid``\\ s with metadata events carrying the real names.
+    """
+    epoch = getattr(tracer, "epoch", 0.0)
+    tids: dict[str, int] = {}
+    events: list[dict[str, object]] = []
+
+    def tid_of(thread: str) -> int:
+        if thread not in tids:
+            tids[thread] = len(tids)
+            events.append({
+                "name": "thread_name", "ph": "M", "pid": 0,
+                "tid": tids[thread], "args": {"name": thread or "main"},
+            })
+        return tids[thread]
+
+    def emit(span: Span) -> None:
+        events.append({
+            "name": span.name,
+            "cat": span.name.split(".", 1)[0],
+            "ph": "X",
+            "ts": round((span.start - epoch) * 1e6, 3),
+            "dur": round(span.duration * 1e6, 3),
+            "pid": 0,
+            "tid": tid_of(span.thread),
+            "args": {k: _chrome_arg(v) for k, v in span.attrs.items()},
+        })
+        for c in span.children:
+            emit(c)
+
+    for root in tracer.roots:
+        emit(root)
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {str(k): _chrome_arg(v) for k, v in meta.items()},
+    }
 
 
 def render_report(

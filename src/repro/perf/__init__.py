@@ -4,7 +4,13 @@ plus the simulator that predicts run times of annotated GLAF programs."""
 from .amdahl import amdahl_speedup, max_speedup, parallel_fraction_from_speedup
 from .compilermodel import CompilerModel, LoopOpt
 from .costmodel import Cost, expr_cost, stmt_cost
-from .machine import MACHINES, MachineSpec, i5_2400, xeon_e5_2637v4_node
+from .machine import (
+    MACHINES,
+    MachineSpec,
+    i5_2400,
+    machine_fingerprint,
+    xeon_e5_2637v4_node,
+)
 from .omp_runtime import OmpCostModel
 from .report import breakdown_table, overhead_summary
 from .simulate import SimOptions, SimResult, Simulator, StepBreakdown, Workload, simulate
@@ -14,6 +20,7 @@ __all__ = [
     "CompilerModel", "LoopOpt",
     "Cost", "expr_cost", "stmt_cost",
     "MACHINES", "MachineSpec", "i5_2400", "xeon_e5_2637v4_node",
+    "machine_fingerprint",
     "OmpCostModel",
     "breakdown_table", "overhead_summary",
     "SimOptions", "SimResult", "Simulator", "StepBreakdown", "Workload",

@@ -16,7 +16,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["MachineSpec", "i5_2400", "xeon_e5_2637v4_node", "MACHINES"]
+__all__ = ["MachineSpec", "i5_2400", "xeon_e5_2637v4_node", "MACHINES",
+           "machine_fingerprint"]
 
 
 @dataclass(frozen=True)
@@ -73,3 +74,22 @@ xeon_e5_2637v4_node = MachineSpec(
 )
 
 MACHINES = {m.name: m for m in (i5_2400, xeon_e5_2637v4_node)}
+
+
+def machine_fingerprint() -> dict[str, dict[str, object]]:
+    """The simulated testbeds, as recorded in bench artifacts.
+
+    Model predictions (Figures 5–7 cells) depend on these constants, so
+    ``BENCH_<n>.json`` embeds them: a cell drift between two artifacts with
+    different fingerprints is a model change, not a regression.
+    """
+    return {
+        name: {
+            "physical_cores": m.physical_cores,
+            "logical_cores": m.logical_cores,
+            "freq_ghz": m.freq_ghz,
+            "simd_doubles": m.simd_doubles,
+            "smt_work_penalty": m.smt_work_penalty,
+        }
+        for name, m in MACHINES.items()
+    }

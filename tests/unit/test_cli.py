@@ -210,3 +210,100 @@ class TestProfileFlag:
         assert not observe.is_observing()
         assert observe.get_metrics().snapshot()["counters"] == {}
         capsys.readouterr()
+
+
+class TestBenchCli:
+    @pytest.fixture(scope="class")
+    def artifact(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("bench") / "BENCH_1.json"
+        assert main(["bench", "record", "T2", "--repeats", "2",
+                     "--out", str(path)]) == 0
+        return path
+
+    def test_record_writes_schema_versioned_artifact(self, artifact, capsys):
+        doc = json.loads(artifact.read_text())
+        assert doc["schema"] == "repro.bench/v1"
+        assert doc["meta"]["repeats"] == 2
+        assert "T2" in doc["experiments"]
+        assert doc["experiments"]["T2"]["wall_s"]["n"] == 2
+        assert "python" in doc["environment"]
+        capsys.readouterr()
+
+    def test_record_defaults_to_next_bench_path(self, tmp_path, capsys,
+                                                monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["bench", "record", "T2", "--repeats", "1"]) == 0
+        assert (tmp_path / "BENCH_1.json").exists()
+        assert main(["bench", "record", "T2", "--repeats", "1"]) == 0
+        assert (tmp_path / "BENCH_2.json").exists()
+        capsys.readouterr()
+
+    def test_record_unknown_id_is_a_friendly_error(self, capsys):
+        assert main(["bench", "record", "ZZ"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_compare_identical_exits_zero(self, artifact, capsys):
+        assert main(["bench", "compare", str(artifact), str(artifact),
+                     "--fail-on-regress", "0.5"]) == 0
+        out = capsys.readouterr().out
+        assert "bench compare" in out
+        assert "gate: fail-on-regress 0.5% -> OK" in out
+
+    def test_compare_regression_exits_nonzero(self, artifact, tmp_path,
+                                              capsys):
+        doc = json.loads(artifact.read_text())
+        doc["experiments"]["T2"]["wall_s"]["median"] *= 10.0
+        slower = tmp_path / "BENCH_2.json"
+        slower.write_text(json.dumps(doc))
+        assert main(["bench", "compare", str(artifact), str(slower),
+                     "--fail-on-regress", "50"]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_compare_without_threshold_reports_only(self, artifact, tmp_path,
+                                                    capsys):
+        doc = json.loads(artifact.read_text())
+        doc["experiments"]["T2"]["wall_s"]["median"] *= 10.0
+        slower = tmp_path / "BENCH_3.json"
+        slower.write_text(json.dumps(doc))
+        assert main(["bench", "compare", str(artifact), str(slower)]) == 0
+        capsys.readouterr()
+
+    def test_compare_bad_artifact_is_a_friendly_error(self, artifact,
+                                                      tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"schema": "wrong/v9"}')
+        assert main(["bench", "compare", str(artifact), str(bad)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "wrong/v9" in err
+
+    def test_trend_renders_trajectory(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["bench", "record", "T2", "--repeats", "1"]) == 0
+        assert main(["bench", "record", "T2", "--repeats", "1"]) == 0
+        capsys.readouterr()
+        assert main(["bench", "trend", "--dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "bench trend" in out
+        assert "BENCH_1.json" in out and "BENCH_2.json" in out
+
+    def test_trend_empty_dir(self, tmp_path, capsys):
+        assert main(["bench", "trend", "--dir", str(tmp_path)]) == 0
+        assert "no BENCH_" in capsys.readouterr().out
+
+    def test_experiments_json_export(self, capsys, tmp_path):
+        out_file = tmp_path / "tables.json"
+        assert main(["experiments", "T1", "T2", "--json", str(out_file)]) == 0
+        doc = json.loads(out_file.read_text())
+        assert doc["schema"] == "repro.bench.experiments/v1"
+        assert [e["experiment_id"] for e in doc["experiments"]] == ["T1", "T2"]
+        assert doc["experiments"][0]["headers"][0] == "subroutine"
+        capsys.readouterr()
+
+    def test_profile_chrome_export(self, project_file, capsys, tmp_path):
+        chrome = tmp_path / "chrome.json"
+        assert main(["profile", project_file, "--chrome", str(chrome)]) == 0
+        doc = json.loads(chrome.read_text())
+        names = {e["name"] for e in doc["traceEvents"] if e["ph"] == "X"}
+        assert "pipeline" in names and "codegen.fortran" in names
+        assert doc["otherData"]["project"] == project_file
+        capsys.readouterr()

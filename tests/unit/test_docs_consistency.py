@@ -72,6 +72,44 @@ class TestObservabilityDoc:
         assert "sarb_integration" in doc
 
 
+class TestBenchmarkingDoc:
+    """docs/BENCHMARKING.md must track the bench artifact machinery."""
+
+    def test_exists_and_names_the_schema(self):
+        doc = (REPO / "docs" / "BENCHMARKING.md").read_text()
+        from repro.observe.bench import BENCH_SCHEMA
+
+        assert BENCH_SCHEMA in doc
+        assert "repro bench record" in doc
+        assert "--fail-on-regress" in doc
+        assert "BENCH_<n>.json" in doc
+
+    def test_linked_from_readme_and_observability(self):
+        assert "BENCHMARKING.md" in (REPO / "README.md").read_text()
+        obs = (REPO / "docs" / "OBSERVABILITY.md").read_text()
+        assert "BENCHMARKING.md" in obs and "--chrome" in obs
+
+    def test_committed_baseline_exists_and_validates(self):
+        from repro.bench import load_bench
+
+        baseline = load_bench(REPO / "BENCH_1.json")
+        from repro.bench import EXPERIMENTS
+
+        assert set(baseline["experiments"]) == set(EXPERIMENTS)
+        assert baseline["meta"]["repeats"] >= 3
+
+    def test_ci_runs_the_regression_gate(self):
+        ci = (REPO / ".github" / "workflows" / "ci.yml").read_text()
+        assert "bench record" in ci
+        assert "bench compare" in ci and "--fail-on-regress" in ci
+        assert "upload-artifact" in ci
+
+    def test_make_bench_records_an_artifact(self):
+        make = (REPO / "Makefile").read_text()
+        assert "repro bench record" in make
+        assert "--benchmark-only" not in make
+
+
 class TestRobustnessDoc:
     """docs/ROBUSTNESS.md must track the actual injection-site registry."""
 

@@ -304,3 +304,116 @@ class TestReporting:
         assert "-- per-stage summary --" in text
         assert "-- metrics --" in text
         assert "-- parallelization decisions --" in text
+
+
+class TestReportingEdgeCases:
+    def test_empty_trace_renders_placeholders(self):
+        t = Tracer()
+        assert observe.render_tree(t) == "(no spans recorded)"
+        assert observe.render_stage_summary(t) == "(no stages recorded)"
+        assert observe.stage_totals(t) == []
+
+    def test_empty_trace_to_json(self):
+        doc = trace_to_json(Tracer())
+        assert doc["spans"] == [] and doc["stages"] == []
+        json.dumps(doc)
+
+    def test_null_tracer_reports_empty(self):
+        assert observe.render_tree(NULL_TRACER) == "(no spans recorded)"
+        assert observe.to_chrome_trace(NULL_TRACER)["traceEvents"] == []
+
+    def test_deeply_nested_spans_respect_max_depth(self):
+        t = Tracer()
+        from contextlib import ExitStack
+
+        with ExitStack() as stack:
+            for i in range(20):
+                stack.enter_context(t.span(f"deep.level{i}"))
+        text = observe.render_tree(t, max_depth=5)
+        assert "deep.level4" in text
+        assert "deep.level5" not in text
+        # But the full walk still sees every span.
+        assert sum(1 for _ in t.all_spans()) == 20
+
+    def test_zero_duration_spans(self):
+        clock = lambda: 42.0                    # frozen: every span lasts 0s
+        t = Tracer(clock=clock)
+        with t.span("fast.outer"):
+            with t.span("fast.inner"):
+                pass
+        assert all(s.duration == 0.0 for s in t.all_spans())
+        assert "0.000ms" in observe.render_tree(t)
+        rows = observe.stage_totals(t)
+        assert rows[0]["cumulative_s"] == 0.0 and rows[0]["self_s"] == 0.0
+        events = [e for e in observe.to_chrome_trace(t)["traceEvents"]
+                  if e["ph"] == "X"]
+        assert all(e["dur"] == 0.0 for e in events)
+
+
+class TestChromeTrace:
+    @pytest.fixture()
+    def tracer(self):
+        steps = iter(range(100))
+        t = Tracer(clock=lambda: next(steps) * 0.001)
+        with t.span("pipeline", variant="v2"):
+            with t.span("analysis.step", arrays=["a", "b"]):
+                pass
+            with t.span("codegen.fortran"):
+                pass
+        return t
+
+    def test_events_mirror_spans(self, tracer):
+        doc = observe.to_chrome_trace(tracer, project="x")
+        events = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert [e["name"] for e in events] == [
+            "pipeline", "analysis.step", "codegen.fortran"]
+        assert doc["displayTimeUnit"] == "ms"
+        assert doc["otherData"] == {"project": "x"}
+
+    def test_categories_are_pipeline_stages(self, tracer):
+        doc = observe.to_chrome_trace(tracer)
+        cats = {e["name"]: e["cat"] for e in doc["traceEvents"]
+                if e["ph"] == "X"}
+        assert cats["analysis.step"] == "analysis"
+        assert cats["pipeline"] == "pipeline"
+
+    def test_children_are_contained_in_parents(self, tracer):
+        events = {e["name"]: e
+                  for e in observe.to_chrome_trace(tracer)["traceEvents"]
+                  if e["ph"] == "X"}
+        parent, child = events["pipeline"], events["analysis.step"]
+        assert parent["ts"] <= child["ts"]
+        assert child["ts"] + child["dur"] <= parent["ts"] + parent["dur"]
+
+    def test_thread_metadata_events(self, tracer):
+        doc = observe.to_chrome_trace(tracer)
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        assert len(meta) == 1
+        assert meta[0]["name"] == "thread_name"
+        tids = {e["tid"] for e in doc["traceEvents"] if e["ph"] == "X"}
+        assert tids == {meta[0]["tid"]}
+
+    def test_non_primitive_attrs_are_stringified(self, tracer):
+        doc = observe.to_chrome_trace(tracer)
+        step = [e for e in doc["traceEvents"]
+                if e["ph"] == "X" and e["name"] == "analysis.step"][0]
+        assert step["args"]["arrays"] == "['a', 'b']"
+        json.dumps(doc)                          # fully serializable
+
+    def test_roundtrip_preserves_span_count_and_time(self, tracer):
+        blob = json.dumps(observe.to_chrome_trace(tracer))
+        back = json.loads(blob)
+        events = [e for e in back["traceEvents"] if e["ph"] == "X"]
+        assert len(events) == sum(1 for _ in tracer.all_spans())
+        for span in tracer.all_spans():
+            match = [e for e in events if e["name"] == span.name]
+            assert len(match) == 1
+            assert match[0]["dur"] == pytest.approx(span.duration * 1e6)
+
+    def test_observation_exports_chrome(self):
+        with observe.observed() as obs:
+            with obs.tracer.span("exec.run"):
+                pass
+        doc = obs.to_chrome_trace(label="demo")
+        assert doc["otherData"] == {"label": "demo"}
+        assert any(e["name"] == "exec.run" for e in doc["traceEvents"])
