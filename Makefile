@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test ci bench examples figures outputs clean
+.PHONY: install test lint ci bench examples figures outputs clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -10,9 +10,17 @@ install:
 test:
 	$(PYTHON) -m pytest tests/
 
-# What .github/workflows/ci.yml runs: compile check, full suite, fault
-# sweep, and the benchmark regression gate against the committed baseline.
-ci:
+# Static parallel-correctness gate: every shipped SARB/FUN3D output must
+# lint clean at every pruning level, and the seeded clause-mutation
+# corpus must be caught at 100% (docs/STATIC_ANALYSIS.md).
+lint:
+	PYTHONPATH=src $(PYTHON) -m repro lint
+	PYTHONPATH=src $(PYTHON) -m repro lint --selftest
+
+# What .github/workflows/ci.yml runs: compile check, full suite, lint
+# gate, fault sweep, and the benchmark regression gate against the
+# committed baseline.
+ci: lint
 	$(PYTHON) -m compileall -q src
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
 	PYTHONPATH=src $(PYTHON) -m repro faultcheck

@@ -20,9 +20,17 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
+from ..core.grid import Grid
 from .accesses import Access, AffineForm
 
-__all__ = ["DepKind", "Dependence", "test_pair", "write_is_injective"]
+__all__ = [
+    "DepKind",
+    "Dependence",
+    "may_alias",
+    "test_pair",
+    "test_alias_pair",
+    "write_is_injective",
+]
 
 
 class DepKind(enum.Enum):
@@ -111,6 +119,66 @@ def test_pair(w: Access, other: Access, loop_vars: tuple[str, ...]) -> Dependenc
         w.grid,
         distance=distances,
         detail=f"constant dependence distance {distances}",
+    )
+
+
+def may_alias(a: Grid, b: Grid) -> bool:
+    """Conservative storage-association test between two grid declarations.
+
+    Distinct GLAF grid names usually mean distinct storage, but the paper's
+    §3 integration features open exactly three overlay channels:
+
+    * **same COMMON block** (§3.2): FORTRAN storage association is by block
+      layout, not by name — another unit may declare ``/blk/`` with a
+      different variable list, so two names bound to the same block can
+      denote the same slot.  Within one GLAF program the generated layout
+      is consistent, but the legacy side of a splice is under no such
+      obligation; treat same-block grids as potential aliases.
+    * **TYPE element vs whole parent** (§3.5): ``fin%rad_input`` lives
+      inside ``fin``, so a whole-variable reference to the parent overlaps
+      every element.
+    * **two elements with the same parent and element name**: two grids
+      bound to the same ``var%elem`` slot are the same storage.
+
+    Two elements of the same parent with *different* element names are
+    disjoint (records do not overlap their own fields), as are unrelated
+    locals/globals.
+    """
+    if a.name == b.name:
+        return True
+    if (a.common_block is not None
+            and a.common_block == b.common_block):
+        return True
+    # Whole parent vs one of its TYPE elements, either direction.
+    if a.is_type_element and a.type_parent == b.name:
+        return True
+    if b.is_type_element and b.type_parent == a.name:
+        return True
+    # Same parent, same element name: the same var%elem slot.
+    if (a.is_type_element and b.is_type_element
+            and a.type_parent == b.type_parent and a.name == b.name):
+        return True
+    return False
+
+
+def test_alias_pair(w: Access, other: Access, loop_vars: tuple[str, ...]) -> Dependence:
+    """Dependence between a write and an access to a *different-named* grid
+    that may share storage (see :func:`may_alias`).
+
+    Subscript forms on the two sides index different base addresses whose
+    relative offset the IR does not know, so element-wise affine comparison
+    is meaningless; the pair is conservatively :data:`DepKind.UNKNOWN`
+    (treated as loop-carried by callers).
+    """
+    assert w.is_write and w.grid != other.grid
+    from ..observe import get_metrics
+
+    _m = get_metrics()
+    if _m.enabled:
+        _m.counter("analysis.dependence.tests").inc()
+    return Dependence(
+        DepKind.UNKNOWN, w.grid,
+        detail=f"storage association with {other.grid} (COMMON/TYPE overlay)",
     )
 
 

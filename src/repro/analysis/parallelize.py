@@ -39,7 +39,7 @@ from ..core.step import Assign, CallStmt, ExitLoop, Return, Step, walk_stmts
 from ..observe import get_decisions, get_metrics, get_tracer
 from ..robust import inject
 from .accesses import step_accesses
-from .dependence import DepKind, test_pair, write_is_injective
+from .dependence import DepKind, may_alias, test_alias_pair, test_pair, write_is_injective
 from .privatization import classify_privates
 from .reductions import find_reductions
 
@@ -234,11 +234,19 @@ def _analyze_step(
                 "(not a recognized reduction or private temporary)"
             )
             continue
-        # Injective write: check distances against every other access.
+        # Injective write: check distances against every other access —
+        # including accesses to *different-named* grids that may share
+        # storage through a COMMON block or a derived-TYPE overlay (§3.2,
+        # §3.5), which affine comparison cannot reason about.
         for other in accesses:
-            if other is w or other.grid != g:
+            if other is w:
                 continue
-            dep = test_pair(w, other, loop_vars)
+            if other.grid != g:
+                if not _grids_may_alias(program, fn, g, other.grid):
+                    continue
+                dep = test_alias_pair(w, other, loop_vars)
+            else:
+                dep = test_pair(w, other, loop_vars)
             if dep.kind in (DepKind.LOOP_CARRIED, DepKind.UNKNOWN):
                 serial_reasons.append(
                     f"dependence on {g}: {dep.detail or dep.kind.value}"
@@ -277,6 +285,18 @@ def _analyze_step(
     if not sp.reasons:
         sp.reasons.append("no loop-carried dependences detected")
     return sp
+
+
+def _grids_may_alias(
+    program: GlafProgram, fn: GlafFunction, a: str, b: str
+) -> bool:
+    """Alias test by name, tolerant of unresolvable (builtin/implicit) refs."""
+    try:
+        ga = program.resolve_grid(fn, a)
+        gb = program.resolve_grid(fn, b)
+    except KeyError:
+        return False
+    return may_alias(ga, gb)
 
 
 def _inner_vars_in_bounds(step: Step) -> bool:

@@ -20,6 +20,13 @@
   seeded faults first (see ``docs/ROBUSTNESS.md``).
 * ``faultcheck`` — sweep every registered fault-injection site and report
   whether each fault was recovered or surfaced as a typed error.
+* ``lint [--level v0|v1|v2|v3|all] [--case sarb|fun3d|all] [--json [FILE]]``
+  — regenerate the case-study outputs (generated MODULE + spliced legacy
+  codebase) at the chosen pruning level(s) and run the static race /
+  parallel-correctness linter over the emitted text (see
+  ``docs/STATIC_ANALYSIS.md``); exits 1 on any finding.  ``--selftest``
+  runs the seeded clause-mutation corpus instead and fails unless the
+  linter catches every mutant.
 * ``bench record|compare|trend`` — the longitudinal benchmark layer
   (``docs/BENCHMARKING.md``): ``record`` runs the experiments N times and
   writes the next schema-versioned ``BENCH_<n>.json`` artifact; ``compare
@@ -48,6 +55,7 @@ from typing import Sequence
 __all__ = ["main", "build_parser"]
 
 _PROFILE_REPORT = object()     # sentinel: bare --profile (text report to stderr)
+_JSON_STDOUT = object()        # sentinel: bare --json (JSON to stdout)
 
 
 def _add_profile_flag(sub: argparse.ArgumentParser) -> None:
@@ -128,6 +136,28 @@ def build_parser() -> argparse.ArgumentParser:
     fc.add_argument("--json", dest="json_path", metavar="FILE",
                     help="also write the report as JSON to FILE")
 
+    lint = sub.add_parser(
+        "lint",
+        help="static race / parallel-correctness linter over the emitted "
+             "case-study FORTRAN (docs/STATIC_ANALYSIS.md)",
+    )
+    lint.add_argument("--level", choices=["v0", "v1", "v2", "v3", "all"],
+                      default="all",
+                      help="pruning level(s) to regenerate and lint "
+                           "(default: all)")
+    lint.add_argument("--case", choices=["sarb", "fun3d", "all"],
+                      default="all",
+                      help="case study to lint (default: both)")
+    lint.add_argument("--json", dest="json_path", nargs="?",
+                      const=_JSON_STDOUT, default=None, metavar="FILE",
+                      help="emit the report as JSON (to stdout, or to FILE "
+                           "when given)")
+    lint.add_argument("--selftest", action="store_true",
+                      help="run the seeded clause-mutation corpus and "
+                           "verify the linter catches every mutant")
+    lint.add_argument("--seed", type=int, default=0,
+                      help="seed for the --selftest fault plans (default 0)")
+
     bench = sub.add_parser(
         "bench",
         help="record, compare, and trend BENCH_<n>.json benchmark artifacts",
@@ -164,7 +194,10 @@ def _load_program(path: str):
     from .core.validate import validate_program
 
     program = load_project(path)
-    validate_program(program)
+    # collect=True: a malformed project reports every structural error in
+    # one DiagnosticBundle (rendered line by line in main()) instead of
+    # stopping at the first.
+    validate_program(program, collect=True)
     return program
 
 
@@ -357,6 +390,38 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from .lint import LEVELS, lint_levels, run_mutation_selftest
+
+    if args.selftest:
+        results = run_mutation_selftest(seed=args.seed)
+        width = max(len(r.mutant.id) for r in results)
+        for r in results:
+            mark = "caught" if r.ok else "MISSED"
+            rules = ", ".join(r.rules) or "-"
+            print(f"  {r.mutant.id:<{width}}  {r.mutant.kind:<18}  "
+                  f"{mark:<6}  {rules}")
+        n_ok = sum(r.ok for r in results)
+        print(f"mutation self-test: {n_ok}/{len(results)} mutant(s) caught")
+        return 0 if n_ok == len(results) else 1
+
+    levels = sorted(LEVELS) if args.level == "all" else [args.level]
+    cases = ("sarb", "fun3d") if args.case == "all" else (args.case,)
+    report = lint_levels(levels, cases)
+    if args.json_path is not None:
+        doc = report.to_json()
+        if args.json_path is _JSON_STDOUT:
+            json.dump(doc, sys.stdout, indent=2)
+            print()
+        else:
+            with open(args.json_path, "w") as f:
+                json.dump(doc, f, indent=2)
+            print(f"report written to {args.json_path}", file=sys.stderr)
+    else:
+        print(report.render())
+    return 0 if report.ok else 1
+
+
 def _cmd_faultcheck(args) -> int:
     from .robust.faultcheck import run_faultcheck
 
@@ -377,13 +442,14 @@ _COMMANDS = {
     "variants": _cmd_variants,
     "profile": _cmd_profile,
     "faultcheck": _cmd_faultcheck,
+    "lint": _cmd_lint,
     "bench": _cmd_bench,
 }
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     from . import observe
-    from .errors import GlafError
+    from .errors import DiagnosticBundle, GlafError
 
     args = build_parser().parse_args(argv)
     cmd = _COMMANDS[args.command]
@@ -397,6 +463,13 @@ def main(argv: Sequence[str] | None = None) -> int:
         except KeyError as e:
             # Unknown variant / function name surfaced by the pipeline.
             print(f"error: {e.args[0] if e.args else e}", file=sys.stderr)
+            return 2
+        except DiagnosticBundle as e:
+            # Collected diagnostics (recovering parser, collect-mode
+            # validator): one line per problem, then the summary.
+            for diag in e.diagnostics:
+                print(f"error: {diag}", file=sys.stderr)
+            print(f"error: {e}", file=sys.stderr)
             return 2
         except GlafError as e:
             # Framework errors are user-facing: one line, exit 2, no

@@ -42,10 +42,12 @@ from ..core.step import (
 from ..core.types import GlafType, fortran_decl
 from ..errors import CodegenError
 from ..optimize.plan import OptimizationPlan
+from ..robust import inject
 from .base import Emitter, ExprRenderer, PRECEDENCE
 from .omp import OmpDirective, render_fortran, render_fortran_end
 
-__all__ = ["FortranGenerator", "generate_fortran_module", "FortranExprRenderer"]
+__all__ = ["FortranGenerator", "generate_fortran_module",
+           "FortranExprRenderer", "directive_for_step"]
 
 _BINOP_SPELL = {"!=": "/=", "and": ".AND.", "or": ".OR."}
 
@@ -158,6 +160,38 @@ def _decl_line(
     elif g.init_data is not None and g.rank == 0 and not g.intent:
         init = f" = {renderer.render_const(Const(g.init_data))}"
     return f"{', '.join(attrs)} :: {g.name}{dims}{init}"
+
+
+def directive_for_step(
+    plan: OptimizationPlan,
+    fn: GlafFunction,
+    idx: int,
+    renderer: FortranExprRenderer | None = None,
+) -> OmpDirective | None:
+    """The ``!$OMP PARALLEL DO`` directive codegen emits for step ``idx``
+    of ``fn`` under ``plan`` — or ``None`` when the step carries none.
+
+    This is the single source of truth for directive construction: both
+    :meth:`FortranGenerator._emit_step` and the linter's plan-vs-text
+    cross-check (:mod:`repro.lint.crosscheck`) call it, so the expected
+    clause set can never drift from the emitted one.
+    """
+    step = fn.steps[idx]
+    if not (step.is_loop and plan.step_is_parallel(fn.name, idx)):
+        return None
+    sp = plan.parallel_plan.steps.get((fn.name, idx))
+    if sp is None:
+        return None
+    renderer = renderer or FortranExprRenderer(plan.program, fn)
+    reds = sorted(sp.reductions.items())
+    if not plan.tweaks.multi_var_reductions:
+        reds = reds[:1]
+    return OmpDirective(
+        private=tuple(sp.private),
+        firstprivate=tuple(sp.firstprivate),
+        reductions=tuple((op, renderer.grid_spelling(g)) for g, op in reds),
+        collapse=plan.collapse_for(fn.name, idx),
+    )
 
 
 @dataclass
@@ -414,17 +448,17 @@ class FortranGenerator:
             )
             clause = f" REDUCTION({reds})" if reds else ""
             em.emit_raw(f"!$OMP SIMD{clause}")
-        if parallel:
-            assert sp is not None
-            collapse = self.plan.collapse_for(fn.name, idx)
-            directive = OmpDirective(
-                private=tuple(sp.private),
-                firstprivate=tuple(sp.firstprivate),
-                reductions=tuple((op, renderer.grid_spelling(g)) for g, op in sorted(sp.reductions.items()))
-                if self.plan.tweaks.multi_var_reductions
-                else tuple((op, renderer.grid_spelling(g)) for g, op in list(sorted(sp.reductions.items()))[:1]),
-                collapse=collapse,
-            )
+        directive = (directive_for_step(self.plan, fn, idx, renderer)
+                     if parallel else None)
+        # Fault-injection hook: a seeded plan may corrupt the directive
+        # (drop a clause, widen COLLAPSE, suppress it) or conjure one onto
+        # a serial loop — the mutants `repro lint --selftest` must catch.
+        mutated = inject("codegen.fortran.omp", directive,
+                         function=fn.name, step=idx, parallel=parallel)
+        if mutated is not None:
+            directive = mutated
+        emit_omp = directive is not None and not directive.suppressed
+        if emit_omp:
             em.emit_raw(render_fortran(directive))
             omp_steps.append(idx)
 
@@ -449,7 +483,7 @@ class FortranGenerator:
         for _ in step.ranges:
             em.dedent()
             em.emit("END DO")
-        if parallel:
+        if emit_omp:
             em.emit_raw(render_fortran_end())
         if simd:
             em.emit_raw("!$OMP END SIMD")

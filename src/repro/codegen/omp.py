@@ -26,6 +26,9 @@ class OmpDirective:
     collapse: int = 1
     schedule: str | None = None                    # e.g. "STATIC"
     num_threads: int | None = None
+    # Set only by the 'drop-directive' fault transform: codegen skips the
+    # directive (and its END) entirely, leaving the loop unannotated.
+    suppressed: bool = False
 
     def clauses(self, *, upper: bool = True) -> list[str]:
         def case(s: str) -> str:

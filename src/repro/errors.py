@@ -43,13 +43,16 @@ class FortranSyntaxError(GlafError):
 
 
 class DiagnosticBundle(FortranSyntaxError):
-    """Several syntax errors collected by the recovering parser.
+    """Several errors collected instead of raised one at a time.
 
-    In recovery mode (``parse_source(src, recover=True)``) the parser
-    resynchronizes at statement and unit boundaries instead of stopping at
-    the first error; every error it skipped past is collected here.  The
-    partially-parsed source file (every unit that did parse) is attached as
-    ``partial`` so callers can degrade instead of failing outright.
+    Two collectors produce these: the recovering FORTRAN parser
+    (``parse_source(src, recover=True)``), which resynchronizes at
+    statement and unit boundaries and collects every error it skipped,
+    and the GLAF validator (``validate_program(program, collect=True)``),
+    which gathers all structural violations.  The partially-parsed source
+    file (every unit that did parse) is attached as ``partial`` so callers
+    can degrade instead of failing outright; validator bundles have no
+    partial and no line/col (ValidationError carries neither).
     """
 
     def __init__(self, diagnostics, partial=None):
@@ -57,13 +60,13 @@ class DiagnosticBundle(FortranSyntaxError):
         self.partial = partial
         n = len(self.diagnostics)
         first = self.diagnostics[0] if self.diagnostics else None
-        msg = f"{n} syntax error(s) collected"
+        msg = f"{n} error(s) collected"
         if first is not None:
             msg += f"; first: {first}"
         super().__init__(msg)
         if first is not None:
-            self.line = first.line
-            self.col = first.col
+            self.line = getattr(first, "line", None)
+            self.col = getattr(first, "col", None)
 
 
 class FortranRuntimeError(GlafError):

@@ -16,7 +16,7 @@ __all__ = [
     "FFieldRef", "FBin", "FUn", "FCallExpr",
     "FStmt", "FAssign", "FCall", "FIf", "FArithIfBranch", "FDo", "FDoWhile",
     "FReturn", "FExit", "FCycle", "FAllocate", "FDeallocate", "FPrint",
-    "FStop", "FContinue", "FOmpDirective", "FOmpEnd",
+    "FStop", "FContinue", "FOmpClause", "FOmpDirective", "FOmpEnd",
     "FTypeSpec", "FDecl", "FDeclEntity", "FCommon", "FUse", "FImplicitNone",
     "FTypeDef", "FSubprogram", "FModule", "FProgramUnit", "FSourceFile",
 ]
@@ -187,13 +187,32 @@ class FContinue(FStmt):
     line: int = 0
 
 
+@dataclass(frozen=True)
+class FOmpClause:
+    """One parsed clause of an ``!$OMP`` directive.
+
+    ``name`` is the lowercase clause keyword (``private``, ``reduction``,
+    ``collapse``, ...); ``vars`` carries the variable list for list-valued
+    clauses, ``op`` the REDUCTION operator, and ``value`` the integer
+    argument of COLLAPSE / NUM_THREADS.
+    """
+
+    name: str
+    vars: tuple[str, ...] = ()
+    op: str | None = None
+    value: int | None = None
+
+
 @dataclass
 class FOmpDirective(FStmt):
     """A ``!$OMP`` sentinel: PARALLEL DO / ATOMIC / CRITICAL / END ...
 
     ``kind`` in {"parallel_do", "atomic", "critical", "end_critical",
-    "end_parallel_do"}; clauses are kept as raw text plus parsed fields the
-    performance model consumes.
+    "end_parallel_do"}; the raw text is kept alongside the structured
+    ``clauses`` tuple and the derived convenience fields (``private``,
+    ``reductions``, ``collapse``) the performance model and the static
+    linter consume.  For ``parallel_do`` directives the parser also
+    attaches the node to the following loop's :attr:`FDo.omp`.
     """
 
     kind: str
@@ -202,6 +221,7 @@ class FOmpDirective(FStmt):
     firstprivate: tuple[str, ...] = ()
     reductions: tuple[tuple[str, str], ...] = ()
     collapse: int = 1
+    clauses: tuple[FOmpClause, ...] = ()
     line: int = 0
 
 

@@ -60,12 +60,21 @@ def _tokenize(source: str) -> list[Token]:
     tokens: list[Token] = []
     lines = source.splitlines()
     pending_continuation = False
+    # An OMP directive whose last line ended with '&': it continues on the
+    # next line, which must be another '!$OMP' (or '!$OMP&') sentinel line.
+    omp_open: Token | None = None
 
     for lineno, raw in enumerate(lines, start=1):
         line = raw
         i = 0
         n = len(line)
         emitted_on_line = False
+
+        if omp_open is not None and not line.lstrip().upper().startswith("!$OMP"):
+            raise FortranSyntaxError(
+                "'!$OMP' continuation ('&') not followed by an '!$OMP' line",
+                omp_open.line, omp_open.col,
+            )
 
         while i < n:
             c = line[i]
@@ -75,8 +84,25 @@ def _tokenize(source: str) -> list[Token]:
             if c == "!":
                 rest = line[i:]
                 if rest.upper().startswith("!$OMP"):
-                    tokens.append(Token("omp", rest.strip(), lineno, i + 1))
-                    emitted_on_line = True
+                    text = rest.strip()
+                    if omp_open is not None:
+                        # Continuation line: drop the '!$OMP' (or '!$OMP&')
+                        # sentinel and splice onto the open directive.
+                        body = text[5:]
+                        if body.startswith("&"):
+                            body = body[1:]
+                        text = f"{omp_open.text} {body.strip()}"
+                        omp_open = Token("omp", text, omp_open.line, omp_open.col)
+                    else:
+                        omp_open = Token("omp", text, lineno, i + 1)
+                    if omp_open.text.endswith("&"):
+                        # Multi-line directive: stay open for the next line.
+                        omp_open = Token("omp", omp_open.text[:-1].rstrip(),
+                                         omp_open.line, omp_open.col)
+                    else:
+                        tokens.append(omp_open)
+                        omp_open = None
+                        emitted_on_line = True
                 i = n
                 break
             if c == "&":
@@ -157,9 +183,16 @@ def _tokenize(source: str) -> list[Token]:
         if pending_continuation:
             pending_continuation = False
             continue
+        if omp_open is not None:
+            continue          # directive still open: no newline token yet
         if emitted_on_line or (tokens and tokens[-1].kind != "newline"):
             tokens.append(Token("newline", "\n", lineno, n + 1))
 
+    if omp_open is not None:
+        raise FortranSyntaxError(
+            "'!$OMP' continuation ('&') at end of source",
+            omp_open.line, omp_open.col,
+        )
     tokens.append(Token("eof", "", len(lines) + 1, 1))
     return tokens
 

@@ -35,6 +35,7 @@ from .ast import (
     FLogical,
     FModule,
     FNum,
+    FOmpClause,
     FOmpDirective,
     FPrint,
     FProgramUnit,
@@ -84,6 +85,42 @@ def parse_source(source: str, *, recover: bool = False) -> FSourceFile:
 
 class _RecoveryAbort(Exception):
     """Internal: recovery cannot make progress (or hit the diagnostics cap)."""
+
+
+def _attach_omp(stmts: list) -> None:
+    """Attach each ``parallel_do`` directive to the loop that follows it.
+
+    The directive stays in the statement list (the interpreter and the
+    performance model both walk the stream), but the following
+    :class:`FDo` also gets it as :attr:`FDo.omp` so AST consumers — the
+    static linter above all — see directive and loop as one region.
+    """
+    pending: FOmpDirective | None = None
+    for s in stmts:
+        if isinstance(s, FOmpDirective):
+            pending = s if s.kind == "parallel_do" else None
+            continue
+        if isinstance(s, FDo):
+            if pending is not None:
+                s.omp = pending
+            _attach_omp(s.body)
+        elif isinstance(s, FDoWhile):
+            _attach_omp(s.body)
+        elif isinstance(s, FIf):
+            for _, body in s.branches:
+                _attach_omp(body)
+        pending = None
+
+
+def _attach_omp_file(out: FSourceFile) -> None:
+    units = list(out.subprograms)
+    for mod in out.modules:
+        units.extend(mod.subprograms)
+    for prog in out.programs:
+        _attach_omp(prog.body)
+        units.extend(prog.subprograms)
+    for sub in units:
+        _attach_omp(sub.body)
 
 
 class Parser:
@@ -161,6 +198,7 @@ class Parser:
             except _RecoveryAbort:
                 break
             ts.skip_newlines()
+        _attach_omp_file(out)
         if self.diagnostics:
             raise DiagnosticBundle(self.diagnostics, partial=out)
         return out
@@ -618,10 +656,59 @@ class Parser:
         return FAssign(target=target, value=value, line=t.line)
 
     # -- OMP ---------------------------------------------------------------
-    _OMP_RED = re.compile(r"reduction\s*\(\s*([^:]+?)\s*:\s*([^)]+)\)", re.IGNORECASE)
-    _OMP_PRIV = re.compile(r"(?<!first)private\s*\(([^)]*)\)", re.IGNORECASE)
-    _OMP_FPRIV = re.compile(r"firstprivate\s*\(([^)]*)\)", re.IGNORECASE)
-    _OMP_COLLAPSE = re.compile(r"collapse\s*\((\d+)\)", re.IGNORECASE)
+    _OMP_CLAUSE = re.compile(r"([a-z_]+)\s*(?:\(([^()]*)\))?", re.IGNORECASE)
+
+    def _parse_omp_clauses(self, low: str, prefix: str,
+                           t: Token) -> tuple[FOmpClause, ...]:
+        """Parse the clause list following the directive keywords.
+
+        ``low`` is the whitespace-normalized lowercase directive text;
+        ``prefix`` the directive spelling (e.g. ``"!$omp parallel do"``).
+        """
+        rest = low[len(prefix):].strip()
+        clauses: list[FOmpClause] = []
+        pos, n = 0, len(rest)
+        while pos < n:
+            if rest[pos] in " ,":
+                pos += 1
+                continue
+            m = self._OMP_CLAUSE.match(rest, pos)
+            if not m or m.end() == pos:
+                raise FortranSyntaxError(
+                    f"malformed OMP clause text {rest[pos:]!r}", t.line, None
+                )
+            clauses.append(self._make_omp_clause(m.group(1), m.group(2), t))
+            pos = m.end()
+        return tuple(clauses)
+
+    def _make_omp_clause(self, name: str, arg: str | None, t: Token) -> FOmpClause:
+        name = name.lower()
+        if name in ("collapse", "num_threads"):
+            if arg is None or not arg.strip().isdigit():
+                raise FortranSyntaxError(
+                    f"OMP {name.upper()} needs an integer argument", t.line, None
+                )
+            return FOmpClause(name=name, value=int(arg))
+        if name == "reduction":
+            op, sep, var_text = (arg or "").partition(":")
+            op = op.strip()
+            vars_ = tuple(v.strip().lower() for v in var_text.split(",")
+                          if v.strip())
+            if not sep or not op or not vars_:
+                raise FortranSyntaxError(
+                    "OMP REDUCTION needs '(op : var, ...)'", t.line, None
+                )
+            op = op.upper() if op.lower() in ("min", "max") else op
+            return FOmpClause(name=name, op=op, vars=vars_)
+        # List-valued clauses (PRIVATE, FIRSTPRIVATE, SHARED, THREADPRIVATE,
+        # SCHEDULE, DEFAULT, ...) — keep the argument list as-is.
+        vars_ = tuple(v.strip().lower() for v in (arg or "").split(",")
+                      if v.strip())
+        return FOmpClause(name=name, vars=vars_)
+
+    @staticmethod
+    def _clause_vars(clauses: tuple[FOmpClause, ...], name: str) -> tuple[str, ...]:
+        return tuple(v for c in clauses if c.name == name for v in c.vars)
 
     def _parse_omp(self, t: Token) -> FStmt:
         ts = self.ts
@@ -635,29 +722,17 @@ class Parser:
         if low.startswith("!$omp end critical"):
             return FOmpDirective(kind="end_critical", text=text, line=t.line)
         if low.startswith("!$omp parallel do"):
-            priv = tuple(
-                v.strip().lower()
-                for m in self._OMP_PRIV.finditer(text)
-                for v in m.group(1).split(",") if v.strip()
-            )
-            fpriv = tuple(
-                v.strip().lower()
-                for m in self._OMP_FPRIV.finditer(text)
-                for v in m.group(1).split(",") if v.strip()
-            )
-            reds: list[tuple[str, str]] = []
-            for m in self._OMP_RED.finditer(text):
-                op = m.group(1).strip()
-                for v in m.group(2).split(","):
-                    reds.append((op.upper() if op.lower() in ("min", "max") else op,
-                                 v.strip().lower()))
-            collapse = 1
-            m = self._OMP_COLLAPSE.search(text)
-            if m:
-                collapse = int(m.group(1))
-            return FOmpDirective(kind="parallel_do", text=text, private=priv,
-                                 firstprivate=fpriv, reductions=tuple(reds),
-                                 collapse=collapse, line=t.line)
+            clauses = self._parse_omp_clauses(low, "!$omp parallel do", t)
+            reds = tuple((c.op, v) for c in clauses if c.name == "reduction"
+                         for v in c.vars)
+            collapse = next((c.value for c in clauses
+                             if c.name == "collapse"), 1)
+            return FOmpDirective(kind="parallel_do", text=text,
+                                 private=self._clause_vars(clauses, "private"),
+                                 firstprivate=self._clause_vars(clauses,
+                                                                "firstprivate"),
+                                 reductions=reds, collapse=collapse,
+                                 clauses=clauses, line=t.line)
         if low.startswith("!$omp atomic"):
             return FOmpDirective(kind="atomic", text=text, line=t.line)
         if low.startswith("!$omp critical"):
@@ -665,19 +740,16 @@ class Parser:
         if low.startswith("!$omp end simd"):
             return FOmpDirective(kind="end_simd", text=text, line=t.line)
         if low.startswith("!$omp threadprivate"):
-            m = re.search(r"threadprivate\s*\(([^)]*)\)", text, re.IGNORECASE)
-            names = tuple(v.strip().lower() for v in m.group(1).split(",")
-                          if v.strip()) if m else ()
+            clauses = self._parse_omp_clauses(low, "!$omp", t)
+            names = self._clause_vars(clauses, "threadprivate")
             return FOmpDirective(kind="threadprivate", text=text,
-                                 private=names, line=t.line)
+                                 private=names, clauses=clauses, line=t.line)
         if low.startswith("!$omp simd"):
-            reds: list[tuple[str, str]] = []
-            for m in self._OMP_RED.finditer(text):
-                op = m.group(1).strip()
-                for v in m.group(2).split(","):
-                    reds.append((op, v.strip().lower()))
-            return FOmpDirective(kind="simd", text=text,
-                                 reductions=tuple(reds), line=t.line)
+            clauses = self._parse_omp_clauses(low, "!$omp simd", t)
+            reds = tuple((c.op, v) for c in clauses if c.name == "reduction"
+                         for v in c.vars)
+            return FOmpDirective(kind="simd", text=text, reductions=reds,
+                                 clauses=clauses, line=t.line)
         raise FortranSyntaxError(f"unsupported OMP directive {text!r}", t.line, None)
 
     # -- control flow --------------------------------------------------------

@@ -1,0 +1,116 @@
+"""Plan-vs-text cross-check: do the emitted directives match the plan?
+
+Race analysis asks "is this directive *safe*?"; the cross-check asks "is
+this directive *the one the pipeline decided on*?".  It re-derives the
+expected ``!$OMP PARALLEL DO`` clause set for every loop step straight
+from :func:`repro.codegen.fortran.directive_for_step` (the same function
+codegen calls), parses the emitted or spliced text, and diffs the two.
+A dropped PRIVATE on a collapsed index is semantically harmless — no race
+— but it still means the text no longer matches the analysis; only this
+check catches that class of corruption.
+
+Mismatches are reported as ``plan-mismatch`` findings, which
+:meth:`repro.lint.findings.LintReport.add` also records as ``lint:*``
+DecisionLog events when observation is active.
+"""
+
+from __future__ import annotations
+
+from ..codegen.fortran import directive_for_step
+from ..fortranlib.ast import FDo, FSourceFile, FSubprogram
+from .findings import LintFinding, LintReport
+
+__all__ = ["crosscheck_plan", "collect_units"]
+
+
+def collect_units(out: FSourceFile) -> dict[str, FSubprogram]:
+    """All subprograms in a parsed file, keyed by lowercase name."""
+    units: dict[str, FSubprogram] = {}
+    subs = list(out.subprograms)
+    for mod in out.modules:
+        subs.extend(mod.subprograms)
+    for prog in out.programs:
+        subs.extend(prog.subprograms)
+    for sub in subs:
+        units[sub.name.lower()] = sub
+    return units
+
+
+def _norm_directive(d) -> tuple[frozenset, frozenset, frozenset, int]:
+    """Case-insensitive clause fingerprint of a directive (codegen
+    :class:`~repro.codegen.omp.OmpDirective` or parsed
+    :class:`~repro.fortranlib.ast.FOmpDirective` — both carry the same
+    ``private``/``firstprivate``/``reductions``/``collapse`` fields)."""
+    reds = frozenset((op.upper(), var.lower()) for op, var in d.reductions)
+    return (
+        frozenset(v.lower() for v in d.private),
+        frozenset(v.lower() for v in d.firstprivate),
+        reds,
+        int(d.collapse),
+    )
+
+
+def _diff_clauses(expected, actual) -> list[str]:
+    (ep, efp, er, ec) = _norm_directive(expected)
+    (ap, afp, ar, ac) = _norm_directive(actual)
+    problems: list[str] = []
+
+    def diff_set(label: str, want: frozenset, have: frozenset,
+                 fmt=lambda v: v) -> None:
+        for v in sorted(want - have):
+            problems.append(f"missing {label}({fmt(v)})")
+        for v in sorted(have - want):
+            problems.append(f"unexpected {label}({fmt(v)})")
+
+    diff_set("PRIVATE", ep, ap)
+    diff_set("FIRSTPRIVATE", efp, afp)
+    diff_set("REDUCTION", er, ar, fmt=lambda r: f"{r[0]}:{r[1]}")
+    if ec != ac:
+        problems.append(f"COLLAPSE is {ac}, plan says {ec}")
+    return problems
+
+
+def crosscheck_plan(plan, parsed_units: dict[str, FSubprogram],
+                    report: LintReport) -> None:
+    """Diff directives in ``parsed_units`` against what ``plan`` expects.
+
+    Units in ``parsed_units`` with no counterpart in the plan's program
+    (surrounding legacy subroutines in a spliced codebase) are skipped;
+    program functions absent from the text are skipped too, so the same
+    check serves both whole generated modules and partial splices.
+    """
+    for fn in plan.program.functions():
+        sub = parsed_units.get(fn.name.lower())
+        if sub is None:
+            continue
+        loop_steps = [i for i, st in enumerate(fn.steps) if st.is_loop]
+        top_dos = [s for s in sub.body if isinstance(s, FDo)]
+        if len(top_dos) != len(loop_steps):
+            report.add(LintFinding(
+                rule="plan-mismatch", unit=fn.name, line=sub.line,
+                message=(f"plan has {len(loop_steps)} loop step(s) but the "
+                         f"emitted unit has {len(top_dos)} top-level DO "
+                         f"loop(s)")))
+            continue
+        for do, idx in zip(top_dos, loop_steps):
+            expected = directive_for_step(plan, fn, idx)
+            actual = do.omp
+            step_name = fn.steps[idx].name
+            if expected is None and actual is None:
+                continue
+            if expected is None:
+                report.add(LintFinding(
+                    rule="plan-mismatch", unit=fn.name, line=do.line,
+                    message=(f"step '{step_name}' carries an !$OMP PARALLEL "
+                             f"DO the plan does not prescribe")))
+                continue
+            if actual is None:
+                report.add(LintFinding(
+                    rule="plan-mismatch", unit=fn.name, line=do.line,
+                    message=(f"step '{step_name}' is missing the !$OMP "
+                             f"PARALLEL DO the plan prescribes")))
+                continue
+            for problem in _diff_clauses(expected, actual):
+                report.add(LintFinding(
+                    rule="plan-mismatch", unit=fn.name, line=do.line,
+                    message=f"step '{step_name}': {problem}"))

@@ -1,0 +1,156 @@
+"""Finding model and rule registry for the parallel-correctness linter.
+
+Every check the linter performs is registered here as a :class:`LintRule`
+with a one-line summary and its *failure mode* — what goes wrong at run
+time when code violating the rule ships.  ``docs/STATIC_ANALYSIS.md``
+documents the same registry and a docs-consistency test keeps the two in
+sync, so a new rule cannot land undocumented.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["LintRule", "RULES", "LintFinding", "LintReport"]
+
+
+@dataclass(frozen=True)
+class LintRule:
+    """One registered lint check."""
+
+    id: str
+    summary: str
+    failure_mode: str
+
+
+RULES: dict[str, LintRule] = {r.id: r for r in (
+    LintRule(
+        id="race-shared-write",
+        summary="a shared variable is written inside a parallel region "
+                "without PRIVATE/FIRSTPRIVATE/REDUCTION/ATOMIC/CRITICAL "
+                "protection and without every parallel index pinning a "
+                "subscript dimension",
+        failure_mode="two threads update the same storage location; "
+                     "results become nondeterministic and silently wrong",
+    ),
+    LintRule(
+        id="clause-conflict",
+        summary="a variable appears in more than one data-sharing clause "
+                "of the same directive (e.g. both PRIVATE and REDUCTION)",
+        failure_mode="the OpenMP runtime rejects the directive or picks "
+                     "one clause arbitrarily; behavior differs by compiler",
+    ),
+    LintRule(
+        id="loop-index-not-private",
+        summary="an inner sequential DO index inside a parallel region is "
+                "not privatized by any clause",
+        failure_mode="threads overwrite each other's loop counter; inner "
+                     "loops skip or repeat iterations",
+    ),
+    LintRule(
+        id="collapse-too-deep",
+        summary="COLLAPSE(n) names more loops than the perfectly-nested "
+                "depth of the annotated DO nest",
+        failure_mode="the collapsed iteration space is ill-formed; "
+                     "compilers reject the construct or collapse garbage",
+    ),
+    LintRule(
+        id="collapse-non-rectangular",
+        summary="an inner loop bound inside a COLLAPSE nest depends on an "
+                "outer collapsed index (non-rectangular iteration space)",
+        failure_mode="OpenMP requires rectangular collapse spaces; the "
+                     "linearized schedule visits wrong index tuples",
+    ),
+    LintRule(
+        id="unknown-clause-var",
+        summary="a directive clause names a variable that is not visible "
+                "in the enclosing subprogram",
+        failure_mode="the clause silently protects nothing (typo'd name), "
+                     "leaving the intended variable shared",
+    ),
+    LintRule(
+        id="plan-mismatch",
+        summary="the directives found in emitted text differ from what the "
+                "ParallelPlan and pruning variant prescribe (missing or "
+                "spurious directive, or a diverging clause set)",
+        failure_mode="the shipped code no longer matches the analysis that "
+                     "justified it; correctness arguments are void",
+    ),
+)}
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One rule violation at one source location."""
+
+    rule: str                 # a RULES key
+    unit: str                 # enclosing subprogram (or module) name
+    line: int                 # 1-based line in the linted source
+    message: str
+    variable: str = ""        # offending variable, when there is one
+    channel: str = ""         # sharing channel: local / dummy / common /
+                              # use'd module / host module / type element
+
+    def to_json(self) -> dict[str, object]:
+        return {
+            "rule": self.rule, "unit": self.unit, "line": self.line,
+            "message": self.message, "variable": self.variable,
+            "channel": self.channel,
+        }
+
+
+@dataclass
+class LintReport:
+    """All findings from linting one source text (or a batch of them)."""
+
+    findings: list[LintFinding] = field(default_factory=list)
+    units: int = 0            # subprograms analyzed
+    regions: int = 0          # parallel regions analyzed
+    label: str = ""           # what was linted, for rendering
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def add(self, finding: LintFinding) -> None:
+        self.findings.append(finding)
+        self._record(finding)
+
+    def merge(self, other: "LintReport") -> None:
+        for f in other.findings:
+            self.findings.append(f)
+        self.units += other.units
+        self.regions += other.regions
+
+    @staticmethod
+    def _record(f: LintFinding) -> None:
+        """Emit the finding as a ``lint:*`` DecisionLog event (no-op unless
+        observation is active), so profiled runs show linter verdicts next
+        to the parallelize/pruning decisions that produced the code."""
+        from ..observe import get_decisions
+
+        dl = get_decisions()
+        if dl.enabled:
+            dl.record(f"lint:{f.rule}", f.unit, -1, f.variable or f.channel,
+                      "violation", reasons=(f.message,), line=f.line)
+
+    def render(self) -> str:
+        head = f"lint {self.label}: " if self.label else "lint: "
+        head += (f"{self.units} unit(s), {self.regions} parallel region(s), "
+                 f"{len(self.findings)} finding(s)")
+        lines = [head]
+        for f in self.findings:
+            where = f"{f.unit}:{f.line}"
+            chan = f" [{f.channel}]" if f.channel else ""
+            lines.append(f"  {f.rule:24s} {where:28s} {f.message}{chan}")
+        return "\n".join(lines)
+
+    def to_json(self) -> dict[str, object]:
+        return {
+            "schema": "repro.lint/v1",
+            "label": self.label,
+            "ok": self.ok,
+            "units": self.units,
+            "regions": self.regions,
+            "findings": [f.to_json() for f in self.findings],
+        }

@@ -1,0 +1,131 @@
+"""Seeded clause-mutation self-test: can the linter catch known-bad code?
+
+A linter that has never seen a bug is untrustworthy.  This module drives
+the PR-2 fault-injection registry's ``codegen.fortran.omp`` site to
+corrupt one emitted directive per run — drop a PRIVATE, drop a
+REDUCTION, widen a COLLAPSE, suppress a directive, or conjure one onto a
+serial loop — then lints the mutated module and demands a nonzero
+finding count.  The corpus spans both case studies and several pruning
+levels; ``repro lint --selftest`` (and CI) fail unless **every** mutant
+both fires and is caught.
+
+A dropped PRIVATE on a *collapsed* index is semantically harmless (the
+index is predetermined private), so some mutants are detectable only by
+the plan-vs-text cross-check — which is why the cross-check is part of
+the linter, not an optional extra.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..robust.faults import FaultPlan, FaultSpec, fault_injection
+from .findings import LintReport
+
+__all__ = ["Mutant", "MutantResult", "MUTANTS", "run_mutation_selftest"]
+
+
+@dataclass(frozen=True)
+class Mutant:
+    """One planned directive corruption."""
+
+    id: str
+    case: str                     # 'sarb' | 'fun3d'
+    variant: str                  # pruning-variant name
+    kind: str                     # a codegen.fortran.omp fault kind
+    function: str                 # match: only fire in this function
+    serial_target: bool = False   # match loops the plan left serial
+
+    def spec(self) -> FaultSpec:
+        match: dict[str, object] = {"function": self.function}
+        if self.serial_target:
+            match["parallel"] = False
+        return FaultSpec(site="codegen.fortran.omp", kind=self.kind,
+                         match=match)
+
+
+# The corpus: >= 10 distinct mutants covering every fault kind, both case
+# studies, and more than one pruning level.
+MUTANTS: tuple[Mutant, ...] = (
+    Mutant("sarb-drop-private-lw", "sarb", "GLAF-parallel v0",
+           "drop-private", "lw_spectral_integration"),
+    Mutant("sarb-drop-private-lwent", "sarb", "GLAF-parallel v0",
+           "drop-private", "longwave_entropy_model"),
+    Mutant("fun3d-drop-private-edge", "fun3d", "GLAF-parallel v0",
+           "drop-private", "edge_loop"),
+    Mutant("fun3d-drop-private-cell", "fun3d", "GLAF-parallel v0",
+           "drop-private", "cell_loop"),
+    Mutant("sarb-drop-reduction-lw", "sarb", "GLAF-parallel v0",
+           "drop-reduction", "lw_spectral_integration"),
+    Mutant("sarb-drop-reduction-lwent-v3", "sarb", "GLAF-parallel v3",
+           "drop-reduction", "longwave_entropy_model"),
+    Mutant("fun3d-drop-reduction-cell", "fun3d", "GLAF-parallel v0",
+           "drop-reduction", "cell_loop"),
+    Mutant("fun3d-drop-reduction-cell-v3", "fun3d", "GLAF-parallel v3",
+           "drop-reduction", "cell_loop"),
+    Mutant("sarb-widen-collapse-lw", "sarb", "GLAF-parallel v0",
+           "widen-collapse", "lw_spectral_integration"),
+    Mutant("fun3d-widen-collapse-cell", "fun3d", "GLAF-parallel v0",
+           "widen-collapse", "cell_loop"),
+    Mutant("sarb-drop-directive-sw", "sarb", "GLAF-parallel v0",
+           "drop-directive", "sw_spectral_integration"),
+    Mutant("fun3d-drop-directive-edge", "fun3d", "GLAF-parallel v0",
+           "drop-directive", "edge_loop"),
+    Mutant("sarb-spurious-adjust2", "sarb", "GLAF-parallel v0",
+           "spurious-directive", "adjust2", serial_target=True),
+    Mutant("fun3d-spurious-ioff", "fun3d", "GLAF-parallel v0",
+           "spurious-directive", "ioff_search", serial_target=True),
+)
+
+
+@dataclass
+class MutantResult:
+    """Outcome of one mutant run."""
+
+    mutant: Mutant
+    fired: bool                   # the fault transform actually applied
+    caught: bool                  # the linter reported >= 1 finding
+    fault_detail: str
+    rules: tuple[str, ...]        # which lint rules tripped
+
+    @property
+    def ok(self) -> bool:
+        return self.fired and self.caught
+
+
+def run_mutant(mutant: Mutant, *, seed: int = 0
+               ) -> tuple[MutantResult, LintReport]:
+    """Generate the case's module with the mutation armed, then lint it."""
+    from ..codegen.fortran import FortranGenerator
+    from ..optimize.plan import make_plan
+    from .runner import lint_text
+
+    if mutant.case == "sarb":
+        from ..sarb.kernels import build_sarb_program
+
+        program = build_sarb_program()
+    else:
+        from ..fun3d.kernels import build_fun3d_program
+
+        program = build_fun3d_program()
+    plan = make_plan(program, mutant.variant)
+    with fault_injection(FaultPlan([mutant.spec()], seed=seed)) as fp:
+        source = FortranGenerator(plan).generate_module()
+    fired = bool(fp.fired)
+    report = lint_text(source, plan=plan,
+                       label=f"mutant {mutant.id}")
+    result = MutantResult(
+        mutant=mutant,
+        fired=fired,
+        caught=fired and not report.ok,
+        fault_detail=fp.fired[0].detail if fp.fired else "did not fire",
+        rules=tuple(sorted({f.rule for f in report.findings})),
+    )
+    return result, report
+
+
+def run_mutation_selftest(
+    *, seed: int = 0, mutants: tuple[Mutant, ...] | None = None
+) -> list[MutantResult]:
+    """Run the corpus (or a subset); callers assert ``all(r.ok)``."""
+    return [run_mutant(m, seed=seed)[0] for m in (mutants or MUTANTS)]

@@ -1,0 +1,387 @@
+"""Static race detection over parsed FORTRAN parallel regions.
+
+The analysis walks each ``!$OMP PARALLEL DO`` region (the parser attaches
+the directive to its loop, see :func:`repro.fortranlib.parser._attach_omp`)
+and classifies every write:
+
+* a write to a *privatized* name (PRIVATE / FIRSTPRIVATE / REDUCTION /
+  THREADPRIVATE / a parallel or sequential DO index) is thread-local;
+* a write guarded by ``!$OMP ATOMIC`` (next assignment) or inside an
+  ``!$OMP CRITICAL`` block is serialized;
+* an *array* write is race-free only when every parallel index **pins**
+  a subscript dimension: the dimension is affine, the index appears with
+  nonzero coefficient, no other loop variable appears in it, and any
+  symbolic offset is loop-invariant (neither privatized nor written in
+  the region) — then distinct threads touch distinct elements;
+* everything else is a shared write → ``race-shared-write``.
+
+Clause-consistency checks ride along on the same walk: conflicting
+data-sharing clauses, non-private inner DO indices, COLLAPSE over a nest
+that is too shallow or non-rectangular, and clause variables that name
+nothing visible in the unit.
+
+**Known limitation** (documented in ``docs/STATIC_ANALYSIS.md``): ``CALL``
+statements are opaque — callee side effects are not modeled, so a callee
+writing shared state races undetected.  The GLAF generator never emits a
+racing CALL (factored-out loop bodies receive privatized indices), but
+hand-written legacy regions can fool this analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..fortranlib.ast import (
+    FAllocate,
+    FAssign,
+    FBin,
+    FCall,
+    FDeallocate,
+    FDo,
+    FDoWhile,
+    FExpr,
+    FFieldRef,
+    FIf,
+    FIndexed,
+    FNum,
+    FOmpDirective,
+    FSubprogram,
+    FUn,
+    FVar,
+)
+from .findings import LintFinding, LintReport
+from .symbols import UnitSymbols
+
+__all__ = ["lint_unit_body", "linear_form"]
+
+
+def linear_form(e: FExpr) -> tuple[dict[str, float], float] | None:
+    """``e`` as ``sum(coeff * var) + const``, or None if not affine.
+
+    Any array reference, field access, call, or nonlinear operator makes
+    the whole expression non-affine (conservatively non-pinning).
+    """
+    if isinstance(e, FNum):
+        return {}, float(e.value)
+    if isinstance(e, FVar):
+        return {e.name.lower(): 1.0}, 0.0
+    if isinstance(e, FUn):
+        inner = linear_form(e.operand)
+        if inner is None:
+            return None
+        coeffs, const = inner
+        if e.op == "neg":
+            return {v: -c for v, c in coeffs.items()}, -const
+        if e.op == "pos":
+            return coeffs, const
+        return None
+    if isinstance(e, FBin):
+        left = linear_form(e.left)
+        right = linear_form(e.right)
+        if left is None or right is None:
+            return None
+        (lc, lk), (rc, rk) = left, right
+        if e.op == "+":
+            out = dict(lc)
+            for v, c in rc.items():
+                out[v] = out.get(v, 0.0) + c
+            return out, lk + rk
+        if e.op == "-":
+            out = dict(lc)
+            for v, c in rc.items():
+                out[v] = out.get(v, 0.0) - c
+            return out, lk - rk
+        if e.op == "*":
+            if not lc:
+                return {v: c * lk for v, c in rc.items()}, lk * rk
+            if not rc:
+                return {v: c * rk for v, c in lc.items()}, lk * rk
+            return None
+        return None
+    return None
+
+
+def _expr_vars(e: FExpr) -> set[str]:
+    """All variable names mentioned anywhere in ``e`` (subscripts included)."""
+    out: set[str] = set()
+    stack = [e]
+    while stack:
+        x = stack.pop()
+        if isinstance(x, FVar):
+            out.add(x.name.lower())
+        elif isinstance(x, FUn):
+            stack.append(x.operand)
+        elif isinstance(x, FBin):
+            stack.extend((x.left, x.right))
+        elif isinstance(x, FIndexed):
+            stack.append(x.base)
+            stack.extend(x.args)
+        elif isinstance(x, FFieldRef):
+            stack.append(x.base)
+    return out
+
+
+@dataclass
+class _Target:
+    """A flattened assignment target: root name, spelling, subscripts."""
+
+    root: str                      # lowercased root variable
+    spelled: str                   # e.g. "fin%temp" (no subscripts)
+    dims: list[FExpr] = field(default_factory=list)
+    has_field: bool = False
+
+
+def _flatten_target(e: FExpr) -> _Target | None:
+    dims: list[FExpr] = []
+    fields: list[str] = []
+    while True:
+        if isinstance(e, FIndexed):
+            dims = list(e.args) + dims
+            e = e.base
+        elif isinstance(e, FFieldRef):
+            fields.insert(0, e.field.lower())
+            e = e.base
+        elif isinstance(e, FVar):
+            root = e.name.lower()
+            spelled = "%".join([root] + fields)
+            return _Target(root=root, spelled=spelled, dims=dims,
+                           has_field=bool(fields))
+        else:
+            return None
+
+
+# ----------------------------------------------------------------------
+# region analysis
+# ----------------------------------------------------------------------
+
+class _Region:
+    def __init__(self, loop: FDo, syms: UnitSymbols, report: LintReport):
+        self.loop = loop
+        self.d = loop.omp
+        self.syms = syms
+        self.report = report
+        self.unit = syms.unit
+        # Clause sets (full spellings, lowercased).
+        self.private = {v.lower() for v in self.d.private}
+        self.firstprivate = {v.lower() for v in self.d.firstprivate}
+        self.reduction_vars = {v.lower() for _, v in self.d.reductions}
+        self.clause_spellings = (self.private | self.firstprivate
+                                 | self.reduction_vars)
+        self.parallel_vars: set[str] = set()
+        self.seq_loop_vars: set[str] = set()
+        self.writes_all: set[str] = set()
+        self._reported: set[tuple[str, str]] = set()
+
+    # -- findings ------------------------------------------------------
+    def _emit(self, rule: str, line: int, message: str, *,
+              variable: str = "", channel: str = "") -> None:
+        key = (rule, variable or message)
+        if key in self._reported:      # one finding per (rule, var) region
+            return
+        self._reported.add(key)
+        self.report.add(LintFinding(rule=rule, unit=self.unit, line=line,
+                                    message=message, variable=variable,
+                                    channel=channel))
+
+    # -- clause checks -------------------------------------------------
+    def check_clauses(self) -> None:
+        d, line = self.d, self.d.line
+        pairs = (
+            ("PRIVATE", self.private, "FIRSTPRIVATE", self.firstprivate),
+            ("PRIVATE", self.private, "REDUCTION", self.reduction_vars),
+            ("FIRSTPRIVATE", self.firstprivate, "REDUCTION",
+             self.reduction_vars),
+        )
+        for name_a, set_a, name_b, set_b in pairs:
+            for v in sorted(set_a & set_b):
+                self._emit("clause-conflict", line,
+                           f"'{v}' appears in both {name_a} and {name_b}",
+                           variable=v)
+        if self.syms.conclusive:
+            for v in sorted(self.clause_spellings):
+                root = v.split("%", 1)[0]
+                if not self.syms.visible(root):
+                    self._emit("unknown-clause-var", line,
+                               f"clause names '{v}' but no such variable "
+                               f"is visible in {self.unit}", variable=v)
+        _ = d
+
+    def check_collapse(self) -> list[FDo]:
+        """Validate the COLLAPSE nest; returns the collapsed loops."""
+        n = self.d.collapse
+        loops = [self.loop]
+        cur = self.loop
+        for depth in range(2, n + 1):
+            inner = [s for s in cur.body
+                     if not isinstance(s, FOmpDirective)]
+            if len(inner) != 1 or not isinstance(inner[0], FDo):
+                self._emit("collapse-too-deep", self.d.line,
+                           f"COLLAPSE({n}) but the DO nest is perfectly "
+                           f"nested only {depth - 1} deep",
+                           variable=self.loop.var)
+                break
+            cur = inner[0]
+            outer_vars = {L.var.lower() for L in loops}
+            for bound in (cur.start, cur.end, cur.step):
+                if bound is None:
+                    continue
+                bad = _expr_vars(bound) & outer_vars
+                if bad:
+                    self._emit(
+                        "collapse-non-rectangular", cur.line,
+                        f"bound of collapsed loop '{cur.var}' references "
+                        f"outer collapsed index "
+                        f"'{', '.join(sorted(bad))}'",
+                        variable=cur.var)
+            loops.append(cur)
+        return loops
+
+    # -- write collection ----------------------------------------------
+    def scan(self, stmts: list) -> None:
+        """Pass 1: every written root name and every DO index in the region."""
+        for s in stmts:
+            if isinstance(s, FAssign):
+                t = _flatten_target(s.target)
+                if t is not None:
+                    self.writes_all.add(t.root)
+            elif isinstance(s, FDo):
+                self.seq_loop_vars.add(s.var.lower())
+                self.writes_all.add(s.var.lower())
+                self.scan(s.body)
+            elif isinstance(s, FDoWhile):
+                self.scan(s.body)
+            elif isinstance(s, FIf):
+                for _, body in s.branches:
+                    self.scan(body)
+            elif isinstance(s, (FAllocate, FDeallocate)):
+                for item in s.items:
+                    ref = item[0] if isinstance(item, tuple) else item
+                    t = _flatten_target(ref)
+                    if t is not None:
+                        self.writes_all.add(t.root)
+
+    # -- classification ------------------------------------------------
+    def classify(self, stmts: list, *, in_critical: bool) -> None:
+        critical = in_critical
+        atomic_next = False
+        for s in stmts:
+            if isinstance(s, FOmpDirective):
+                if s.kind == "atomic":
+                    atomic_next = True
+                    continue
+                if s.kind == "critical":
+                    critical = True
+                elif s.kind == "end_critical":
+                    critical = in_critical
+                continue
+            protected = critical or atomic_next
+            atomic_next = False
+            if isinstance(s, FAssign):
+                self._classify_write(s.target, s.line, protected)
+            elif isinstance(s, FDo):
+                v = s.var.lower()
+                if (v not in self.clause_spellings
+                        and v not in self.parallel_vars):
+                    self._emit(
+                        "loop-index-not-private", s.line,
+                        f"inner DO index '{v}' is not named in any "
+                        f"privatization clause", variable=v)
+                self.classify(s.body, in_critical=critical)
+            elif isinstance(s, FDoWhile):
+                self.classify(s.body, in_critical=critical)
+            elif isinstance(s, FIf):
+                for _, body in s.branches:
+                    self.classify(body, in_critical=critical)
+            elif isinstance(s, (FAllocate, FDeallocate)):
+                for item in s.items:
+                    ref = item[0] if isinstance(item, tuple) else item
+                    self._classify_write(ref, s.line, protected,
+                                         allocation=True)
+            elif isinstance(s, FCall):
+                pass    # opaque: callee effects are not modeled (see above)
+
+    def _privatized(self, t: _Target) -> bool:
+        priv = (self.clause_spellings | self.parallel_vars
+                | self.seq_loop_vars | self.syms.threadprivate)
+        return t.root in priv or t.spelled in priv
+
+    def _classify_write(self, target: FExpr, line: int, protected: bool,
+                        *, allocation: bool = False) -> None:
+        t = _flatten_target(target)
+        if t is None:
+            return
+        if self._privatized(t) or protected:
+            return
+        channel = self.syms.channel(t.root)
+        if t.has_field:
+            channel = f"{channel}, TYPE element"
+        if not t.dims or allocation:
+            what = "ALLOCATE/DEALLOCATE of" if allocation else "write to"
+            self._emit(
+                "race-shared-write", line,
+                f"unprotected {what} shared scalar '{t.spelled}' inside "
+                f"a parallel region",
+                variable=t.spelled, channel=channel)
+            return
+        loop_vars = self.parallel_vars | self.seq_loop_vars
+        for p in sorted(self.parallel_vars):
+            if not self._pinned(p, t.dims, loop_vars):
+                self._emit(
+                    "race-shared-write", line,
+                    f"write to shared array '{t.spelled}' does not pin "
+                    f"parallel index '{p}' to any subscript dimension",
+                    variable=t.spelled, channel=channel)
+                return
+
+    def _pinned(self, p: str, dims: list[FExpr],
+                loop_vars: set[str]) -> bool:
+        for dim in dims:
+            lin = linear_form(dim)
+            if lin is None:
+                continue
+            coeffs, _const = lin
+            if not coeffs.get(p):
+                continue
+            ok = True
+            for v, c in coeffs.items():
+                if v == p or not c:
+                    continue
+                if v in loop_vars:
+                    ok = False          # another loop index varies here
+                    break
+                if v in self.clause_spellings or v in self.writes_all:
+                    ok = False          # offset is not loop-invariant
+                    break
+            if ok:
+                return True
+        return False
+
+    # -- driver --------------------------------------------------------
+    def run(self) -> None:
+        self.check_clauses()
+        loops = self.check_collapse()
+        self.parallel_vars = {L.var.lower() for L in loops}
+        self.scan(self.loop.body)
+        self.seq_loop_vars -= self.parallel_vars
+        self.classify(self.loop.body, in_critical=False)
+
+
+def _walk(stmts: list, syms: UnitSymbols, report: LintReport) -> None:
+    for s in stmts:
+        if isinstance(s, FDo):
+            if s.omp is not None and s.omp.kind == "parallel_do":
+                report.regions += 1
+                _Region(s, syms, report).run()
+            _walk(s.body, syms, report)
+        elif isinstance(s, FDoWhile):
+            _walk(s.body, syms, report)
+        elif isinstance(s, FIf):
+            for _, body in s.branches:
+                _walk(body, syms, report)
+
+
+def lint_unit_body(sub: FSubprogram, syms: UnitSymbols,
+                   report: LintReport) -> None:
+    """Analyze every parallel region in one subprogram."""
+    report.units += 1
+    _walk(sub.body, syms, report)

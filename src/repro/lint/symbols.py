@@ -1,0 +1,149 @@
+"""Per-unit symbol tables for the linter.
+
+Race classification needs to know *where a name lives* — a write to a
+local scalar races differently from a write to a COMMON-block member or a
+USE-associated module array, and the finding should say which sharing
+channel is involved.  :class:`UnitSymbols` flattens one subprogram's view
+of the world (dummies, locals, COMMON members, USE imports, host-module
+variables) into a name → channel map, resolving wildcard ``USE`` lines
+through the host :class:`~repro.integration.legacy.LegacyCodebase` index
+when one is supplied.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..fortranlib.ast import (
+    FCommon,
+    FDecl,
+    FModule,
+    FOmpDirective,
+    FProgramUnit,
+    FSubprogram,
+    FUse,
+)
+
+__all__ = ["UnitSymbols", "build_symbols"]
+
+
+@dataclass
+class UnitSymbols:
+    """What one subprogram can see, and through which channel."""
+
+    unit: str
+    channels: dict[str, str] = field(default_factory=dict)
+    threadprivate: set[str] = field(default_factory=set)
+    # Modules USE'd without ONLY whose export list could not be resolved:
+    # visibility is then undecidable, so `unknown-clause-var` stays quiet.
+    unresolved_use: list[str] = field(default_factory=list)
+
+    def visible(self, name: str) -> bool:
+        return name.lower() in self.channels
+
+    def channel(self, name: str) -> str:
+        n = name.lower()
+        if n in self.channels:
+            return self.channels[n]
+        if self.unresolved_use:
+            return f"USE {self.unresolved_use[0]} (unresolved)"
+        return "unknown"
+
+    @property
+    def conclusive(self) -> bool:
+        """False when a wildcard USE could hide any name."""
+        return not self.unresolved_use
+
+
+def _decl_names(decls: list) -> list[str]:
+    names: list[str] = []
+    for d in decls:
+        if isinstance(d, FDecl):
+            names.extend(e.name.lower() for e in d.entities)
+    return names
+
+
+def _module_exports(module_name: str, *, host: FModule | None,
+                    legacy) -> set[str] | None:
+    """Export list of ``module_name``, or None if we cannot know it."""
+    if host is not None and host.name.lower() == module_name.lower():
+        return set(_decl_names(host.decls))
+    if legacy is not None:
+        exports = legacy.module_exports.get(module_name.lower())
+        if exports is not None:
+            return {e.lower() for e in exports}
+    return None
+
+
+def build_symbols(
+    sub: FSubprogram | FProgramUnit,
+    *,
+    host: FModule | None = None,
+    legacy=None,
+    siblings: dict[str, FModule] | None = None,
+) -> UnitSymbols:
+    """Build the symbol table for ``sub``.
+
+    ``host`` is the enclosing FModule when the unit lives in one (host
+    association), ``legacy`` an optional LegacyCodebase whose indexes
+    resolve cross-file USE lines, and ``siblings`` the modules defined in
+    the same parsed file (a generated file often defines the globals
+    module its own units USE).
+    """
+    syms = UnitSymbols(unit=sub.name)
+    ch = syms.channels
+
+    # Host association: everything the enclosing module declares.
+    if host is not None:
+        for n in _decl_names(host.decls):
+            ch[n] = f"host module {host.name}"
+        for d in host.decls:
+            if isinstance(d, FOmpDirective) and d.kind == "threadprivate":
+                syms.threadprivate.update(v.lower() for v in d.private)
+
+    decls = list(sub.decls)
+    body_from = sub.body
+
+    # USE association.
+    for d in decls:
+        if not isinstance(d, FUse):
+            continue
+        mod = d.module.lower()
+        if d.only is not None:
+            for n in d.only:
+                ch[n.lower()] = f"USE {mod}"
+            continue
+        exports = _module_exports(mod, host=host, legacy=legacy)
+        if exports is None and siblings and mod in siblings:
+            exports = set(_decl_names(siblings[mod].decls))
+        if exports is None:
+            syms.unresolved_use.append(mod)
+        else:
+            for n in exports:
+                ch[n] = f"USE {mod}"
+
+    # Locals first: a COMMON member always carries a plain type
+    # declaration too, so the COMMON channel must overwrite "local".
+    for n in _decl_names(decls):
+        ch[n] = "local"
+
+    # COMMON blocks.
+    for d in decls:
+        if isinstance(d, FCommon):
+            for n in d.names:
+                ch[n.lower()] = f"COMMON /{d.block}/"
+
+    # Dummies last (locals may re-declare a dummy's type; the dummy
+    # channel must win).
+    if isinstance(sub, FSubprogram):
+        for p in sub.params:
+            ch[p.lower()] = "dummy argument"
+        if sub.result:
+            ch[sub.result.lower()] = "function result"
+
+    # THREADPRIVATE declared inside the unit itself.
+    for d in list(decls) + list(body_from):
+        if isinstance(d, FOmpDirective) and d.kind == "threadprivate":
+            syms.threadprivate.update(v.lower() for v in d.private)
+
+    return syms

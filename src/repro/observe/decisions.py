@@ -15,13 +15,17 @@ Stages and their verdict vocabularies:
 ``advisor``      ``omp`` | ``simd`` | ``none``
 ``guard``        ``serial-fallback``
 ``fault``        ``injected``
+``lint:<rule>``  ``violation``
 ==============  =====================================================
 
 The ``guard`` stage is emitted by :class:`repro.glafexec.GuardedRunner`
 when a divergence guard demotes a parallel step to serial; the ``fault``
 stage is emitted by :mod:`repro.robust.faults` whenever an injected fault
 fires, so a profiled fault-injection run shows cause and recovery side by
-side.
+side.  The ``lint:<rule>`` stages (one per rule id in
+:data:`repro.lint.RULES`, e.g. ``lint:race-shared-write``) are emitted by
+the static linter for every finding, so injected directive corruptions
+and the lint findings that catch them land in the same log.
 """
 
 from __future__ import annotations

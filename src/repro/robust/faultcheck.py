@@ -230,11 +230,37 @@ def _check_watchdog(seed: int) -> SiteResult:
                           len(plan.fired), 1)
 
 
+def _check_omp_lint(seed: int) -> SiteResult:
+    """One representative clause mutant; ``repro lint`` must catch it.
+
+    The full 14-mutant corpus runs under ``repro lint --selftest`` (and in
+    CI); the sweep runs a single cheap mutant so every registered site has
+    a scenario here too.
+    """
+    from ..lint.mutation import MUTANTS, run_mutant
+
+    site = "codegen.fortran.omp"
+    mutant = next(m for m in MUTANTS if m.id == "sarb-drop-reduction-lw")
+    result, report = run_mutant(mutant, seed=seed)
+    if not result.fired:
+        return SiteResult(site, mutant.kind, "failed", "fault never fired", 0, 0)
+    if not result.caught:
+        return SiteResult(site, mutant.kind, "failed",
+                          f"linter missed the mutant ({result.fault_detail})",
+                          1, 0)
+    return SiteResult(
+        site, mutant.kind, "recovered",
+        f"linter caught '{result.fault_detail}' via {', '.join(result.rules)}",
+        1, len(report.findings))
+
+
 def run_faultcheck(seed: int = 0) -> FaultCheckReport:
     """Sweep every registered injection site; see the module docstring."""
     checks = {
         "fortran.lex.tokens":
             lambda: _check_lexer(seed),
+        "codegen.fortran.omp":
+            lambda: _check_omp_lint(seed),
         "analysis.parallelize.verdict":
             lambda: _check_guarded(
                 "analysis.parallelize.verdict", "misparallelize",

@@ -66,6 +66,14 @@ SITES: dict[str, InjectionSite] = {
             description="numerically perturb one assignment in generated Python",
         ),
         InjectionSite(
+            name="codegen.fortran.omp",
+            module="repro.codegen.fortran",
+            kinds=("drop-private", "drop-reduction", "widen-collapse",
+                   "drop-directive", "spurious-directive"),
+            description="corrupt one emitted !$OMP directive clause set "
+                        "(the mutants 'repro lint' must catch)",
+        ),
+        InjectionSite(
             name="exec.interp.step",
             module="repro.glafexec.interp",
             kinds=("raise",),
@@ -252,10 +260,69 @@ def _perturb_assign(value: str, spec: FaultSpec, rng) -> tuple[Any, str]:
             f"perturbed assignment RHS by eps={eps!r}")
 
 
+# -- codegen.fortran.omp: clause mutations for the lint self-test ------
+# The payload is the (frozen) codegen OmpDirective about to be rendered,
+# or None when the step is a serial loop (only 'spurious-directive' can
+# fire there).  Transforms decline (_NO_EFFECT) when the directive lacks
+# the clause they corrupt, so a FaultSpec stays armed until it finds one.
+
+def _drop_private(d: Any, spec: FaultSpec, rng) -> tuple[Any, str]:
+    if d is None or not d.private:
+        return _NO_EFFECT, ""
+    from dataclasses import replace
+
+    dropped = d.private[int(rng.integers(len(d.private)))]
+    out = replace(d, private=tuple(v for v in d.private if v != dropped))
+    return out, f"dropped PRIVATE({dropped})"
+
+
+def _drop_reduction(d: Any, spec: FaultSpec, rng) -> tuple[Any, str]:
+    if d is None or not d.reductions:
+        return _NO_EFFECT, ""
+    from dataclasses import replace
+
+    victim = d.reductions[int(rng.integers(len(d.reductions)))]
+    out = replace(d, reductions=tuple(r for r in d.reductions if r != victim))
+    return out, f"dropped REDUCTION({victim[0]}:{victim[1]})"
+
+
+def _widen_collapse(d: Any, spec: FaultSpec, rng) -> tuple[Any, str]:
+    if d is None:
+        return _NO_EFFECT, ""
+    from dataclasses import replace
+
+    extra = int(spec.param) if spec.param is not None else 1
+    out = replace(d, collapse=d.collapse + extra)
+    return out, f"widened COLLAPSE({d.collapse}) to COLLAPSE({out.collapse})"
+
+
+def _drop_directive(d: Any, spec: FaultSpec, rng) -> tuple[Any, str]:
+    if d is None:
+        return _NO_EFFECT, ""
+    from dataclasses import replace
+
+    return replace(d, suppressed=True), "suppressed the PARALLEL DO directive"
+
+
+def _spurious_directive(d: Any, spec: FaultSpec, rng) -> tuple[Any, str]:
+    if d is not None:
+        return _NO_EFFECT, ""
+    # Imported lazily (fire time only): this module must stay
+    # dependency-light because codegen itself imports it at load.
+    from ..codegen.omp import OmpDirective
+
+    return OmpDirective(), "added a spurious PARALLEL DO on a serial loop"
+
+
 _TRANSFORMS = {
     "corrupt-token": _corrupt_token,
     "misparallelize": _misparallelize,
     "perturb": _perturb_assign,
+    "drop-private": _drop_private,
+    "drop-reduction": _drop_reduction,
+    "widen-collapse": _widen_collapse,
+    "drop-directive": _drop_directive,
+    "spurious-directive": _spurious_directive,
 }
 
 

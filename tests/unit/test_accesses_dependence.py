@@ -142,3 +142,151 @@ class TestInjectivity:
     def test_indirect_not_injective(self):
         w = _acc("a", [ref("idx", I("i"))], True, ["i"])
         assert not write_is_injective(w, ("i",))
+
+
+# ---------------------------------------------------------------------------
+# Storage association (COMMON blocks, derived-TYPE overlays) — the §3
+# integration channels through which two *different-named* grids can denote
+# the same memory.
+# ---------------------------------------------------------------------------
+
+from repro.analysis.dependence import may_alias
+from repro.analysis.dependence import test_alias_pair as dep_test_alias_pair
+from repro.analysis.parallelize import analyze_step
+from repro.core import GlafBuilder, T_INT, T_REAL8, T_VOID
+from repro.core.grid import Grid
+from repro.core.types import GlafType
+
+
+def _g(name, **kw):
+    return Grid(name=name, ty=GlafType.T_REAL8, dims=(8,), **kw)
+
+
+class TestMayAlias:
+    def test_same_name_aliases(self):
+        assert may_alias(_g("a"), _g("a"))
+
+    def test_unrelated_grids_disjoint(self):
+        assert not may_alias(_g("a"), _g("b"))
+
+    def test_same_common_block_aliases(self):
+        a = _g("a", common_block="wts")
+        b = _g("b", common_block="wts")
+        assert may_alias(a, b) and may_alias(b, a)
+
+    def test_different_common_blocks_disjoint(self):
+        assert not may_alias(_g("a", common_block="wts"),
+                             _g("b", common_block="opts"))
+
+    def test_common_vs_plain_global_disjoint(self):
+        assert not may_alias(_g("a", common_block="wts"), _g("b"))
+
+    def test_type_element_overlaps_whole_parent(self):
+        elem = _g("flux", exists_in_module="rad", type_parent="fin",
+                  type_name="rad_input")
+        parent = _g("fin", exists_in_module="rad")
+        assert may_alias(elem, parent) and may_alias(parent, elem)
+
+    def test_sibling_type_elements_disjoint(self):
+        e1 = _g("flux", exists_in_module="rad", type_parent="fin",
+                type_name="rad_input")
+        e2 = _g("temp", exists_in_module="rad", type_parent="fin",
+                type_name="rad_input")
+        assert not may_alias(e1, e2)
+
+    def test_same_element_slot_aliases(self):
+        # Two Grid declarations bound to the same fin%flux slot.
+        e1 = _g("flux", exists_in_module="rad", type_parent="fin",
+                type_name="rad_input")
+        e2 = _g("flux", exists_in_module="rad", type_parent="fin",
+                type_name="rad_input")
+        assert may_alias(e1, e2)
+
+    def test_elements_of_different_parents_disjoint(self):
+        e1 = _g("flux", exists_in_module="rad", type_parent="fin",
+                type_name="rad_input")
+        e2 = _g("flux2", exists_in_module="rad", type_parent="fout",
+                type_name="rad_input")
+        assert not may_alias(e1, e2)
+
+
+class TestAliasPair:
+    def test_alias_pair_is_conservatively_unknown(self):
+        w = _acc("a", [I("i")], True, ["i"])
+        r = _acc("b", [I("i")], False, ["i"])
+        dep = dep_test_alias_pair(w, r, ("i",))
+        assert dep.kind is DepKind.UNKNOWN
+        assert "storage association" in dep.detail
+        assert "b" in dep.detail
+
+    def test_even_identical_subscripts_stay_unknown(self):
+        # a(i) and b(i) at unknown relative COMMON offsets can still collide
+        # across iterations; the affine forms are not comparable.
+        w = _acc("a", [I("i")], True, ["i"])
+        r = _acc("b", [I("i")], False, ["i"])
+        assert dep_test_alias_pair(w, r, ("i",)).kind is DepKind.UNKNOWN
+
+
+def _alias_program(write_grid, read_grid, *, blocks):
+    """One-function program writing write_grid(i) from read_grid(i)."""
+    b = GlafBuilder("t")
+    for name, blk in blocks.items():
+        b.global_grid(name, T_REAL8, dims=(8,), common_block=blk)
+    m = b.module("M")
+    f = m.function("k", return_type=T_VOID)
+    f.param("n", T_INT, intent="in")
+    s = f.step()
+    s.foreach(i=(1, 8))
+    s.formula(ref(write_grid, I("i")), ref(read_grid, I("i")) * 2.0)
+    p = b.build()
+    return p, p.find_function("k")
+
+
+class TestAliasAwareParallelize:
+    def test_same_common_block_serializes(self):
+        p, fn = _alias_program("u", "v", blocks={"u": "ovl", "v": "ovl"})
+        sp = analyze_step(p, fn, 0)
+        assert not sp.parallel
+        assert any("storage association" in r for r in sp.reasons)
+
+    def test_different_common_blocks_stay_parallel(self):
+        p, fn = _alias_program("u", "v", blocks={"u": "ovl", "v": "other"})
+        sp = analyze_step(p, fn, 0)
+        assert sp.parallel
+
+    def test_type_element_write_vs_parent_read_serializes(self):
+        b = GlafBuilder("t")
+        b.derived_type("rad_input", {"flux": (T_REAL8, 1)},
+                       defined_in_module="rad")
+        b.global_grid("flux", T_REAL8, dims=(8,), exists_in_module="rad",
+                      type_parent="fin", type_name="rad_input")
+        b.global_grid("fin", T_REAL8, dims=(8,), exists_in_module="rad")
+        m = b.module("M")
+        f = m.function("k", return_type=T_VOID)
+        f.param("n", T_INT, intent="in")
+        s = f.step()
+        s.foreach(i=(1, 8))
+        s.formula(ref("flux", I("i")), ref("fin", I("i")) + 1.0)
+        p = b.build()
+        sp = analyze_step(p, p.find_function("k"), 0)
+        assert not sp.parallel
+        assert any("storage association" in r for r in sp.reasons)
+
+    def test_sibling_elements_stay_parallel(self):
+        b = GlafBuilder("t")
+        b.derived_type("rad_input",
+                       {"flux": (T_REAL8, 1), "temp": (T_REAL8, 1)},
+                       defined_in_module="rad")
+        b.global_grid("flux", T_REAL8, dims=(8,), exists_in_module="rad",
+                      type_parent="fin", type_name="rad_input")
+        b.global_grid("temp", T_REAL8, dims=(8,), exists_in_module="rad",
+                      type_parent="fin", type_name="rad_input")
+        m = b.module("M")
+        f = m.function("k", return_type=T_VOID)
+        f.param("n", T_INT, intent="in")
+        s = f.step()
+        s.foreach(i=(1, 8))
+        s.formula(ref("flux", I("i")), ref("temp", I("i")) + 1.0)
+        p = b.build()
+        sp = analyze_step(p, p.find_function("k"), 0)
+        assert sp.parallel

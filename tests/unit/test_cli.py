@@ -307,3 +307,31 @@ class TestBenchCli:
         assert "pipeline" in names and "codegen.fortran" in names
         assert doc["otherData"]["project"] == project_file
         capsys.readouterr()
+
+
+class TestLintCommand:
+    def test_lint_single_level_clean(self, capsys):
+        assert main(["lint", "--level", "v3", "--case", "sarb"]) == 0
+        out = capsys.readouterr().out
+        assert "0 finding(s)" in out
+        assert "sarb @ v3" in out
+
+    def test_lint_json_stdout(self, capsys):
+        assert main(["lint", "--level", "v3", "--case", "fun3d", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"] == "repro.lint/v1"
+        assert doc["ok"] and doc["findings"] == []
+
+    def test_lint_json_file(self, tmp_path, capsys):
+        out_file = tmp_path / "lint.json"
+        assert main(["lint", "--level", "v3", "--case", "sarb",
+                     "--json", str(out_file)]) == 0
+        doc = json.loads(out_file.read_text())
+        assert doc["ok"]
+        assert "report written to" in capsys.readouterr().err
+
+    def test_lint_selftest(self, capsys):
+        assert main(["lint", "--selftest"]) == 0
+        out = capsys.readouterr().out
+        assert "mutant(s) caught" in out
+        assert "MISSED" not in out

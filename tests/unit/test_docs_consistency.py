@@ -110,6 +110,34 @@ class TestBenchmarkingDoc:
         assert "--benchmark-only" not in make
 
 
+class TestStaticAnalysisDoc:
+    """docs/STATIC_ANALYSIS.md must track the linter's rule registry."""
+
+    def test_every_rule_documented(self):
+        doc = (REPO / "docs" / "STATIC_ANALYSIS.md").read_text()
+        from repro.lint import RULES
+
+        missing = [rid for rid in RULES if f"`{rid}`" not in doc]
+        assert not missing, (
+            f"docs/STATIC_ANALYSIS.md is missing lint rule(s): {missing}"
+        )
+
+    def test_linked_from_readme_and_robustness(self):
+        assert "STATIC_ANALYSIS.md" in (REPO / "README.md").read_text()
+        assert "STATIC_ANALYSIS.md" in (
+            REPO / "docs" / "ROBUSTNESS.md").read_text()
+
+    def test_ci_runs_the_lint_gates(self):
+        ci = (REPO / ".github" / "workflows" / "ci.yml").read_text()
+        assert "repro lint" in ci
+        assert "lint --selftest" in ci
+
+    def test_make_lint_target(self):
+        make = (REPO / "Makefile").read_text()
+        assert "repro lint" in make
+        assert "lint --selftest" in make
+
+
 class TestRobustnessDoc:
     """docs/ROBUSTNESS.md must track the actual injection-site registry."""
 

@@ -77,7 +77,7 @@ class TestErrorHierarchy:
         first = errors.FortranSyntaxError("oops", line=4, col=2)
         bundle = errors.DiagnosticBundle(
             [first, errors.FortranSyntaxError("later", line=9)])
-        assert "2 syntax error(s)" in str(bundle)
+        assert "2 error(s) collected" in str(bundle)
         assert "oops" in str(bundle)
         assert bundle.line == 4 and bundle.col == 2
         assert bundle.partial is None

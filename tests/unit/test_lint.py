@@ -1,0 +1,411 @@
+"""Unit tests for the static race detector / parallel-correctness linter.
+
+Exercises every rule in :data:`repro.lint.RULES` on hand-written FORTRAN,
+the sharing-channel symbol tables, the plan-vs-text cross-check, the
+clause-mutation self-test corpus, and the end-to-end case-study gates
+(``docs/STATIC_ANALYSIS.md``).
+"""
+
+import json
+
+import pytest
+
+from repro.lint import (
+    LEVELS,
+    MUTANTS,
+    RULES,
+    LintReport,
+    build_symbols,
+    lint_case,
+    lint_text,
+    run_mutation_selftest,
+)
+from repro.fortranlib.parser import parse_source
+
+
+def _lint(source: str) -> LintReport:
+    return lint_text(source)
+
+
+def _rules(report: LintReport) -> set[str]:
+    return {f.rule for f in report.findings}
+
+
+# ---------------------------------------------------------------------------
+# race-shared-write
+# ---------------------------------------------------------------------------
+
+_CLEAN = """\
+subroutine ok(a, n)
+  integer, intent(in) :: n
+  real(kind=8), intent(inout) :: a(n)
+  integer :: i
+  !$OMP PARALLEL DO
+  do i = 1, n
+    a(i) = a(i) * 2.0
+  end do
+end subroutine ok
+"""
+
+_SCALAR_RACE = """\
+subroutine bad(a, n)
+  integer, intent(in) :: n
+  real(kind=8), intent(inout) :: a(n)
+  real(kind=8) :: s
+  integer :: i
+  !$OMP PARALLEL DO
+  do i = 1, n
+    s = s + a(i)
+  end do
+end subroutine bad
+"""
+
+
+class TestRaceSharedWrite:
+    def test_pinned_array_write_clean(self):
+        report = _lint(_CLEAN)
+        assert report.ok
+        assert report.units == 1 and report.regions == 1
+
+    def test_shared_scalar_write_races(self):
+        report = _lint(_SCALAR_RACE)
+        assert not report.ok
+        [f] = report.findings
+        assert f.rule == "race-shared-write"
+        assert f.variable == "s"
+        assert f.channel == "local"
+
+    def test_reduction_clause_protects(self):
+        src = _SCALAR_RACE.replace("!$OMP PARALLEL DO",
+                                   "!$OMP PARALLEL DO REDUCTION(+:s)")
+        assert _lint(src).ok
+
+    def test_atomic_protects(self):
+        src = _SCALAR_RACE.replace(
+            "    s = s + a(i)",
+            "    !$OMP ATOMIC\n    s = s + a(i)")
+        assert _lint(src).ok
+
+    def test_critical_protects(self):
+        src = _SCALAR_RACE.replace(
+            "    s = s + a(i)",
+            "    !$OMP CRITICAL\n    s = s + a(i)\n    !$OMP END CRITICAL")
+        assert _lint(src).ok
+
+    def test_atomic_covers_only_next_statement(self):
+        src = _SCALAR_RACE.replace(
+            "    s = s + a(i)",
+            "    !$OMP ATOMIC\n    a(i) = a(i) + 1.0\n    s = s + a(i)")
+        assert "race-shared-write" in _rules(_lint(src))
+
+    def test_unpinned_array_write_races(self):
+        src = _CLEAN.replace("a(i) = a(i) * 2.0", "a(1) = a(1) + 2.0")
+        report = _lint(src)
+        assert _rules(report) == {"race-shared-write"}
+        assert report.findings[0].variable == "a"
+
+    def test_offset_subscript_still_pinned(self):
+        # a(i+1) is injective in i: each thread writes a distinct element.
+        src = _CLEAN.replace("do i = 1, n", "do i = 1, n - 1")
+        src = src.replace("a(i) = a(i) * 2.0", "a(i + 1) = a(i) * 2.0")
+        assert _lint(src).ok
+
+    def test_common_block_channel_reported(self):
+        src = """\
+subroutine cwrite(n)
+  integer, intent(in) :: n
+  real(kind=8) :: w(10)
+  common /wts/ w
+  integer :: i
+  !$OMP PARALLEL DO
+  do i = 1, n
+    w(1) = w(1) + 1.0
+  end do
+end subroutine cwrite
+"""
+        report = _lint(src)
+        [f] = report.findings
+        assert f.rule == "race-shared-write"
+        assert f.channel == "COMMON /wts/"
+
+    def test_use_module_channel_reported(self):
+        src = """\
+subroutine mwrite(n)
+  use rad_mod, only: acc
+  integer, intent(in) :: n
+  integer :: i
+  !$OMP PARALLEL DO
+  do i = 1, n
+    acc = acc + 1.0
+  end do
+end subroutine mwrite
+"""
+        [f] = _lint(src).findings
+        assert f.rule == "race-shared-write"
+        assert f.channel == "USE rad_mod"
+
+    def test_type_element_write_detected(self):
+        src = """\
+subroutine twrite(n)
+  use rad_mod, only: fout
+  integer, intent(in) :: n
+  integer :: i
+  !$OMP PARALLEL DO
+  do i = 1, n
+    fout%total = fout%total + 1.0
+  end do
+end subroutine twrite
+"""
+        [f] = _lint(src).findings
+        assert f.rule == "race-shared-write"
+        assert f.variable == "fout%total"
+
+    def test_privatized_scalar_clean(self):
+        src = _SCALAR_RACE.replace("!$OMP PARALLEL DO",
+                                   "!$OMP PARALLEL DO PRIVATE(s)")
+        assert _lint(src).ok
+
+
+# ---------------------------------------------------------------------------
+# clause rules
+# ---------------------------------------------------------------------------
+
+class TestClauseRules:
+    def test_private_and_reduction_conflict(self):
+        src = _SCALAR_RACE.replace(
+            "!$OMP PARALLEL DO",
+            "!$OMP PARALLEL DO PRIVATE(s) REDUCTION(+:s)")
+        assert "clause-conflict" in _rules(_lint(src))
+
+    def test_unknown_clause_var(self):
+        src = _CLEAN.replace("!$OMP PARALLEL DO",
+                             "!$OMP PARALLEL DO PRIVATE(zzz)")
+        report = _lint(src)
+        assert "unknown-clause-var" in _rules(report)
+        assert report.findings[0].variable == "zzz"
+
+    def test_unknown_clause_var_suppressed_by_wildcard_use(self):
+        # `use mystery` without ONLY makes visibility undecidable.
+        src = _CLEAN.replace(
+            "  integer, intent(in) :: n",
+            "  use mystery\n  integer, intent(in) :: n")
+        src = src.replace("!$OMP PARALLEL DO",
+                          "!$OMP PARALLEL DO PRIVATE(zzz)")
+        assert "unknown-clause-var" not in _rules(_lint(src))
+
+    def test_inner_loop_index_not_private(self):
+        src = """\
+subroutine inner(a, n)
+  integer, intent(in) :: n
+  real(kind=8), intent(inout) :: a(n)
+  integer :: i, k
+  !$OMP PARALLEL DO
+  do i = 1, n
+    do k = 1, 3
+      a(i) = a(i) + 1.0
+    end do
+  end do
+end subroutine inner
+"""
+        report = _lint(src)
+        assert "loop-index-not-private" in _rules(report)
+        assert any(f.variable == "k" for f in report.findings)
+        # Privatizing k fixes it.
+        fixed = src.replace("!$OMP PARALLEL DO", "!$OMP PARALLEL DO PRIVATE(k)")
+        assert _lint(fixed).ok
+
+
+# ---------------------------------------------------------------------------
+# COLLAPSE rules
+# ---------------------------------------------------------------------------
+
+_NEST = """\
+subroutine nest(a, n)
+  integer, intent(in) :: n
+  real(kind=8), intent(inout) :: a(n, n)
+  integer :: i, j
+  !$OMP PARALLEL DO PRIVATE(j) COLLAPSE(2)
+  do i = 1, n
+    do j = 1, n
+      a(i, j) = a(i, j) * 2.0
+    end do
+  end do
+end subroutine nest
+"""
+
+
+class TestCollapseRules:
+    def test_rectangular_collapse_clean(self):
+        assert _lint(_NEST).ok
+
+    def test_collapse_deeper_than_nest(self):
+        src = _NEST.replace("COLLAPSE(2)", "COLLAPSE(3)")
+        assert "collapse-too-deep" in _rules(_lint(src))
+
+    def test_collapse_over_imperfect_nest(self):
+        src = _NEST.replace(
+            "  do i = 1, n\n    do j = 1, n",
+            "  do i = 1, n\n    a(i, 1) = 0.0\n    do j = 1, n")
+        assert "collapse-too-deep" in _rules(_lint(src))
+
+    def test_triangular_collapse_flagged(self):
+        src = _NEST.replace("do j = 1, n", "do j = i, n")
+        assert "collapse-non-rectangular" in _rules(_lint(src))
+
+    def test_triangular_without_collapse_ok(self):
+        src = _NEST.replace("PRIVATE(j) COLLAPSE(2)", "PRIVATE(j)")
+        src = src.replace("do j = 1, n", "do j = i, n")
+        assert _lint(src).ok
+
+
+# ---------------------------------------------------------------------------
+# symbol tables
+# ---------------------------------------------------------------------------
+
+class TestSymbols:
+    def test_channels(self):
+        src = """\
+subroutine chan(x, n)
+  use fuliou_mod, only: taudp
+  integer, intent(in) :: n
+  real(kind=8), intent(inout) :: x(n)
+  real(kind=8) :: w(4)
+  common /wts/ w
+  real(kind=8) :: tmp
+  integer :: i
+  x(1) = 0.0
+end subroutine chan
+"""
+        out = parse_source(src)
+        syms = build_symbols(out.subprograms[0])
+        assert syms.channel("x") == "dummy argument"
+        assert syms.channel("n") == "dummy argument"
+        assert syms.channel("tmp") == "local"
+        assert syms.channel("w") == "COMMON /wts/"
+        assert syms.channel("taudp") == "USE fuliou_mod"
+        assert syms.visible("tmp") and not syms.visible("nope")
+        assert syms.conclusive
+
+    def test_wildcard_use_not_conclusive(self):
+        src = """\
+subroutine wild()
+  use somewhere
+  real(kind=8) :: t
+  t = 0.0
+end subroutine wild
+"""
+        syms = build_symbols(parse_source(src).subprograms[0])
+        assert not syms.conclusive
+
+    def test_host_module_channel(self):
+        src = """\
+module m
+  real(kind=8) :: shared_acc
+contains
+  subroutine s()
+    shared_acc = 0.0
+  end subroutine s
+end module m
+"""
+        out = parse_source(src)
+        mod = out.modules[0]
+        syms = build_symbols(mod.subprograms[0], host=mod)
+        assert syms.channel("shared_acc") == "host module m"
+
+
+# ---------------------------------------------------------------------------
+# plan-vs-text cross-check
+# ---------------------------------------------------------------------------
+
+def _sarb_plan_and_source(variant="GLAF-parallel v0"):
+    from repro.codegen.fortran import FortranGenerator
+    from repro.optimize.plan import make_plan
+    from repro.sarb.kernels import build_sarb_program
+
+    program = build_sarb_program()
+    plan = make_plan(program, variant)
+    return plan, FortranGenerator(plan).generate_module()
+
+
+class TestCrosscheck:
+    def test_faithful_output_clean(self):
+        plan, source = _sarb_plan_and_source()
+        assert lint_text(source, plan=plan).ok
+
+    def test_dropped_directive_is_a_mismatch(self):
+        plan, source = _sarb_plan_and_source()
+        lines = source.splitlines()
+        idx = next(i for i, ln in enumerate(lines)
+                   if ln.lstrip().startswith("!$OMP PARALLEL DO"))
+        pruned = "\n".join(lines[:idx] + lines[idx + 1:]) + "\n"
+        report = lint_text(pruned, plan=plan)
+        assert "plan-mismatch" in _rules(report)
+        assert any("missing" in f.message for f in report.findings)
+
+    def test_edited_clause_is_a_mismatch(self):
+        plan, source = _sarb_plan_and_source()
+        assert "REDUCTION(+:" in source
+        edited = source.replace("REDUCTION(+:", "REDUCTION(*:", 1)
+        report = lint_text(edited, plan=plan)
+        assert "plan-mismatch" in _rules(report)
+
+
+# ---------------------------------------------------------------------------
+# reports, decision-log events, JSON
+# ---------------------------------------------------------------------------
+
+class TestReport:
+    def test_render_and_json(self):
+        report = _lint(_SCALAR_RACE)
+        text = report.render()
+        assert "1 finding(s)" in text and "race-shared-write" in text
+        payload = report.to_json()
+        assert payload["schema"] == "repro.lint/v1"
+        assert not payload["ok"]
+        json.dumps(payload)  # must be serializable
+
+    def test_findings_land_in_decision_log(self):
+        from repro.observe import observed
+
+        with observed() as obs:
+            _lint(_SCALAR_RACE)
+        stages = {d.stage for d in obs.decisions.events}
+        assert "lint:race-shared-write" in stages
+
+    def test_every_rule_has_registry_entry(self):
+        for rule in RULES.values():
+            assert rule.summary and rule.failure_mode
+
+
+# ---------------------------------------------------------------------------
+# mutation self-test and the shipped-output gates
+# ---------------------------------------------------------------------------
+
+class TestMutationCorpus:
+    def test_corpus_is_broad_enough(self):
+        # The acceptance bar: >= 10 distinct mutants spanning the
+        # PRIVATE / REDUCTION / COLLAPSE / plan-mismatch corruption kinds.
+        assert len(MUTANTS) >= 10
+        assert len({m.id for m in MUTANTS}) == len(MUTANTS)
+        kinds = {m.kind for m in MUTANTS}
+        assert {"drop-private", "drop-reduction", "widen-collapse",
+                "drop-directive", "spurious-directive"} <= kinds
+        assert {m.case for m in MUTANTS} == {"sarb", "fun3d"}
+
+    def test_every_mutant_fires_and_is_caught(self):
+        results = run_mutation_selftest()
+        missed = [r.mutant.id for r in results if not r.ok]
+        assert not missed, f"linter missed mutant(s): {missed}"
+
+    def test_caught_rules_are_recorded(self):
+        results = run_mutation_selftest()
+        for r in results:
+            assert r.rules, r.mutant.id
+
+
+class TestShippedOutputsClean:
+    @pytest.mark.parametrize("case", ["sarb", "fun3d"])
+    def test_spliced_output_lints_clean(self, case):
+        report = lint_case(case, LEVELS["v3"])
+        assert report.ok, report.render()
+        assert report.units > 0 and report.regions > 0

@@ -93,7 +93,8 @@ class TestFaultSpec:
     def test_registry_is_complete(self):
         assert set(SITES) == {
             "fortran.lex.tokens", "analysis.parallelize.verdict",
-            "codegen.python.assign", "exec.interp.step", "exec.interp.iter",
+            "codegen.python.assign", "codegen.fortran.omp",
+            "exec.interp.step", "exec.interp.iter",
         }
         for site in SITES.values():
             assert site.kinds and site.description and site.module

@@ -138,3 +138,46 @@ class TestSubroutineRule:
         fn.grids["w"] = Grid(name="w", ty=T_REAL8, common_block="blk")
         with pytest.raises(ValidationError, match="Global Scope"):
             validate_program(_program_with(fn))
+
+
+class TestCollectMode:
+    """validate_program(collect=True) gathers every structural error into
+    one DiagnosticBundle instead of raising on the first (mirroring
+    parse_source(recover=True))."""
+
+    def _two_error_program(self) -> GlafProgram:
+        fn = GlafFunction(name="f")
+        fn.steps = [
+            Step(name="s1", stmts=[Assign(ref("nope"), 1.0)]),
+            Step(name="s2", stmts=[Assign(ref("missing"), 2.0)]),
+        ]
+        return _program_with(fn)
+
+    def test_all_errors_collected(self):
+        from repro.errors import DiagnosticBundle
+
+        with pytest.raises(DiagnosticBundle) as exc:
+            validate_program(self._two_error_program(), collect=True)
+        bundle = exc.value
+        assert len(bundle.diagnostics) == 2
+        joined = " ".join(str(d) for d in bundle.diagnostics)
+        assert "nope" in joined and "missing" in joined
+
+    def test_default_mode_raises_on_first(self):
+        with pytest.raises(ValidationError, match="nope"):
+            validate_program(self._two_error_program())
+
+    def test_bundle_is_a_validation_error_subtype(self):
+        # Callers that catch GlafError keep working.
+        from repro.errors import DiagnosticBundle, GlafError
+
+        assert issubclass(DiagnosticBundle, GlafError)
+
+    def test_clean_program_passes_in_both_modes(self):
+        fn = GlafFunction(name="f")
+        fn.add_grid(Grid(name="a", ty=T_REAL8, dims=(4,)))
+        fn.steps = [Step(name="s", ranges=[Range("i", 1, 4)],
+                         stmts=[Assign(ref("a", I("i")), 1.0)])]
+        p = _program_with(fn)
+        validate_program(p)
+        validate_program(p, collect=True)
