@@ -18,12 +18,15 @@ lint:
 	PYTHONPATH=src $(PYTHON) -m repro lint --selftest
 
 # What .github/workflows/ci.yml runs: compile check, full suite, lint
-# gate, fault sweep, and the benchmark regression gate against the
-# committed baseline.
+# gate, fault sweep (includes the numeric.sentinel scenario), the
+# resume-integrity smoke (kill a recording, resume it, verify digest +
+# schema — docs/NUMERICS.md), and the benchmark regression gate against
+# the committed baseline.
 ci: lint
 	$(PYTHON) -m compileall -q src
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
 	PYTHONPATH=src $(PYTHON) -m repro faultcheck
+	$(PYTHON) scripts/resume_smoke.py
 	PYTHONPATH=src $(PYTHON) -m repro bench record --repeats 3 --out BENCH_ci.json
 	PYTHONPATH=src $(PYTHON) -m repro bench compare BENCH_1.json BENCH_ci.json --fail-on-regress 400
 

@@ -1,0 +1,151 @@
+#!/usr/bin/env python
+"""Resume-integrity smoke test: kill a recording mid-sweep, resume it,
+and prove the resumed artifact is as trustworthy as an uninterrupted one.
+
+What it does (against the real CLI, in subprocesses — no test doubles):
+
+1. start ``repro bench record`` with a checkpoint directory, wait until
+   at least one per-repeat checkpoint has landed, then SIGKILL it;
+2. resume with ``--resume`` and require it to report restored repeats;
+3. verify the artifact loads with its ``content_sha256`` digest intact
+   (``load_bench`` raises ``BenchArtifactError`` on mismatch), covers
+   the requested experiments at the requested repeat count, and records
+   ``meta.resumed >= 1``;
+4. record an uninterrupted control run and require the identical stats
+   *schema* (same experiments, same per-experiment keys, same repeat
+   counts) — wall-clock values differ, the shape must not;
+5. require the spent checkpoint directory to have been cleared.
+
+Exit 0 on success, 1 with a diagnostic on any failure.  CI runs this
+(see ``.github/workflows/ci.yml``) and ``make ci``; the machinery is
+documented in docs/NUMERICS.md.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+SRC = str(REPO / "src")
+IDS = ["T1", "T2"]
+REPEATS = 3
+
+
+def _env() -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def _record_cmd(out: Path, ckpt: Path, *extra: str) -> list:
+    return [sys.executable, "-m", "repro", "bench", "record", *IDS,
+            "--repeats", str(REPEATS), "--out", str(out),
+            "--checkpoint", str(ckpt), *extra]
+
+
+def fail(msg: str) -> "None":
+    print(f"resume_smoke: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory(prefix="resume_smoke.") as td:
+        tmp = Path(td)
+        out = tmp / "BENCH_smoke.json"
+        ckpt = tmp / "ckpt"
+
+        # 1. start recording, kill it once checkpoints start landing.
+        proc = subprocess.Popen(_record_cmd(out, ckpt), env=_env(),
+                                stdout=subprocess.DEVNULL,
+                                stderr=subprocess.DEVNULL)
+        deadline = time.monotonic() + 120.0
+        while time.monotonic() < deadline:
+            if len(list(ckpt.glob("*.ckpt.json"))) >= 2:
+                break
+            if proc.poll() is not None:
+                fail("recorder exited before it could be killed "
+                     f"(rc={proc.returncode}); too few checkpoints to "
+                     "exercise resume")
+            time.sleep(0.02)
+        else:
+            proc.kill()
+            fail("no checkpoints appeared within 120s")
+        proc.send_signal(signal.SIGKILL)
+        proc.wait()
+        survivors = sorted(p.name for p in ckpt.glob("*.ckpt.json"))
+        print(f"resume_smoke: killed recorder with {len(survivors)} "
+              f"checkpoint(s) on disk: {', '.join(survivors)}")
+        if out.exists():
+            fail("artifact exists after SIGKILL — the kill came too late "
+                 "to test resume")
+
+        # 2. resume.
+        res = subprocess.run(_record_cmd(out, ckpt, "--resume"), env=_env(),
+                             capture_output=True, text=True, timeout=600)
+        if res.returncode != 0:
+            fail(f"--resume exited {res.returncode}: {res.stderr.strip()}")
+        if "resumed from checkpoint" not in res.stdout:
+            fail(f"--resume did not report restored repeats: {res.stdout!r}")
+        print(f"resume_smoke: {res.stdout.strip().splitlines()[-1]}")
+
+        # 3. digest + shape of the resumed artifact.
+        sys.path.insert(0, SRC)
+        from repro.bench import load_bench   # noqa: E402
+
+        doc = load_bench(out)                # raises on digest mismatch
+        if set(doc["experiments"]) != set(IDS):
+            fail(f"experiments {sorted(doc['experiments'])} != {IDS}")
+        if doc["meta"]["resumed"] < 1:
+            fail(f"meta.resumed = {doc['meta']['resumed']}, expected >= 1")
+        for exp_id, exp in doc["experiments"].items():
+            if exp["wall_s"]["n"] != REPEATS:
+                fail(f"{exp_id}: wall_s.n = {exp['wall_s']['n']}, "
+                     f"expected {REPEATS}")
+        digest = doc["environment"]["content_sha256"]
+        print(f"resume_smoke: resumed artifact verified "
+              f"(digest {digest[:12]}…, meta.resumed="
+              f"{doc['meta']['resumed']})")
+
+        # 4. stats schema must match an uninterrupted control run.
+        control_out = tmp / "BENCH_control.json"
+        res = subprocess.run(
+            _record_cmd(control_out, tmp / "ckpt2"), env=_env(),
+            capture_output=True, text=True, timeout=600)
+        if res.returncode != 0:
+            fail(f"control run exited {res.returncode}: "
+                 f"{res.stderr.strip()}")
+        control = load_bench(control_out)
+
+        def shape(d: dict) -> dict:
+            return {
+                "meta_keys": sorted(d["meta"]),
+                "experiments": {
+                    eid: {k: (sorted(v) if isinstance(v, dict) else type(v).__name__)
+                          for k, v in exp.items()}
+                    for eid, exp in sorted(d["experiments"].items())
+                },
+            }
+
+        got, want = shape(doc), shape(control)
+        if got != want:
+            fail("resumed artifact's stats schema diverges from the "
+                 f"uninterrupted run:\n{json.dumps(got, indent=1)}\nvs\n"
+                 f"{json.dumps(want, indent=1)}")
+        print("resume_smoke: stats schema identical to uninterrupted run")
+
+        # 5. spent checkpoints must be gone.
+        leftovers = list(ckpt.glob("*.ckpt.json"))
+        if leftovers:
+            fail(f"spent checkpoints not cleared: "
+                 f"{[p.name for p in leftovers]}")
+
+    print("resume_smoke: OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -31,6 +31,7 @@ from .record import (
     next_bench_path,
     record_benchmark,
     render_trend,
+    stamp_digest,
     write_benchmark,
 )
 
@@ -43,5 +44,6 @@ __all__ = [
     "run_timed",
     "BENCH_SCHEMA", "BenchComparison", "BenchDelta", "bench_files",
     "compare_benchmarks", "environment_fingerprint", "load_bench",
-    "next_bench_path", "record_benchmark", "render_trend", "write_benchmark",
+    "next_bench_path", "record_benchmark", "render_trend", "stamp_digest",
+    "write_benchmark",
 ]

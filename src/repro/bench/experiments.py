@@ -15,8 +15,6 @@ C2     §4.2.1 — FUN3D RMS gate at 1e-7
 
 from __future__ import annotations
 
-import numpy as np
-
 from ..fun3d.perffig import PAPER_FIGURE7, figure7_rows
 from ..sarb.perffig import (
     PAPER_FIGURE5,
@@ -103,7 +101,6 @@ def run_figure7(ncell: int = 1_000_000) -> ExperimentResult:
 
 def run_sarb_correctness() -> ExperimentResult:
     from ..sarb import (
-        OUTPUT_NAMES,
         make_inputs,
         run_generated_fortran,
         run_generated_python,
@@ -112,6 +109,7 @@ def run_sarb_correctness() -> ExperimentResult:
         run_reference,
         run_spliced,
     )
+    from ..sarb.validation import SARB_COMPARE_TOLERANCE, compare_outputs
 
     inp = make_inputs()
     ref = run_reference(inp)
@@ -124,10 +122,10 @@ def run_sarb_correctness() -> ExperimentResult:
     }
     rows = []
     for label, outs in paths.items():
-        max_err = max(
-            float(np.max(np.abs(outs[n] - ref[n]))) for n in OUTPUT_NAMES
-        )
-        rows.append([label, max_err, "PASS" if max_err < 1e-9 else "FAIL"])
+        # NaN/Inf-aware: a NaN in any output fails this gate loudly
+        # instead of slipping past the naive max-abs comparison.
+        res = compare_outputs(outs, ref, tolerance=SARB_COMPARE_TOLERANCE)
+        rows.append([label, res.max_error, "PASS" if res.ok else "FAIL"])
     return ExperimentResult(
         experiment_id="C1",
         title="SARB side-by-side functional comparison (max abs error vs "

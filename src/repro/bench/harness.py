@@ -42,6 +42,17 @@ class ExperimentResult:
             "notes": self.notes,
         }
 
+    @classmethod
+    def from_json(cls, doc: dict) -> "ExperimentResult":
+        """Rebuild a result from :meth:`to_json` (checkpoint resume path)."""
+        return cls(
+            experiment_id=str(doc["experiment_id"]),
+            title=str(doc.get("title", "")),
+            headers=list(doc.get("headers", [])),
+            rows=[list(r) for r in doc.get("rows", [])],
+            notes=str(doc.get("notes", "")),
+        )
+
 
 @dataclass(frozen=True)
 class Experiment:

@@ -35,13 +35,21 @@ from pathlib import Path
 from typing import Callable, Iterable, Sequence
 
 from .. import observe
+from ..numeric import (
+    CheckpointStore,
+    RetryPolicy,
+    atomic_write_text,
+    content_digest,
+    retry_call,
+)
 from ..observe.bench import BENCH_SCHEMA, stage_seconds, summarize_repeats
-from .harness import run_timed
+from .harness import ExperimentResult, run_timed
 
 __all__ = [
     "BENCH_SCHEMA",
     "environment_fingerprint",
     "record_benchmark",
+    "stamp_digest",
     "write_benchmark",
     "bench_files",
     "next_bench_path",
@@ -133,37 +141,74 @@ def record_benchmark(
     ids: Sequence[str] | None = None,
     repeats: int = 3,
     clock: Callable[[], float] = time.perf_counter,
+    *,
+    experiments: dict | None = None,
+    checkpoints: "CheckpointStore | None" = None,
+    retry: "RetryPolicy | None" = None,
 ) -> dict[str, object]:
     """Run the registered experiments ``repeats`` times; return the
-    ``repro.bench/v1`` document (see module docstring for the layout)."""
+    ``repro.bench/v1`` document (see module docstring for the layout).
+
+    ``experiments`` overrides the registry (faultcheck injects synthetic
+    ones).  With a ``checkpoints`` store each completed repeat is persisted
+    (key ``<id>-rep<r>``) and repeats with valid checkpoints are *skipped*
+    on a resumed run — corrupt checkpoints are discarded and re-run, never
+    ingested.  ``meta.resumed`` counts the skips (0 on a fresh run, so the
+    stats schema is identical either way).  A :class:`repro.numeric.RetryPolicy`
+    re-runs a repeat that raises a transient :class:`ExecutionError`.
+    """
     from .experiments import EXPERIMENTS
 
+    registry = experiments if experiments is not None else EXPERIMENTS
     if repeats < 1:
         raise ValueError("repeats must be >= 1")
-    ids = list(ids) if ids else list(EXPERIMENTS)
-    unknown = [i for i in ids if i not in EXPERIMENTS]
+    ids = list(ids) if ids else list(registry)
+    unknown = [i for i in ids if i not in registry]
     if unknown:
         raise KeyError(f"unknown experiment id(s): {', '.join(unknown)}")
 
-    experiments: dict[str, object] = {}
+    resumed = 0
+    out: dict[str, object] = {}
     for exp_id in ids:
-        exp = EXPERIMENTS[exp_id]
+        exp = registry[exp_id]
         walls: list[float] = []
         stage_runs: list[dict[str, float]] = []
         results = []
-        for _ in range(repeats):
-            with observe.observed(clock=clock) as obs:
-                result, elapsed = run_timed(exp, clock=clock)
+        for r in range(repeats):
+            key = f"{exp_id}-rep{r}"
+            if checkpoints is not None:
+                done = checkpoints.load(key, discard_corrupt=True)
+                if done is not None:
+                    walls.append(float(done["wall"]))
+                    stage_runs.append({k: float(v)
+                                       for k, v in done["stages"].items()})
+                    results.append(ExperimentResult.from_json(done["result"]))
+                    resumed += 1
+                    continue
+
+            def one_repeat():
+                with observe.observed(clock=clock) as obs:
+                    result, elapsed = run_timed(exp, clock=clock)
+                return result, elapsed, stage_seconds(obs.tracer)
+
+            if retry is not None:
+                result, elapsed, stages_run = retry_call(
+                    one_repeat, policy=retry, what=f"bench:{key}")
+            else:
+                result, elapsed, stages_run = one_repeat()
             walls.append(elapsed)
-            stage_runs.append(stage_seconds(obs.tracer))
+            stage_runs.append(stages_run)
             results.append(result)
+            if checkpoints is not None:
+                checkpoints.save(key, {"wall": elapsed, "stages": stages_run,
+                                       "result": result.to_json()})
         stages = {
             stage: summarize_repeats([run.get(stage, 0.0)
                                       for run in stage_runs]).to_dict()
             for stage in sorted({s for run in stage_runs for s in run})
         }
         last = results[-1]
-        experiments[exp_id] = {
+        out[exp_id] = {
             "title": last.title,
             "paper_ref": exp.paper_ref,
             "headers": list(last.headers),
@@ -177,8 +222,8 @@ def record_benchmark(
     return {
         "schema": BENCH_SCHEMA,
         "environment": environment_fingerprint(),
-        "meta": {"repeats": repeats, "ids": ids},
-        "experiments": experiments,
+        "meta": {"repeats": repeats, "ids": ids, "resumed": resumed},
+        "experiments": out,
     }
 
 
@@ -202,12 +247,28 @@ def next_bench_path(root: str | Path = ".") -> Path:
     return Path(root) / f"BENCH_{last + 1}.json"
 
 
+def stamp_digest(doc: dict) -> dict:
+    """Stamp ``environment.content_sha256`` over the document.
+
+    The digest covers the canonical JSON of the document *minus* the
+    digest field itself, so :func:`load_bench` can recompute and verify.
+    Returns ``doc`` (mutated in place).
+    """
+    env = doc.setdefault("environment", {})
+    env.pop("content_sha256", None)
+    env["content_sha256"] = content_digest(doc)
+    return doc
+
+
 def write_benchmark(doc: dict, path: str | Path) -> Path:
+    """Stamp the content digest and write the artifact atomically, so a
+    crash mid-write leaves either the old artifact or none — never a
+    truncated one."""
     import json
 
-    path = Path(path)
-    path.write_text(json.dumps(doc, indent=2, sort_keys=False) + "\n")
-    return path
+    stamp_digest(doc)
+    return atomic_write_text(Path(path),
+                             json.dumps(doc, indent=2, sort_keys=False) + "\n")
 
 
 def load_bench(path: str | Path) -> dict:
@@ -217,12 +278,27 @@ def load_bench(path: str | Path) -> dict:
 
     try:
         doc = json.loads(Path(path).read_text())
-    except json.JSONDecodeError as e:
+    except (OSError, json.JSONDecodeError) as e:
         raise BenchArtifactError(f"{path}: not valid JSON ({e})") from e
     schema = doc.get("schema") if isinstance(doc, dict) else None
     if schema != BENCH_SCHEMA:
         raise BenchArtifactError(
             f"{path}: expected schema {BENCH_SCHEMA!r}, found {schema!r}")
+    recorded = doc.get("environment", {}).get("content_sha256")
+    if recorded is not None:
+        # Pre-digest artifacts (earlier PRs) load without a check; stamped
+        # ones must verify, so corruption or hand-edits surface here.
+        stripped = dict(doc)
+        stripped["environment"] = {
+            k: v for k, v in doc["environment"].items()
+            if k != "content_sha256"
+        }
+        expected = content_digest(stripped)
+        if recorded != expected:
+            raise BenchArtifactError(
+                f"{path}: content digest mismatch (recorded "
+                f"{recorded[:12]}…, computed {expected[:12]}…) — artifact "
+                "corrupted or hand-edited")
     return doc
 
 

@@ -29,17 +29,23 @@
   linter catches every mutant.
 * ``bench record|compare|trend`` — the longitudinal benchmark layer
   (``docs/BENCHMARKING.md``): ``record`` runs the experiments N times and
-  writes the next schema-versioned ``BENCH_<n>.json`` artifact; ``compare
-  OLD NEW [--fail-on-regress PCT]`` prints the per-experiment diff and
-  exits 1 on wall-time regressions beyond the threshold; ``trend`` renders
-  the whole ``BENCH_*.json`` trajectory as one table.
+  writes the next schema-versioned ``BENCH_<n>.json`` artifact (atomic
+  write + sha256 content digest; per-repeat checkpoints let ``--resume``
+  continue a killed recording, ``--retries N`` re-runs transiently
+  failing repeats); ``compare OLD NEW [--fail-on-regress PCT]`` verifies
+  artifact digests, prints the per-experiment diff and exits 1 on
+  wall-time regressions beyond the threshold; ``trend`` renders the whole
+  ``BENCH_*.json`` trajectory as one table.
 
 ``experiments`` and ``generate`` also accept ``--profile [FILE]``: with no
 argument the observability report is printed to stderr after the normal
 output; with a file argument the JSON trace is written there instead.
 ``experiments --guarded`` routes the case-study interpreter runs through
-guarded execution with serial fallback, and ``experiments --json FILE``
-writes the machine-readable tables (``ExperimentResult.to_json``).
+guarded execution with serial fallback, ``experiments --json FILE``
+writes the machine-readable tables (``ExperimentResult.to_json``),
+``--sentinels`` screens every interpreter assignment for NaN/Inf/overflow
+(``docs/NUMERICS.md``), and ``--resume`` continues an interrupted sweep
+from its per-case checkpoints.
 
 Any uncaught :class:`repro.errors.GlafError` prints a one-line
 ``error: ...`` and exits 2; only raw (non-framework) exceptions traceback.
@@ -56,6 +62,14 @@ __all__ = ["main", "build_parser"]
 
 _PROFILE_REPORT = object()     # sentinel: bare --profile (text report to stderr)
 _JSON_STDOUT = object()        # sentinel: bare --json (JSON to stdout)
+
+
+def _write_json(path: str, doc: object) -> None:
+    """All CLI JSON artifacts are written atomically (temp + os.replace),
+    so a killed process never leaves a truncated file behind."""
+    from .numeric import atomic_write_json
+
+    atomic_write_json(path, doc)
 
 
 def _add_profile_flag(sub: argparse.ArgumentParser) -> None:
@@ -79,6 +93,16 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("--guarded", action="store_true",
                      help="run interpreter workloads under the divergence "
                           "guard (serial fallback on mis-parallelization)")
+    exp.add_argument("--sentinels", action="store_true",
+                     help="screen every interpreter assignment for NaN/Inf/"
+                          "overflow; abort with a typed error on the first "
+                          "trip (docs/NUMERICS.md)")
+    exp.add_argument("--resume", action="store_true",
+                     help="skip experiments with valid checkpoints from an "
+                          "interrupted run")
+    exp.add_argument("--checkpoint", metavar="DIR", default=None,
+                     help="checkpoint directory (default: "
+                          ".repro_experiments.ckpt)")
     exp.add_argument("--json", dest="json_path", metavar="FILE",
                      help="also write the result tables as JSON to FILE")
     _add_profile_flag(exp)
@@ -126,6 +150,9 @@ def build_parser() -> argparse.ArgumentParser:
                            "see 'repro faultcheck' for the site registry")
     prof.add_argument("--fault-seed", type=int, default=0,
                       help="seed for the injected fault plan (default 0)")
+    prof.add_argument("--sentinels", action="store_true",
+                      help="screen every interpreter assignment for NaN/Inf/"
+                           "overflow during the profiled run")
 
     fc = sub.add_parser(
         "faultcheck",
@@ -172,6 +199,14 @@ def build_parser() -> argparse.ArgumentParser:
                      help="repeats per experiment (default 3)")
     rec.add_argument("--out", metavar="FILE",
                      help="artifact path (default: next BENCH_<n>.json here)")
+    rec.add_argument("--resume", action="store_true",
+                     help="skip repeats with valid checkpoints from an "
+                          "interrupted recording")
+    rec.add_argument("--checkpoint", metavar="DIR", default=None,
+                     help="checkpoint directory (default: <out>.ckpt)")
+    rec.add_argument("--retries", type=int, default=0,
+                     help="retry a repeat that fails with a transient "
+                          "ExecutionError up to N times (default 0)")
 
     cmp_ = bsub.add_parser(
         "compare", help="diff two artifacts; gate on wall-time regressions")
@@ -202,8 +237,12 @@ def _load_program(path: str):
 
 
 def _cmd_experiments(args) -> int:
+    from contextlib import ExitStack
+
     from .bench import EXPERIMENTS, run_and_format
+    from .bench.harness import ExperimentResult, format_table
     from .glafexec import guarded
+    from .numeric import CheckpointStore, sentinels
 
     ids = args.ids or list(EXPERIMENTS)
     unknown = [i for i in ids if i not in EXPERIMENTS]
@@ -211,19 +250,40 @@ def _cmd_experiments(args) -> int:
         print(f"unknown experiment id(s): {', '.join(unknown)}; "
               f"available: {', '.join(EXPERIMENTS)}", file=sys.stderr)
         return 2
+    store = CheckpointStore(getattr(args, "checkpoint", None)
+                            or ".repro_experiments.ckpt")
+    resume = bool(getattr(args, "resume", False))
+    if not resume:
+        store.clear()          # stale checkpoints must not skip fresh work
     results = []
-    with guarded(enabled=bool(getattr(args, "guarded", False))):
+    resumed = 0
+    with ExitStack() as stack:
+        stack.enter_context(
+            guarded(enabled=bool(getattr(args, "guarded", False))))
+        if getattr(args, "sentinels", False):
+            stack.enter_context(sentinels())
         for exp_id in ids:
-            result, text = run_and_format(EXPERIMENTS[exp_id])
+            done = (store.load(f"exp-{exp_id}", discard_corrupt=True)
+                    if resume else None)
+            if done is not None:
+                result = ExperimentResult.from_json(done["result"])
+                resumed += 1
+                print(format_table(result))
+            else:
+                result, text = run_and_format(EXPERIMENTS[exp_id])
+                store.save(f"exp-{exp_id}", {"result": result.to_json()})
+                print(text)
             results.append(result)
-            print(text)
             print()
+    if resumed:
+        print(f"resumed {resumed} experiment(s) from checkpoint",
+              file=sys.stderr)
     if getattr(args, "json_path", None):
-        with open(args.json_path, "w") as f:
-            json.dump({"schema": "repro.bench.experiments/v1",
-                       "experiments": [r.to_json() for r in results]},
-                      f, indent=2)
+        _write_json(args.json_path,
+                    {"schema": "repro.bench.experiments/v1",
+                     "experiments": [r.to_json() for r in results]})
         print(f"tables written to {args.json_path}", file=sys.stderr)
+    store.clear()              # full sweep done: checkpoints are spent
     return 0
 
 
@@ -319,6 +379,10 @@ def _cmd_profile(args) -> int:
         if specs:
             stack.enter_context(
                 fault_injection(FaultPlan(specs, seed=args.fault_seed)))
+        if getattr(args, "sentinels", False):
+            from .numeric import sentinels
+
+            stack.enter_context(sentinels())
         with observe.get_tracer().span("pipeline", project=args.project,
                                        variant=args.variant):
             program = _load_program(args.project)
@@ -344,14 +408,14 @@ def _cmd_profile(args) -> int:
     print(obs.report(title=f"repro profile: {args.project} "
                            f"(variant {args.variant!r})"))
     if args.json_path:
-        with open(args.json_path, "w") as f:
-            json.dump(obs.to_json(project=args.project, variant=args.variant,
-                                  targets=targets), f, indent=2)
+        _write_json(args.json_path,
+                    obs.to_json(project=args.project, variant=args.variant,
+                                targets=targets))
         print(f"\ntrace written to {args.json_path}", file=sys.stderr)
     if args.chrome_path:
-        with open(args.chrome_path, "w") as f:
-            json.dump(obs.to_chrome_trace(project=args.project,
-                                          variant=args.variant), f, indent=2)
+        _write_json(args.chrome_path,
+                    obs.to_chrome_trace(project=args.project,
+                                        variant=args.variant))
         print(f"chrome trace written to {args.chrome_path} "
               f"(open in chrome://tracing or https://ui.perfetto.dev)",
               file=sys.stderr)
@@ -362,13 +426,24 @@ def _cmd_bench(args) -> int:
     from .bench import record
 
     if args.bench_command == "record":
-        doc = record.record_benchmark(ids=args.ids or None,
-                                      repeats=args.repeats)
+        from .numeric import CheckpointStore, RetryPolicy
+
         out = args.out or record.next_bench_path()
+        store = CheckpointStore(args.checkpoint or f"{out}.ckpt")
+        if not args.resume:
+            store.clear()      # fresh recording: stale checkpoints are void
+        retry = (RetryPolicy(retries=args.retries)
+                 if args.retries > 0 else None)
+        doc = record.record_benchmark(ids=args.ids or None,
+                                      repeats=args.repeats,
+                                      checkpoints=store, retry=retry)
         path = record.write_benchmark(doc, out)
+        store.clear()          # artifact written: checkpoints are spent
         n_exp = len(doc["experiments"])
-        print(f"recorded {n_exp} experiment(s) x {args.repeats} repeat(s) "
-              f"-> {path}")
+        resumed = doc["meta"]["resumed"]
+        note = f", {resumed} repeat(s) resumed from checkpoint" if resumed else ""
+        print(f"recorded {n_exp} experiment(s) x {args.repeats} repeat(s)"
+              f"{note} -> {path}")
         return 0
 
     if args.bench_command == "compare":
@@ -414,8 +489,7 @@ def _cmd_lint(args) -> int:
             json.dump(doc, sys.stdout, indent=2)
             print()
         else:
-            with open(args.json_path, "w") as f:
-                json.dump(doc, f, indent=2)
+            _write_json(args.json_path, doc)
             print(f"report written to {args.json_path}", file=sys.stderr)
     else:
         print(report.render())
@@ -428,8 +502,7 @@ def _cmd_faultcheck(args) -> int:
     report = run_faultcheck(seed=args.seed)
     print(report.render())
     if args.json_path:
-        with open(args.json_path, "w") as f:
-            json.dump(report.to_json(), f, indent=2)
+        _write_json(args.json_path, report.to_json())
         print(f"report written to {args.json_path}", file=sys.stderr)
     return 0 if report.ok else 1
 
@@ -487,8 +560,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(obs.report(title=f"profile: repro {args.command}"),
               file=sys.stderr)
     else:
-        with open(profile, "w") as f:
-            json.dump(obs.to_json(command=args.command), f, indent=2)
+        _write_json(profile, obs.to_json(command=args.command))
         print(f"trace written to {profile}", file=sys.stderr)
     return rc
 

@@ -93,6 +93,28 @@ class ResourceLimitError(ExecutionError):
     the guard re-raises this instead of falling back to serial."""
 
 
+class NumericIntegrityError(ExecutionError):
+    """A numeric sentinel detected a non-finite or out-of-range value.
+
+    Raised by :mod:`repro.numeric.sentinel` when sentinels are active and a
+    NaN, Inf, overflow-scale, or denormal value is assigned during
+    execution.  Carries the offending location so the report can name the
+    step and cell.  Deliberately never retried by
+    :func:`repro.numeric.retry.retry_call`: a numeric-integrity violation
+    is deterministic, so re-running the stage cannot help.
+    """
+
+    def __init__(self, message: str, *, kind: str = "", function: str = "",
+                 step_index: int = -1, grid: str = "",
+                 cell: tuple[int, ...] | None = None):
+        self.kind = kind
+        self.function = function
+        self.step_index = step_index
+        self.grid = grid
+        self.cell = cell
+        super().__init__(message)
+
+
 class PerfModelError(GlafError):
     """The performance simulator was given an inconsistent configuration."""
 

@@ -34,6 +34,7 @@ from typing import Any, Iterator
 import numpy as np
 
 from ..errors import FortranRuntimeError
+from ..numeric import sentinel as _sentinel
 from .ast import (
     FAllocate,
     FAssign,
@@ -659,16 +660,40 @@ class FortranRuntime:
                 raise FortranRuntimeError(f"cannot assign to PARAMETER {target.name!r}")
             if slot.store is None:
                 raise FortranRuntimeError(f"{target.name!r} used before ALLOCATE")
+            if _sentinel._ACTIVE is not None:
+                _sentinel.check_value(
+                    value, function=self._assign_site(frame, s),
+                    grid=target.name)
             if slot.store.ndim == 0:
                 slot.store[()] = value
             else:
                 slot.store[...] = value   # whole-array assignment
             return
         store, idx = self._resolve_element(frame, target)
+        if _sentinel._ACTIVE is not None:
+            _sentinel.check_value(
+                value, function=self._assign_site(frame, s),
+                grid=self._target_name(target),
+                cell=None if idx is None else tuple(i + 1 for i in idx))
         if idx is None:
             store[...] = value
         else:
             store[idx] = value
+
+    @staticmethod
+    def _assign_site(frame: _Frame, s: FAssign) -> str:
+        name = frame.unit.name
+        return f"{name}:{s.line}" if s.line else name
+
+    @classmethod
+    def _target_name(cls, target: FExpr) -> str:
+        if isinstance(target, FVar):
+            return target.name
+        if isinstance(target, FIndexed):
+            return cls._target_name(target.base)
+        if isinstance(target, FFieldRef):
+            return f"{cls._target_name(target.base)}%{target.field}"
+        return ""
 
     def _exec_call(self, frame: _Frame, name: str, argexprs: tuple[FExpr, ...]) -> Any:
         sub, env = self._find_callee(frame, name)

@@ -58,5 +58,16 @@ def ref_jacobian_recon(mesh: TetMesh) -> np.ndarray:
 
 
 def jac_rms(jac: np.ndarray) -> float:
-    """Root mean square of the output array — the paper's reference check."""
-    return float(np.sqrt(np.mean(jac * jac)))
+    """Root mean square of the output array — the paper's reference check.
+
+    An empty Jacobian raises instead of letting ``np.mean`` of nothing
+    produce a NaN (which would then compare False against any tolerance
+    and pass the gate vacuously).
+    """
+    arr = np.asarray(jac, dtype=np.float64)
+    if arr.size == 0:
+        from ..errors import NumericIntegrityError
+
+        raise NumericIntegrityError(
+            "jac_rms of an empty array: the RMS gate would pass vacuously")
+    return float(np.sqrt(np.mean(arr * arr)))

@@ -21,8 +21,9 @@ from ..glafexec import (
     guard_mode,
 )
 from ..integration import LegacyCodebase, splice_into_codebase
+from ..numeric import RmsPolicy
 from ..optimize.plan import Tweaks, make_plan
-from .jacobian import RMS_TOLERANCE, jac_rms, ref_jacobian_recon
+from .jacobian import RMS_TOLERANCE, ref_jacobian_recon
 from .kernels import FUN3D_FUNCTIONS, build_fun3d_program, context_values
 from .legacy_src import full_legacy_source
 from .mesh import TetMesh, make_mesh
@@ -39,8 +40,14 @@ def mesh_sizes(mesh: TetMesh) -> dict[str, int]:
 
 
 def rms_check(jac: np.ndarray, reference: np.ndarray) -> bool:
-    """The paper's automatic gate: RMS agreement at 1e-7 absolute."""
-    return abs(jac_rms(jac) - jac_rms(reference)) <= RMS_TOLERANCE
+    """The paper's automatic gate: RMS agreement at 1e-7 absolute.
+
+    Routed through the ``rms`` tolerance policy, so a NaN or infinity in
+    either Jacobian fails the gate loudly (``nan <= tol`` is ``False``
+    only by accident of direction; the policy makes the semantics
+    explicit) and empty arrays raise instead of passing vacuously.
+    """
+    return bool(RmsPolicy(RMS_TOLERANCE).compare(jac, reference))
 
 
 def run_reference(mesh: TetMesh) -> np.ndarray:

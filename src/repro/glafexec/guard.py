@@ -33,6 +33,7 @@ import numpy as np
 from ..core.function import GlafProgram
 from ..core.step import Step
 from ..errors import CodegenError, ExecutionError, ResourceLimitError
+from ..numeric import snapshot_max_abs_error
 from ..optimize.plan import OptimizationPlan, make_plan
 from ..robust import ResourceLimits, inject
 from .context import ExecutionContext
@@ -167,16 +168,10 @@ class GuardedInterpreter(ShuffledInterpreter):
                 del self._save_store[key]
 
     def _compare(self, probe: dict, serial: dict) -> float:
-        worst = 0.0
-        for key, ref in serial.items():
-            got = probe.get(key)
-            if got is None or ref.size == 0:
-                continue
-            err = float(np.max(np.abs(
-                np.asarray(got, dtype=np.float64)
-                - np.asarray(ref, dtype=np.float64))))
-            worst = max(worst, err)
-        return worst
+        # NaN/Inf-aware: a NaN in either snapshot reports an infinite
+        # error (and demotes) where the naive max-abs yielded a NaN that
+        # compared False against the tolerance and passed silently.
+        return snapshot_max_abs_error(probe, serial)
 
     # ------------------------------------------------------------------
     def _demote(self, key: tuple[str, int], step: Step, reason: str,
@@ -313,14 +308,9 @@ def guarded_python_run(
     except (CodegenError, ExecutionError) as e:
         return fallback(f"{type(e).__name__} in generated Python: {e}")
 
-    worst = 0.0
-    for name, arr in py_ctx.snapshot(compare).items():
-        if arr.size == 0:
-            continue
-        err = float(np.max(np.abs(
-            np.asarray(arr, dtype=np.float64)
-            - np.asarray(ref[name], dtype=np.float64))))
-        worst = max(worst, err)
+    # NaN/Inf-aware comparison: a NaN on both sides is divergence (inf
+    # error), never silent agreement.
+    worst = snapshot_max_abs_error(py_ctx.snapshot(compare), ref)
     if worst > tolerance:
         return fallback(
             f"generated-Python divergence (max abs error {worst:.3e} "

@@ -45,6 +45,7 @@ from ..core.step import (
 )
 from ..core.types import GlafType, numpy_dtype
 from ..errors import ExecutionError
+from ..numeric import sentinel as _sentinel
 from ..robust import Budget, ResourceLimits
 from ..robust import faults as _faults
 from .context import ExecutionContext, as_storage
@@ -83,6 +84,9 @@ class _Frame:
     fn: GlafFunction
     storage: dict[str, np.ndarray]
     indices: dict[str, int] = field(default_factory=dict)
+    # Set by _exec_step so assignment-time sentinels can name the step.
+    current_step: int = -1
+    current_step_name: str = ""
 
 
 class Interpreter:
@@ -212,6 +216,8 @@ class Interpreter:
     # steps and statements
     # ------------------------------------------------------------------
     def _exec_step(self, frame: _Frame, idx: int, step: Step) -> None:
+        frame.current_step = idx
+        frame.current_step_name = step.name
         if _faults._ACTIVE is not None:
             _faults.inject("exec.interp.step", function=frame.fn.name,
                            step=idx, parallel=False)
@@ -281,15 +287,30 @@ class Interpreter:
     def _assign(self, frame: _Frame, s: Assign) -> None:
         store = self._storage(frame, s.target.grid)
         value = self._eval(frame, s.expr)
+        idx: tuple[int, ...] | None = None
         if s.target.indices:
             idx = tuple(int(self._eval(frame, i)) - 1 for i in s.target.indices)
             self._bounds_check(frame, s.target.grid, store, idx)
+        elif store.ndim != 0:
+            raise ExecutionError(
+                f"cannot assign scalar to whole array {s.target.grid!r}"
+            )
+        if (_faults._ACTIVE is not None
+                and np.issubdtype(store.dtype, np.floating)):
+            poisoned = _faults.inject(
+                "numeric.sentinel", value, function=frame.fn.name,
+                step=frame.current_step, grid=s.target.grid)
+            if poisoned is not None:
+                value = poisoned
+        if _sentinel._ACTIVE is not None:
+            _sentinel.check_value(
+                value, function=frame.fn.name,
+                step_index=frame.current_step,
+                step_name=frame.current_step_name, grid=s.target.grid,
+                cell=None if idx is None else tuple(i + 1 for i in idx))
+        if idx is not None:
             store[idx] = value
         else:
-            if store.ndim != 0:
-                raise ExecutionError(
-                    f"cannot assign scalar to whole array {s.target.grid!r}"
-                )
             store[()] = value
 
     def _bounds_check(self, frame, gname: str, store: np.ndarray, idx: tuple) -> None:

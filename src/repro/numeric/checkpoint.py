@@ -1,0 +1,121 @@
+"""Per-repeat / per-case checkpoints behind ``--resume``.
+
+A :class:`CheckpointStore` is a directory of small schema-versioned JSON
+files, one per completed unit of work (a benchmark repeat, an experiment
+case).  Each checkpoint is written atomically and carries a sha256
+digest over its own payload, so a resumed run can tell the difference
+between "this repeat finished" and "the process died mid-write":
+
+* ``repro bench record --resume`` consults the store before each repeat
+  and skips the ones with valid checkpoints — a killed recording resumes
+  where it stopped and produces an artifact with the same stats schema
+  as an uninterrupted run;
+* ``repro experiments --resume`` does the same per experiment case.
+
+Corrupt or truncated checkpoints are never ingested: :meth:`load` raises
+a typed :class:`repro.errors.BenchArtifactError`, or — under
+``discard_corrupt=True``, the resume paths' policy — deletes the bad
+file, counts it in :attr:`corrupt_discarded`, and reports the work unit
+as not done so it is simply re-run.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+
+from ..errors import BenchArtifactError
+from .integrity import atomic_write_json, content_digest
+
+__all__ = ["CHECKPOINT_SCHEMA", "CheckpointStore"]
+
+CHECKPOINT_SCHEMA = "repro.checkpoint/v1"
+
+_KEY_RE = re.compile(r"^[A-Za-z0-9._-]+$")
+
+
+class CheckpointStore:
+    """A directory of digest-verified checkpoints, keyed by work unit."""
+
+    def __init__(self, directory: str | Path):
+        self.dir = Path(directory)
+        self.corrupt_discarded = 0
+
+    def path_for(self, key: str) -> Path:
+        if not _KEY_RE.match(key):
+            raise BenchArtifactError(
+                f"bad checkpoint key {key!r}: keys must be filename-safe "
+                "([A-Za-z0-9._-])")
+        return self.dir / f"{key}.ckpt.json"
+
+    def save(self, key: str, payload: dict) -> Path:
+        """Persist one completed unit of work atomically."""
+        doc = {"schema": CHECKPOINT_SCHEMA, "key": key, "payload": payload}
+        doc["sha256"] = content_digest(
+            {"schema": doc["schema"], "key": key, "payload": payload})
+        self.dir.mkdir(parents=True, exist_ok=True)
+        return atomic_write_json(self.path_for(key), doc)
+
+    def load(self, key: str, *, discard_corrupt: bool = False) -> dict | None:
+        """The payload saved for ``key``; ``None`` when absent.
+
+        A present-but-invalid checkpoint (truncated JSON, wrong schema,
+        digest mismatch) raises :class:`BenchArtifactError` — or, with
+        ``discard_corrupt=True``, is deleted and treated as absent so the
+        resume path re-runs the work instead of ingesting garbage.
+        """
+        path = self.path_for(key)
+        if not path.exists():
+            return None
+        try:
+            return self._validate(path, key)
+        except BenchArtifactError:
+            if not discard_corrupt:
+                raise
+            path.unlink(missing_ok=True)
+            self.corrupt_discarded += 1
+            return None
+
+    def _validate(self, path: Path, key: str) -> dict:
+        try:
+            doc = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as e:
+            raise BenchArtifactError(
+                f"{path}: corrupt/truncated checkpoint ({e})") from e
+        if not isinstance(doc, dict) or doc.get("schema") != CHECKPOINT_SCHEMA:
+            raise BenchArtifactError(
+                f"{path}: expected checkpoint schema {CHECKPOINT_SCHEMA!r}, "
+                f"found {doc.get('schema') if isinstance(doc, dict) else doc!r}")
+        if doc.get("key") != key:
+            raise BenchArtifactError(
+                f"{path}: checkpoint key mismatch "
+                f"({doc.get('key')!r} != {key!r})")
+        expected = content_digest({"schema": doc["schema"], "key": doc["key"],
+                                   "payload": doc.get("payload")})
+        if doc.get("sha256") != expected:
+            raise BenchArtifactError(
+                f"{path}: checkpoint digest mismatch — file corrupted "
+                "or hand-edited")
+        return doc["payload"]
+
+    def keys(self) -> list[str]:
+        """Keys of every checkpoint file currently in the store."""
+        if not self.dir.is_dir():
+            return []
+        return sorted(p.name[: -len(".ckpt.json")]
+                      for p in self.dir.glob("*.ckpt.json"))
+
+    def clear(self) -> None:
+        """Delete every checkpoint (and the directory, when it empties)."""
+        if not self.dir.is_dir():
+            return
+        for p in self.dir.glob("*.ckpt.json"):
+            p.unlink(missing_ok=True)
+        # Also sweep temp files a killed atomic write may have left.
+        for p in self.dir.glob(".*.tmp.*"):
+            p.unlink(missing_ok=True)
+        try:
+            self.dir.rmdir()
+        except OSError:
+            pass                      # non-checkpoint files present: keep it

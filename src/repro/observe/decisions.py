@@ -9,14 +9,16 @@ keep that one?") can be answered from a single ``repro profile`` run.
 
 Stages and their verdict vocabularies:
 
-==============  =====================================================
-``parallelize``  ``parallel`` | ``serial``
-``pruning``      ``kept`` | ``pruned`` | ``not-parallel``
-``advisor``      ``omp`` | ``simd`` | ``none``
-``guard``        ``serial-fallback``
-``fault``        ``injected``
-``lint:<rule>``  ``violation``
-==============  =====================================================
+==================  =================================================
+``parallelize``     ``parallel`` | ``serial``
+``pruning``         ``kept`` | ``pruned`` | ``not-parallel``
+``advisor``         ``omp`` | ``simd`` | ``none``
+``guard``           ``serial-fallback``
+``fault``           ``injected``
+``lint:<rule>``     ``violation``
+``numeric:<kind>``  ``detected``
+``retry``           ``retried`` | ``gave-up``
+==================  =================================================
 
 The ``guard`` stage is emitted by :class:`repro.glafexec.GuardedRunner`
 when a divergence guard demotes a parallel step to serial; the ``fault``
@@ -25,7 +27,12 @@ fires, so a profiled fault-injection run shows cause and recovery side by
 side.  The ``lint:<rule>`` stages (one per rule id in
 :data:`repro.lint.RULES`, e.g. ``lint:race-shared-write``) are emitted by
 the static linter for every finding, so injected directive corruptions
-and the lint findings that catch them land in the same log.
+and the lint findings that catch them land in the same log.  The
+``numeric:<kind>`` stages (one per kind in
+:data:`repro.numeric.SENTINEL_KINDS`, e.g. ``numeric:nan``) are emitted
+by the numeric sentinels on every trip, and ``retry`` by
+:func:`repro.numeric.retry_call` for every backoff or give-up — see
+``docs/NUMERICS.md``.
 """
 
 from __future__ import annotations

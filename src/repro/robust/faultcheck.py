@@ -23,7 +23,14 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..errors import DiagnosticBundle, GlafError, ResourceLimitError
+from ..errors import (
+    DiagnosticBundle,
+    ExecutionError,
+    GlafError,
+    NumericIntegrityError,
+    ResourceLimitError,
+)
+from ..numeric import snapshot_max_abs_error
 from .faults import SITES, FaultPlan, FaultSpec, fault_injection
 from .watchdog import ResourceLimits
 
@@ -103,15 +110,9 @@ class FaultCheckReport:
 
 
 def _max_abs_err(got: dict[str, np.ndarray], ref: dict[str, np.ndarray]) -> float:
-    worst = 0.0
-    for name, arr in ref.items():
-        if arr.size == 0:
-            continue
-        err = float(np.max(np.abs(
-            np.asarray(got[name], dtype=np.float64)
-            - np.asarray(arr, dtype=np.float64))))
-        worst = max(worst, err)
-    return worst
+    # NaN/Inf-aware (returns inf on a special-value mismatch): a silently
+    # NaN-corrupted run must never compare equal to the reference.
+    return snapshot_max_abs_error(got, ref)
 
 
 def _check_lexer(seed: int) -> SiteResult:
@@ -254,6 +255,122 @@ def _check_omp_lint(seed: int) -> SiteResult:
         1, len(report.findings))
 
 
+def _check_sentinel(seed: int) -> SiteResult:
+    """Two-part scenario for ``numeric.sentinel``:
+
+    1. an injected NaN assignment must trip an active sentinel — typed
+       :class:`NumericIntegrityError` naming the kind, plus a
+       ``numeric:nan`` DecisionLog event;
+    2. a benchmark sweep that crashes mid-run must *resume* from its
+       checkpoints and produce an ``experiments`` section content-digest
+       identical to an uninterrupted sweep (the resumability the sentinel
+       trip relies on: detect, fix, re-run only what's missing).
+    """
+    import tempfile
+    from pathlib import Path
+
+    from ..bench.harness import Experiment, ExperimentResult
+    from ..bench.record import record_benchmark
+    from ..glafexec import run_interpreted
+    from ..numeric import CheckpointStore, content_digest, sentinels
+    from ..observe import observed
+    from .scenarios import scenario_for
+
+    site, kind = "numeric.sentinel", "nan"
+
+    # -- part 1: the trip ------------------------------------------------
+    scenario = scenario_for("sarb")
+    program, args, sizes, values, _ = scenario.setup()
+    plan = FaultPlan([FaultSpec(site, kind)], seed=seed)
+    trip: NumericIntegrityError | None = None
+    with observed() as obs, fault_injection(plan), sentinels():
+        try:
+            run_interpreted(program, scenario.entry, args,
+                            sizes=sizes, values=values)
+        except NumericIntegrityError as e:
+            trip = e
+    if not plan.fired:
+        return SiteResult(site, kind, "failed", "fault never fired", 0, 0)
+    if trip is None:
+        return SiteResult(site, kind, "failed",
+                          "injected NaN was assigned but no sentinel tripped "
+                          "(the silent-NaN hole is open)", len(plan.fired), 0)
+    if trip.kind != "nan":
+        return SiteResult(site, kind, "failed",
+                          f"sentinel tripped with kind {trip.kind!r}, "
+                          "expected 'nan'", len(plan.fired), 0)
+    decisions = obs.decisions.for_stage("numeric:nan")
+    if not decisions:
+        return SiteResult(site, kind, "failed",
+                          "sentinel tripped but recorded no numeric:nan "
+                          "DecisionLog event", len(plan.fired), 0)
+
+    # -- part 2: crash-and-resume ---------------------------------------
+    def registry(crash_on_call: int | None) -> dict[str, Experiment]:
+        calls = {"n": 0}
+
+        def run() -> ExperimentResult:
+            calls["n"] += 1
+            if crash_on_call is not None and calls["n"] == crash_on_call:
+                raise ExecutionError("simulated mid-sweep crash")
+            return ExperimentResult(
+                experiment_id="SYN", title="synthetic resume probe",
+                headers=["case", "value"], rows=[["a", 1.0]])
+
+        return {"SYN": Experiment("SYN", "synthetic resume probe", "-", run)}
+
+    def fake_clock():
+        # Integer steps: binary-exact, so elapsed differences are identical
+        # regardless of where in the tick sequence a repeat starts (a
+        # 0.001-step clock would leak float round-off into the walls and
+        # break the digest-equality assertion below).
+        t = {"v": 0.0}
+
+        def clk() -> float:
+            t["v"] += 1.0
+            return t["v"]
+
+        return clk
+
+    with tempfile.TemporaryDirectory() as td:
+        store = CheckpointStore(Path(td) / "ckpt")
+        try:
+            record_benchmark(["SYN"], repeats=3, clock=fake_clock(),
+                             experiments=registry(2), checkpoints=store)
+            return SiteResult(site, kind, "failed",
+                              "simulated mid-sweep crash did not propagate",
+                              len(plan.fired), len(decisions))
+        except ExecutionError:
+            pass
+        if not store.keys():
+            return SiteResult(site, kind, "failed",
+                              "crashed sweep left no checkpoint to resume "
+                              "from", len(plan.fired), len(decisions))
+        resumed = record_benchmark(["SYN"], repeats=3, clock=fake_clock(),
+                                   experiments=registry(None),
+                                   checkpoints=store)
+        fresh = record_benchmark(["SYN"], repeats=3, clock=fake_clock(),
+                                 experiments=registry(None))
+    if resumed["meta"]["resumed"] < 1:
+        return SiteResult(site, kind, "failed",
+                          "resumed sweep re-ran every repeat (checkpoints "
+                          "ignored)", len(plan.fired), len(decisions))
+    d_resumed = content_digest(resumed["experiments"])
+    d_fresh = content_digest(fresh["experiments"])
+    if d_resumed != d_fresh:
+        return SiteResult(site, kind, "failed",
+                          f"resumed artifact diverges from uninterrupted run "
+                          f"({d_resumed[:12]}… != {d_fresh[:12]}…)",
+                          len(plan.fired), len(decisions))
+    return SiteResult(
+        site, kind, "recovered",
+        f"sentinel raised typed NumericIntegrityError ({trip.kind} in "
+        f"{trip.function}, step {trip.step_index}); crash-resumed sweep "
+        f"digest-identical to uninterrupted run "
+        f"(resumed {resumed['meta']['resumed']} repeat(s))",
+        len(plan.fired), len(decisions))
+
+
 def run_faultcheck(seed: int = 0) -> FaultCheckReport:
     """Sweep every registered injection site; see the module docstring."""
     checks = {
@@ -275,6 +392,8 @@ def run_faultcheck(seed: int = 0) -> FaultCheckReport:
                           match={"parallel": True}), seed),
         "exec.interp.iter":
             lambda: _check_watchdog(seed),
+        "numeric.sentinel":
+            lambda: _check_sentinel(seed),
     }
     missing = set(SITES) - set(checks)
     if missing:

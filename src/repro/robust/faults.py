@@ -85,6 +85,13 @@ SITES: dict[str, InjectionSite] = {
             kinds=("delay",),
             description="stall one loop iteration (exercises the wall-clock watchdog)",
         ),
+        InjectionSite(
+            name="numeric.sentinel",
+            module="repro.glafexec.interp",
+            kinds=("nan", "inf", "overflow"),
+            description="poison one assigned value with NaN/Inf/huge "
+                        "(the trips the numeric sentinels must catch)",
+        ),
     )
 }
 
@@ -314,6 +321,26 @@ def _spurious_directive(d: Any, spec: FaultSpec, rng) -> tuple[Any, str]:
     return OmpDirective(), "added a spurious PARALLEL DO on a serial loop"
 
 
+# -- numeric.sentinel: poison one assigned value ------------------------
+# The payload is the scalar about to be stored into a floating grid; the
+# interpreter only offers floating destinations, so the poison is always
+# representable.  With sentinels active the poisoned store trips a typed
+# NumericIntegrityError; without them it demonstrates the silent-NaN hole
+# the sentinels close.
+
+def _poison_nan(value: Any, spec: FaultSpec, rng) -> tuple[Any, str]:
+    return float("nan"), f"poisoned assigned value {value!r} with NaN"
+
+
+def _poison_inf(value: Any, spec: FaultSpec, rng) -> tuple[Any, str]:
+    return float("inf"), f"poisoned assigned value {value!r} with +Inf"
+
+
+def _poison_overflow(value: Any, spec: FaultSpec, rng) -> tuple[Any, str]:
+    huge = spec.param if spec.param is not None else 1e305
+    return float(huge), f"poisoned assigned value {value!r} with {huge!r}"
+
+
 _TRANSFORMS = {
     "corrupt-token": _corrupt_token,
     "misparallelize": _misparallelize,
@@ -323,6 +350,9 @@ _TRANSFORMS = {
     "widen-collapse": _widen_collapse,
     "drop-directive": _drop_directive,
     "spurious-directive": _spurious_directive,
+    "nan": _poison_nan,
+    "inf": _poison_inf,
+    "overflow": _poison_overflow,
 }
 
 

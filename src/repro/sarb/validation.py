@@ -28,7 +28,9 @@ from ..glafexec import (
     Interpreter,
     guard_mode,
 )
+from ..errors import NumericIntegrityError
 from ..integration import LegacyCodebase, check_program, splice_into_codebase
+from ..numeric import ComparisonResult, get_policy
 from ..optimize.plan import OptimizationPlan, make_plan
 from .atmosphere import DEFAULT_DIMS, AtmosphereInputs, SarbDimensions, make_inputs
 from .fuliou import SarbState, fresh_state, ref_entropy_interface
@@ -38,9 +40,48 @@ from .legacy_src import full_legacy_source
 __all__ = ["load_sarb_runtime", "set_sarb_inputs", "read_outputs",
            "run_reference", "run_ir_interpreter", "run_generated_python",
            "run_legacy_fortran", "run_generated_fortran", "run_spliced",
-           "build_legacy_codebase", "OUTPUT_NAMES"]
+           "build_legacy_codebase", "compare_outputs", "OUTPUT_NAMES",
+           "SARB_COMPARE_TOLERANCE"]
 
 OUTPUT_NAMES = ("fulw", "fusw", "fwin", "slw", "ssw")
+
+#: The paper's side-by-side agreement bar for the SARB outputs (§4.1.1).
+SARB_COMPARE_TOLERANCE = 1e-9
+
+
+def compare_outputs(
+    got: dict[str, np.ndarray], ref: dict[str, np.ndarray],
+    *, policy: str = "abs", tolerance: float = SARB_COMPARE_TOLERANCE,
+) -> ComparisonResult:
+    """Compare two output sets under a named tolerance policy.
+
+    Replaces the ad-hoc ``np.max(np.abs(a - b))`` comparisons: a NaN on
+    either side fails loudly (the naive form passes silently when both
+    sides carry NaN at the same position), missing outputs fail, and the
+    worst-offending output is named in the result detail.
+    """
+    pol = get_policy(policy, tolerance)
+    worst: ComparisonResult | None = None
+    for name in OUTPUT_NAMES:
+        if name not in ref:
+            continue
+        if name not in got:
+            return ComparisonResult(
+                ok=False, policy=pol.name, tolerance=tolerance,
+                max_error=float("inf"), detail=f"output {name!r} missing")
+        res = pol.compare(got[name], ref[name])
+        if not res.ok:
+            return ComparisonResult(
+                ok=False, policy=res.policy, tolerance=res.tolerance,
+                max_error=res.max_error,
+                detail=f"output {name!r}: {res.detail}",
+                first_bad=res.first_bad)
+        if worst is None or res.max_error > worst.max_error:
+            worst = res
+    if worst is None:
+        raise NumericIntegrityError(
+            "compare_outputs: no outputs to compare (empty reference)")
+    return worst
 
 
 def build_legacy_codebase(dims: SarbDimensions = DEFAULT_DIMS) -> LegacyCodebase:

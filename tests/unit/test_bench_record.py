@@ -66,7 +66,7 @@ class TestRepeatStats:
 class TestRecorder:
     def test_schema_and_structure(self, doc):
         assert doc["schema"] == BENCH_SCHEMA
-        assert doc["meta"] == {"repeats": 3, "ids": ["T1", "T2"]}
+        assert doc["meta"] == {"repeats": 3, "ids": ["T1", "T2"], "resumed": 0}
         assert set(doc["experiments"]) == {"T1", "T2"}
 
     def test_wall_stats_cover_repeats(self, doc):
@@ -142,6 +142,32 @@ class TestArtifactFiles:
         bad.write_text("{nope")
         with pytest.raises(BenchArtifactError):
             load_bench(bad)
+
+    def test_write_stamps_a_content_digest(self, tmp_path, doc):
+        from repro.bench import stamp_digest
+
+        path = write_benchmark(doc, tmp_path / "BENCH_1.json")
+        on_disk = json.loads(path.read_text())
+        digest = on_disk["environment"]["content_sha256"]
+        assert len(digest) == 64
+        # Re-stamping is idempotent: the digest covers the doc minus itself.
+        assert stamp_digest(on_disk)["environment"]["content_sha256"] \
+            == digest
+
+    def test_load_rejects_tampered_digest(self, tmp_path, doc):
+        path = write_benchmark(doc, tmp_path / "BENCH_1.json")
+        tampered = json.loads(path.read_text())
+        tampered["experiments"]["T1"]["wall_s"]["median"] *= 2.0
+        path.write_text(json.dumps(tampered))
+        with pytest.raises(BenchArtifactError, match="digest mismatch"):
+            load_bench(path)
+
+    def test_load_accepts_legacy_artifact_without_digest(self, tmp_path, doc):
+        path = write_benchmark(doc, tmp_path / "BENCH_1.json")
+        legacy = json.loads(path.read_text())
+        del legacy["environment"]["content_sha256"]
+        path.write_text(json.dumps(legacy))
+        assert load_bench(path)["meta"] == doc["meta"]
 
 
 class TestCompare:

@@ -34,6 +34,41 @@ class TestCli:
         assert main(["experiments", "ZZ"]) == 2
         assert "unknown experiment" in capsys.readouterr().err
 
+    def test_experiments_sentinels_flag(self, capsys):
+        from repro.numeric import sentinel_config
+
+        assert main(["experiments", "T2", "--sentinels"]) == 0
+        assert sentinel_config() is None     # restored after the run
+        capsys.readouterr()
+
+    def test_experiments_resume_from_checkpoint(self, tmp_path, capsys):
+        ck = tmp_path / "ck"
+        # Seed the store as a crashed sweep would have left it.
+        from repro.bench import EXPERIMENTS, run_and_format
+        from repro.numeric import CheckpointStore
+
+        result, _ = run_and_format(EXPERIMENTS["T2"])
+        CheckpointStore(ck).save("exp-T2", {"result": result.to_json()})
+        assert main(["experiments", "T2", "--resume",
+                     "--checkpoint", str(ck)]) == 0
+        captured = capsys.readouterr()
+        assert "resumed 1 experiment(s) from checkpoint" in captured.err
+        assert "Synoptic SARB implementations" in captured.out
+        assert not ck.exists()               # spent checkpoints cleared
+
+    def test_experiments_fresh_run_clears_stale_checkpoints(self, tmp_path,
+                                                            capsys):
+        ck = tmp_path / "ck"
+        from repro.numeric import CheckpointStore
+
+        CheckpointStore(ck).save("exp-T2", {"result": {
+            "experiment_id": "T2", "title": "stale", "headers": [],
+            "rows": [], "notes": ""}})
+        assert main(["experiments", "T2", "--checkpoint", str(ck)]) == 0
+        captured = capsys.readouterr()
+        assert "resumed" not in captured.err
+        assert "stale" not in captured.out
+
     def test_generate_fortran(self, project_file, capsys):
         assert main(["generate", project_file]) == 0
         out = capsys.readouterr().out
@@ -242,6 +277,18 @@ class TestBenchCli:
         assert main(["bench", "record", "ZZ"]) == 2
         assert "unknown experiment" in capsys.readouterr().err
 
+    def test_record_with_retries_and_checkpoint(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_r.json"
+        ck = tmp_path / "ck"
+        assert main(["bench", "record", "T2", "--repeats", "2",
+                     "--out", str(out), "--checkpoint", str(ck),
+                     "--retries", "1"]) == 0
+        assert out.exists()
+        assert not ck.exists()               # spent checkpoints cleared
+        doc = json.loads(out.read_text())
+        assert doc["meta"]["resumed"] == 0
+        capsys.readouterr()
+
     def test_compare_identical_exits_zero(self, artifact, capsys):
         assert main(["bench", "compare", str(artifact), str(artifact),
                      "--fail-on-regress", "0.5"]) == 0
@@ -251,22 +298,37 @@ class TestBenchCli:
 
     def test_compare_regression_exits_nonzero(self, artifact, tmp_path,
                                               capsys):
+        from repro.bench import stamp_digest
+
         doc = json.loads(artifact.read_text())
         doc["experiments"]["T2"]["wall_s"]["median"] *= 10.0
         slower = tmp_path / "BENCH_2.json"
-        slower.write_text(json.dumps(doc))
+        slower.write_text(json.dumps(stamp_digest(doc)))
         assert main(["bench", "compare", str(artifact), str(slower),
                      "--fail-on-regress", "50"]) == 1
         assert "REGRESSION" in capsys.readouterr().out
 
     def test_compare_without_threshold_reports_only(self, artifact, tmp_path,
                                                     capsys):
+        from repro.bench import stamp_digest
+
         doc = json.loads(artifact.read_text())
         doc["experiments"]["T2"]["wall_s"]["median"] *= 10.0
         slower = tmp_path / "BENCH_3.json"
-        slower.write_text(json.dumps(doc))
+        slower.write_text(json.dumps(stamp_digest(doc)))
         assert main(["bench", "compare", str(artifact), str(slower)]) == 0
         capsys.readouterr()
+
+    def test_compare_tampered_artifact_is_rejected(self, artifact, tmp_path,
+                                                   capsys):
+        # Edit a stat WITHOUT re-stamping: the digest check must catch it.
+        doc = json.loads(artifact.read_text())
+        doc["experiments"]["T2"]["wall_s"]["median"] *= 10.0
+        tampered = tmp_path / "BENCH_9.json"
+        tampered.write_text(json.dumps(doc))
+        assert main(["bench", "compare", str(artifact), str(tampered)]) == 2
+        err = capsys.readouterr().err
+        assert "digest mismatch" in err
 
     def test_compare_bad_artifact_is_a_friendly_error(self, artifact,
                                                       tmp_path, capsys):

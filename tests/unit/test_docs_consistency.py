@@ -138,6 +138,62 @@ class TestStaticAnalysisDoc:
         assert "lint --selftest" in make
 
 
+class TestNumericsDoc:
+    """docs/NUMERICS.md must track the numeric-integrity machinery."""
+
+    def test_every_tolerance_policy_documented(self):
+        doc = (REPO / "docs" / "NUMERICS.md").read_text()
+        from repro.numeric import POLICIES
+
+        missing = [name for name in POLICIES if f"`{name}`" not in doc]
+        assert not missing, (
+            f"docs/NUMERICS.md is missing tolerance policy(s): {missing}"
+        )
+
+    def test_every_sentinel_kind_documented(self):
+        doc = (REPO / "docs" / "NUMERICS.md").read_text()
+        from repro.numeric import SENTINEL_KINDS
+
+        missing = [k for k in SENTINEL_KINDS if f"`{k}`" not in doc]
+        assert not missing, (
+            f"docs/NUMERICS.md is missing sentinel kind(s): {missing}"
+        )
+
+    def test_names_the_machinery(self):
+        doc = (REPO / "docs" / "NUMERICS.md").read_text()
+        assert "NumericIntegrityError" in doc
+        assert "content_sha256" in doc
+        assert "repro bench record" in doc and "--resume" in doc
+        assert "--sentinels" in doc
+        from repro.numeric import CHECKPOINT_SCHEMA
+
+        assert CHECKPOINT_SCHEMA in doc
+
+    def test_linked_from_companion_docs(self):
+        assert "NUMERICS.md" in (REPO / "README.md").read_text()
+        assert "NUMERICS.md" in (REPO / "docs" / "ROBUSTNESS.md").read_text()
+        assert "NUMERICS.md" in (
+            REPO / "docs" / "BENCHMARKING.md").read_text()
+
+    def test_ci_runs_the_resume_smoke(self):
+        ci = (REPO / ".github" / "workflows" / "ci.yml").read_text()
+        assert "resume_smoke.py" in ci
+        make = (REPO / "Makefile").read_text()
+        assert "resume_smoke.py" in make
+        assert (REPO / "scripts" / "resume_smoke.py").exists()
+
+    def test_baseline_artifact_is_digest_stamped(self):
+        import json
+
+        from repro.bench import stamp_digest
+
+        doc = json.loads((REPO / "BENCH_1.json").read_text())
+        recorded = doc["environment"]["content_sha256"]
+        assert stamp_digest(json.loads(
+            (REPO / "BENCH_1.json").read_text()
+        ))["environment"]["content_sha256"] == recorded
+
+
 class TestRobustnessDoc:
     """docs/ROBUSTNESS.md must track the actual injection-site registry."""
 

@@ -94,7 +94,7 @@ class TestFaultSpec:
         assert set(SITES) == {
             "fortran.lex.tokens", "analysis.parallelize.verdict",
             "codegen.python.assign", "codegen.fortran.omp",
-            "exec.interp.step", "exec.interp.iter",
+            "exec.interp.step", "exec.interp.iter", "numeric.sentinel",
         }
         for site in SITES.values():
             assert site.kinds and site.description and site.module
@@ -431,6 +431,7 @@ class TestFaultCheck:
         outcomes = {r.site: r.outcome for r in report.results}
         assert outcomes["analysis.parallelize.verdict"] == "recovered"
         assert outcomes["exec.interp.iter"] == "surfaced"
+        assert outcomes["numeric.sentinel"] == "recovered"
 
     def test_report_json_schema(self):
         from repro.robust.faultcheck import FaultCheckReport, SiteResult
