@@ -17,18 +17,23 @@ lint:
 	PYTHONPATH=src $(PYTHON) -m repro lint
 	PYTHONPATH=src $(PYTHON) -m repro lint --selftest
 
-# What .github/workflows/ci.yml runs: compile check, full suite, lint
-# gate, fault sweep (includes the numeric.sentinel scenario), the
+# What .github/workflows/ci.yml runs: compile check, full suite (once on
+# the reference interpreter, once with REPRO_EXECUTOR=vectorized so the
+# array executor serves every interpreter-mode run — docs/EXECUTORS.md),
+# lint gate, fault sweep (includes the numeric.sentinel scenario), the
 # resume-integrity smoke (kill a recording, resume it, verify digest +
-# schema — docs/NUMERICS.md), and the benchmark regression gate against
-# the committed baseline.
+# schema — docs/NUMERICS.md), and the benchmark regression gates against
+# the committed baseline (interpreter and vectorized legs).
 ci: lint
 	$(PYTHON) -m compileall -q src
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
+	REPRO_EXECUTOR=vectorized PYTHONPATH=src $(PYTHON) -m pytest -x -q
 	PYTHONPATH=src $(PYTHON) -m repro faultcheck
 	$(PYTHON) scripts/resume_smoke.py
 	PYTHONPATH=src $(PYTHON) -m repro bench record --repeats 3 --out BENCH_ci.json
-	PYTHONPATH=src $(PYTHON) -m repro bench compare BENCH_1.json BENCH_ci.json --fail-on-regress 400
+	PYTHONPATH=src $(PYTHON) -m repro bench compare BENCH_2.json BENCH_ci.json --fail-on-regress 400
+	PYTHONPATH=src $(PYTHON) -m repro bench record --repeats 3 --executor vectorized --out BENCH_vec.json
+	PYTHONPATH=src $(PYTHON) -m repro bench compare BENCH_2.json BENCH_vec.json --fail-on-regress 400
 
 # The shape-criteria suite plus a recorded BENCH_<n>.json artifact
 # (docs/BENCHMARKING.md documents the artifact schema and the workflow).

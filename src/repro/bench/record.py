@@ -87,7 +87,7 @@ def environment_fingerprint() -> dict[str, object]:
     simulated-machine constants)."""
     import numpy as np
 
-    from ..glafexec import guard_mode
+    from ..glafexec import executor_mode, guard_mode
     from ..perf import machine_fingerprint
     from ..robust import get_fault_plan
 
@@ -98,6 +98,7 @@ def environment_fingerprint() -> dict[str, object]:
         "cpu_count": os.cpu_count() or 1,
         "git_sha": _git_sha(),
         "guard_mode": guard_mode(),
+        "executor": executor_mode(),
         "fault_plan_active": get_fault_plan() is not None,
         "machines": machine_fingerprint(),
     }

@@ -45,7 +45,11 @@ guarded execution with serial fallback, ``experiments --json FILE``
 writes the machine-readable tables (``ExperimentResult.to_json``),
 ``--sentinels`` screens every interpreter assignment for NaN/Inf/overflow
 (``docs/NUMERICS.md``), and ``--resume`` continues an interrupted sweep
-from its per-case checkpoints.
+from its per-case checkpoints.  ``experiments``, ``profile``, and
+``bench record`` accept ``--executor {interpreter,vectorized,guarded}``
+to choose the IR execution engine (``docs/EXECUTORS.md``): the reference
+interpreter, the vectorized whole-grid array executor, or the guarded
+executor that cross-checks the two with serial fallback.
 
 Any uncaught :class:`repro.errors.GlafError` prints a one-line
 ``error: ...`` and exits 2; only raw (non-framework) exceptions traceback.
@@ -81,6 +85,17 @@ def _add_profile_flag(sub: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_executor_flag(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--executor", choices=["interpreter", "vectorized", "guarded"],
+        default=None,
+        help="IR execution engine (docs/EXECUTORS.md): the reference "
+             "interpreter, the vectorized array executor, or the guarded "
+             "executor that cross-checks the two (default: interpreter, "
+             "or $REPRO_EXECUTOR)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
         prog="repro",
@@ -105,6 +120,7 @@ def build_parser() -> argparse.ArgumentParser:
                           ".repro_experiments.ckpt)")
     exp.add_argument("--json", dest="json_path", metavar="FILE",
                      help="also write the result tables as JSON to FILE")
+    _add_executor_flag(exp)
     _add_profile_flag(exp)
 
     gen = sub.add_parser("generate", help="generate code from a project file")
@@ -153,6 +169,7 @@ def build_parser() -> argparse.ArgumentParser:
     prof.add_argument("--sentinels", action="store_true",
                       help="screen every interpreter assignment for NaN/Inf/"
                            "overflow during the profiled run")
+    _add_executor_flag(prof)
 
     fc = sub.add_parser(
         "faultcheck",
@@ -207,6 +224,7 @@ def build_parser() -> argparse.ArgumentParser:
     rec.add_argument("--retries", type=int, default=0,
                      help="retry a repeat that fails with a transient "
                           "ExecutionError up to N times (default 0)")
+    _add_executor_flag(rec)
 
     cmp_ = bsub.add_parser(
         "compare", help="diff two artifacts; gate on wall-time regressions")
@@ -241,7 +259,7 @@ def _cmd_experiments(args) -> int:
 
     from .bench import EXPERIMENTS, run_and_format
     from .bench.harness import ExperimentResult, format_table
-    from .glafexec import guarded
+    from .glafexec import guarded, using_executor
     from .numeric import CheckpointStore, sentinels
 
     ids = args.ids or list(EXPERIMENTS)
@@ -260,6 +278,8 @@ def _cmd_experiments(args) -> int:
     with ExitStack() as stack:
         stack.enter_context(
             guarded(enabled=bool(getattr(args, "guarded", False))))
+        if getattr(args, "executor", None):
+            stack.enter_context(using_executor(args.executor))
         if getattr(args, "sentinels", False):
             stack.enter_context(sentinels())
         for exp_id in ids:
@@ -393,6 +413,13 @@ def _cmd_profile(args) -> int:
                 from .robust.scenarios import scenario_for
 
                 scenario_for(program.name).run_guarded()
+            if getattr(args, "executor", None):
+                # Run the case-study workload under the chosen executor so
+                # exec.run.* spans and executor:fallback decisions land in
+                # this profile (docs/EXECUTORS.md).
+                from .robust.scenarios import scenario_for
+
+                scenario_for(program.name).run_executor(args.executor)
             plan = make_plan(program, args.variant, threads=args.threads)
             for target in targets:
                 if target == "fortran":
@@ -426,6 +453,9 @@ def _cmd_bench(args) -> int:
     from .bench import record
 
     if args.bench_command == "record":
+        from contextlib import ExitStack
+
+        from .glafexec import using_executor
         from .numeric import CheckpointStore, RetryPolicy
 
         out = args.out or record.next_bench_path()
@@ -434,9 +464,12 @@ def _cmd_bench(args) -> int:
             store.clear()      # fresh recording: stale checkpoints are void
         retry = (RetryPolicy(retries=args.retries)
                  if args.retries > 0 else None)
-        doc = record.record_benchmark(ids=args.ids or None,
-                                      repeats=args.repeats,
-                                      checkpoints=store, retry=retry)
+        with ExitStack() as stack:
+            if getattr(args, "executor", None):
+                stack.enter_context(using_executor(args.executor))
+            doc = record.record_benchmark(ids=args.ids or None,
+                                          repeats=args.repeats,
+                                          checkpoints=store, retry=retry)
         path = record.write_benchmark(doc, out)
         store.clear()          # artifact written: checkpoints are spent
         n_exp = len(doc["experiments"])

@@ -85,6 +85,23 @@ def _variadic_max(*xs):
     return out
 
 
+def _cast(dtype):
+    """Array-aware dtype conversion: scalars stay NumPy scalars (so the
+    interpreter's integer-division detection keeps working), arrays convert
+    elementwise (the vectorized executor feeds whole grids through these)."""
+    def conv(x):
+        if np.ndim(x) == 0:
+            return dtype(x)
+        return np.asarray(x).astype(dtype)
+    return conv
+
+
+def _to_int(x):
+    if np.ndim(x) == 0:
+        return np.int64(np.trunc(x))
+    return np.trunc(x).astype(np.int64)
+
+
 # --- the standard math set -------------------------------------------------
 register(LibFunc("ABS", 1, np.abs, "ABS", "fabs", "fabs"))
 register(LibFunc("SQRT", 1, np.sqrt, "SQRT", "sqrt", "sqrt", flop_cost=8.0))
@@ -108,9 +125,9 @@ register(LibFunc("MOD", 2, np.mod, "MOD", "fmod", "fmod", flop_cost=4.0))
 register(LibFunc("SIGN", 2, _sign, "SIGN", "copysign", "copysign", flop_cost=2.0))
 register(LibFunc("MIN", -1, _variadic_min, "MIN", "fmin", "fmin"))
 register(LibFunc("MAX", -1, _variadic_max, "MAX", "fmax", "fmax"))
-register(LibFunc("INT", 1, lambda x: np.int64(np.trunc(x)), "INT", "(long)", "(long)"))
-register(LibFunc("REAL", 1, lambda x: np.float32(x), "REAL", "(float)", "(float)"))
-register(LibFunc("DBLE", 1, lambda x: np.float64(x), "DBLE", "(double)", "(double)"))
+register(LibFunc("INT", 1, _to_int, "INT", "(long)", "(long)"))
+register(LibFunc("REAL", 1, _cast(np.float32), "REAL", "(float)", "(float)"))
+register(LibFunc("DBLE", 1, _cast(np.float64), "DBLE", "(double)", "(double)"))
 register(LibFunc("FLOOR", 1, np.floor, "FLOOR", "floor", "floor"))
 register(LibFunc("CEILING", 1, np.ceil, "CEILING", "ceil", "ceil"))
 

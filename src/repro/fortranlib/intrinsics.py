@@ -37,10 +37,17 @@ INTRINSICS.update(
         "dsqrt": np.sqrt,
         "dexp": np.exp,
         "dlog": np.log,
-        "amax1": lambda *xs: np.max(np.stack([np.asarray(x, dtype=np.float64) for x in xs])),
-        "amin1": lambda *xs: np.min(np.stack([np.asarray(x, dtype=np.float64) for x in xs])),
-        "max0": lambda *xs: np.max(np.stack([np.asarray(x, dtype=np.int64) for x in xs])),
-        "min0": lambda *xs: np.min(np.stack([np.asarray(x, dtype=np.int64) for x in xs])),
+        # Elementwise over the argument list (FORTRAN MAX/MIN are elemental):
+        # np.maximum.reduce keeps array arguments elementwise where the old
+        # np.max(np.stack(...)) collapsed them to a single scalar.
+        "amax1": lambda *xs: np.maximum.reduce(
+            [np.asarray(x, dtype=np.float64) for x in xs]),
+        "amin1": lambda *xs: np.minimum.reduce(
+            [np.asarray(x, dtype=np.float64) for x in xs]),
+        "max0": lambda *xs: np.maximum.reduce(
+            [np.asarray(x, dtype=np.int64) for x in xs]),
+        "min0": lambda *xs: np.minimum.reduce(
+            [np.asarray(x, dtype=np.int64) for x in xs]),
         "float": lambda x: np.float64(x),
         "iabs": lambda x: np.abs(np.int64(x)),
         "nint": lambda x: np.int64(np.rint(x)),

@@ -18,6 +18,8 @@ from ..glafexec import (
     GeneratedModule,
     GuardedRunner,
     Interpreter,
+    executor_mode,
+    get_executor,
     guard_mode,
 )
 from ..integration import LegacyCodebase, splice_into_codebase
@@ -55,10 +57,13 @@ def run_reference(mesh: TetMesh) -> np.ndarray:
 
 
 def run_ir_interpreter(mesh: TetMesh, *, save_inner_arrays: bool = False,
-                       guarded: bool | None = None) -> np.ndarray:
-    """Run through the IR interpreter; under ``--guarded`` (or explicit
-    ``guarded=True``) execution goes through :class:`GuardedRunner` with
-    per-step divergence probes and serial fallback."""
+                       guarded: bool | None = None,
+                       executor: str | None = None) -> np.ndarray:
+    """Run through the IR execution pipeline; under ``--guarded`` (or
+    explicit ``guarded=True``) execution goes through :class:`GuardedRunner`
+    with per-step divergence probes and serial fallback.  Otherwise the
+    selected executor runs the program (``executor=None`` honors the
+    process-wide ``--executor`` mode)."""
     program = build_fun3d_program()
     ctx = ExecutionContext(program, sizes=mesh_sizes(mesh),
                            values=context_values(mesh))
@@ -66,8 +71,14 @@ def run_ir_interpreter(mesh: TetMesh, *, save_inner_arrays: bool = False,
     if guard_mode() if guarded is None else guarded:
         GuardedRunner(program).run("edgejp", args, context=ctx)
     else:
-        interp = Interpreter(program, ctx, save_inner_arrays=save_inner_arrays)
-        interp.call("edgejp", args)
+        mode = executor_mode() if executor is None else executor
+        if mode == "interpreter":
+            interp = Interpreter(program, ctx,
+                                 save_inner_arrays=save_inner_arrays)
+            interp.call("edgejp", args)
+        else:
+            get_executor(mode, save_inner_arrays=save_inner_arrays).run(
+                program, "edgejp", args, context=ctx)
     return ctx.get("jac").copy()
 
 

@@ -1,15 +1,30 @@
-"""Functional execution of GLAF IR (reference semantics + generated Python)."""
+"""Functional execution of GLAF IR (reference semantics + generated Python
++ the pluggable executor back ends)."""
 
 from .context import ExecutionContext, as_storage
+from .executor import (
+    EXECUTOR_NAMES,
+    Executor,
+    ExecutorRun,
+    GuardedExecutor,
+    InterpreterExecutor,
+    VectorizedExecutor,
+    executor_mode,
+    get_executor,
+    set_executor_mode,
+    using_executor,
+)
 from .guard import (
     GuardedInterpreter,
     GuardedRun,
     GuardedRunner,
     GuardEvent,
     PythonGuardResult,
+    VectorizedGuardResult,
     guard_mode,
     guarded,
     guarded_python_run,
+    guarded_vectorized_run,
     set_guard_mode,
 )
 from .interp import ExecStats, Interpreter
@@ -19,6 +34,14 @@ from .shuffle import (
     ShuffledInterpreter,
     validate_parallel_semantics,
 )
+from .vectorize import (
+    FallbackEvent,
+    LiftedStep,
+    LiftFailure,
+    VectorizedInterpreter,
+    compile_step,
+    liftability_report,
+)
 
 __all__ = [
     "ExecutionContext", "as_storage",
@@ -26,6 +49,11 @@ __all__ = [
     "GeneratedModule", "run_generated_python", "run_interpreted",
     "ParallelValidation", "ShuffledInterpreter", "validate_parallel_semantics",
     "GuardEvent", "GuardedInterpreter", "GuardedRun", "GuardedRunner",
-    "PythonGuardResult", "guard_mode", "guarded", "guarded_python_run",
-    "set_guard_mode",
+    "PythonGuardResult", "VectorizedGuardResult", "guard_mode", "guarded",
+    "guarded_python_run", "guarded_vectorized_run", "set_guard_mode",
+    "EXECUTOR_NAMES", "Executor", "ExecutorRun", "GuardedExecutor",
+    "InterpreterExecutor", "VectorizedExecutor", "executor_mode",
+    "get_executor", "set_executor_mode", "using_executor",
+    "FallbackEvent", "LiftFailure", "LiftedStep", "VectorizedInterpreter",
+    "compile_step", "liftability_report",
 ]

@@ -42,8 +42,8 @@ from .shuffle import ShuffledInterpreter
 
 __all__ = [
     "GuardEvent", "GuardedInterpreter", "GuardedRun", "GuardedRunner",
-    "PythonGuardResult", "guarded_python_run",
-    "guard_mode", "guarded", "set_guard_mode",
+    "PythonGuardResult", "VectorizedGuardResult", "guarded_python_run",
+    "guarded_vectorized_run", "guard_mode", "guarded", "set_guard_mode",
 ]
 
 DEFAULT_GUARD_TOLERANCE = 1e-9
@@ -318,6 +318,104 @@ def guarded_python_run(
     return PythonGuardResult(
         result=py_result, context=py_ctx, fell_back=False,
         max_abs_error=worst, tolerance=tolerance)
+
+
+# ----------------------------------------------------------------------
+# guarded vectorized execution (the "guarded" executor)
+# ----------------------------------------------------------------------
+@dataclass
+class VectorizedGuardResult:
+    """Outcome of :func:`guarded_vectorized_run`."""
+
+    result: Any
+    context: ExecutionContext          # authoritative (always the interpreter's)
+    fell_back: bool
+    reason: str = ""
+    max_error: float | None = None
+    tolerance: float = DEFAULT_GUARD_TOLERANCE
+    policy: str = "abs"
+    #: per-step lift demotions recorded by the vectorized probe
+    fallbacks: tuple = ()
+
+
+def guarded_vectorized_run(
+    program: GlafProgram,
+    entry: str,
+    args: list[Any] | tuple = (),
+    *,
+    sizes: dict[str, int] | None = None,
+    values: dict[str, Any] | None = None,
+    context: ExecutionContext | None = None,
+    compare: list[str] | None = None,
+    tolerance: float = DEFAULT_GUARD_TOLERANCE,
+    policy: str = "abs",
+    limits: ResourceLimits | None = None,
+) -> VectorizedGuardResult:
+    """Run the vectorized executor against the interpreter reference.
+
+    The vectorized path executes on a **clone** of the context; the
+    interpreter then executes on the real one, so the kept state is always
+    the reference result (same contract as :class:`GuardedRunner`).  The
+    two final global states are compared grid by grid under a named
+    tolerance policy (:func:`repro.numeric.get_policy`); divergence — or an
+    :class:`ExecutionError` in the vectorized probe — records a
+    ``guard:serial-fallback`` decision naming the vectorized executor.
+    """
+    from ..numeric import get_policy
+    from ..observe import get_decisions, get_metrics, get_tracer
+    from .vectorize import VectorizedInterpreter
+
+    ctx = context if context is not None else ExecutionContext(
+        program, sizes=sizes, values=values)
+    probe_ctx = ctx.clone()
+    vec_error: str | None = None
+    vec_snap: dict[str, np.ndarray] | None = None
+    fallbacks: tuple = ()
+    with get_tracer().span("exec.run.guarded-vectorized", entry=entry,
+                           program=program.name):
+        vec = VectorizedInterpreter(program, probe_ctx, limits=limits)
+        try:
+            vec.call(entry, list(args))
+            vec_snap = probe_ctx.snapshot(compare)
+        except ResourceLimitError:
+            raise                        # budget exhausted: never retry
+        except ExecutionError as e:
+            vec_error = f"{type(e).__name__} in vectorized execution: {e}"
+        fallbacks = tuple(vec.fallbacks)
+        ref_result = Interpreter(program, ctx, limits=limits).call(
+            entry, list(args))
+
+    def fell_back(reason: str, err: float | None = None) -> VectorizedGuardResult:
+        m = get_metrics()
+        if m.enabled:
+            m.counter("guard.serial_fallbacks").inc()
+        dl = get_decisions()
+        if dl.enabled:
+            dl.record("guard", entry, -1, "vectorized-executor",
+                      "serial-fallback", reasons=(reason,),
+                      max_abs_error=err, tolerance=tolerance)
+        return VectorizedGuardResult(
+            result=ref_result, context=ctx, fell_back=True, reason=reason,
+            max_error=err, tolerance=tolerance, policy=policy,
+            fallbacks=fallbacks)
+
+    if vec_error is not None:
+        return fell_back(vec_error)
+    pol = get_policy(policy, tolerance)
+    ref_snap = ctx.snapshot(compare)
+    worst = 0.0
+    for name in ref_snap:
+        if ref_snap[name].size == 0:
+            continue
+        res = pol.compare(vec_snap[name], ref_snap[name])
+        if not res.ok:
+            return fell_back(
+                f"vectorized divergence on grid {name!r}: {res.detail}",
+                res.max_error)
+        worst = max(worst, res.max_error)
+    return VectorizedGuardResult(
+        result=ref_result, context=ctx, fell_back=False, max_error=worst,
+        tolerance=tolerance, policy=policy, fallbacks=fallbacks)
 
 
 # ----------------------------------------------------------------------

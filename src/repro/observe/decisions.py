@@ -9,16 +9,17 @@ keep that one?") can be answered from a single ``repro profile`` run.
 
 Stages and their verdict vocabularies:
 
-==================  =================================================
-``parallelize``     ``parallel`` | ``serial``
-``pruning``         ``kept`` | ``pruned`` | ``not-parallel``
-``advisor``         ``omp`` | ``simd`` | ``none``
-``guard``           ``serial-fallback``
-``fault``           ``injected``
-``lint:<rule>``     ``violation``
-``numeric:<kind>``  ``detected``
-``retry``           ``retried`` | ``gave-up``
-==================  =================================================
+=====================  ==============================================
+``parallelize``        ``parallel`` | ``serial``
+``pruning``            ``kept`` | ``pruned`` | ``not-parallel``
+``advisor``            ``omp`` | ``simd`` | ``none``
+``guard``              ``serial-fallback``
+``fault``              ``injected``
+``lint:<rule>``        ``violation``
+``numeric:<kind>``     ``detected``
+``retry``              ``retried`` | ``gave-up``
+``executor:fallback``  ``interpreter``
+=====================  ==============================================
 
 The ``guard`` stage is emitted by :class:`repro.glafexec.GuardedRunner`
 when a divergence guard demotes a parallel step to serial; the ``fault``
@@ -32,7 +33,11 @@ and the lint findings that catch them land in the same log.  The
 :data:`repro.numeric.SENTINEL_KINDS`, e.g. ``numeric:nan``) are emitted
 by the numeric sentinels on every trip, and ``retry`` by
 :func:`repro.numeric.retry_call` for every backoff or give-up — see
-``docs/NUMERICS.md``.
+``docs/NUMERICS.md``.  The ``executor:fallback`` stage is emitted by
+:class:`repro.glafexec.VectorizedInterpreter` whenever a step it cannot
+lift to a whole-grid array program is demoted to the reference
+interpreter (verdict ``interpreter``, with the reason the lift was
+refused) — see ``docs/EXECUTORS.md``.
 """
 
 from __future__ import annotations

@@ -51,6 +51,14 @@ class ExecScenario:
                                limits=limits)
         return runner.run(self.entry, args, sizes=sizes, values=values)
 
+    def run_executor(self, executor: str, **kwargs):
+        """Run under a named executor (``docs/EXECUTORS.md``)."""
+        from ..glafexec import get_executor
+
+        program, args, sizes, values, _ = self.setup()
+        return get_executor(executor, **kwargs).run(
+            program, self.entry, args, sizes=sizes, values=values)
+
     def reference(self) -> dict[str, np.ndarray]:
         """Plain-interpreter output snapshot of the compare grids."""
         from ..glafexec import run_interpreted

@@ -26,6 +26,8 @@ from ..glafexec import (
     GeneratedModule,
     GuardedRunner,
     Interpreter,
+    executor_mode,
+    get_executor,
     guard_mode,
 )
 from ..errors import NumericIntegrityError
@@ -131,19 +133,31 @@ def _context_values(inp: AtmosphereInputs) -> dict[str, np.ndarray]:
     }
 
 
-def run_ir_interpreter(inp: AtmosphereInputs,
-                       *, guarded: bool | None = None) -> dict[str, np.ndarray]:
-    """Run through the IR interpreter; under ``--guarded`` (or explicit
-    ``guarded=True``) execution goes through :class:`GuardedRunner`, which
-    probes every plan-parallel step and falls back to serial on divergence
-    (results are bit-identical either way — the serial result is kept)."""
+def run_ir_interpreter(inp: AtmosphereInputs, *, guarded: bool | None = None,
+                       executor: str | None = None) -> dict[str, np.ndarray]:
+    """Run through the IR execution pipeline.
+
+    Under ``--guarded`` (or explicit ``guarded=True``) execution goes
+    through :class:`GuardedRunner`, which probes every plan-parallel step
+    and falls back to serial on divergence (results are bit-identical
+    either way — the serial result is kept).  Otherwise the selected
+    executor runs the program: ``executor=None`` honors the process-wide
+    mode (the CLI's ``--executor`` flag), ``"interpreter"`` is the
+    reference path, ``"vectorized"`` lifts loop steps to whole-grid array
+    programs, ``"guarded"`` cross-checks the vectorized path against the
+    interpreter."""
     program = build_sarb_program(inp.dims)
     ctx = ExecutionContext(program, values=_context_values(inp))
     args = [inp.dims.nv, inp.dims.nblw, inp.dims.nbsw]
     if guard_mode() if guarded is None else guarded:
         GuardedRunner(program).run("entropy_interface", args, context=ctx)
     else:
-        Interpreter(program, ctx).call("entropy_interface", args)
+        mode = executor_mode() if executor is None else executor
+        if mode == "interpreter":
+            Interpreter(program, ctx).call("entropy_interface", args)
+        else:
+            get_executor(mode).run(program, "entropy_interface", args,
+                                   context=ctx)
     return {n: ctx.get(n).copy() for n in OUTPUT_NAMES}
 
 

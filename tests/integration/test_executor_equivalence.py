@@ -1,0 +1,333 @@
+"""Cross-executor equivalence: every path must produce the same answer.
+
+The contract of ``docs/EXECUTORS.md`` is that the executor choice is a
+pure speed/assurance knob — never a semantics knob.  This suite pins that
+down three ways:
+
+* both case studies (SARB, FUN3D) under ``interpreter`` / ``vectorized`` /
+  ``guarded`` agree with the legacy reference implementations;
+* every example project's ``main()`` still passes its own internal
+  assertions with the vectorized executor serving all interpreter runs;
+* synthetic kernels exercising each *unliftable* construct fall back to
+  the interpreter with the demotion logged — and still produce the
+  interpreter's exact answer — while liftable shapes (strides, masks,
+  MIN/MAX and multi-accumulator reductions) match bitwise or within the
+  documented tolerance.
+
+Sentinel trips must also be executor-independent: a NaN produced under a
+lifted step raises the same :class:`NumericIntegrityError` the scalar
+interpreter raises.
+"""
+
+import importlib.util
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import observe
+from repro.core import GlafBuilder, I, T_INT, T_REAL8, T_VOID, lib, ref
+from repro.core.builder import StepBuilder as SB
+from repro.errors import NumericIntegrityError
+from repro.fun3d import make_mesh
+from repro.fun3d import validation as f3v
+from repro.glafexec import get_executor, using_executor
+from repro.sarb import make_inputs
+from repro.sarb import validation as sv
+from repro.sarb.validation import SARB_COMPARE_TOLERANCE, compare_outputs
+
+EXECUTORS = ["interpreter", "vectorized", "guarded"]
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+# ----------------------------------------------------------------------
+# case studies
+# ----------------------------------------------------------------------
+class TestSarbEquivalence:
+    @pytest.fixture(scope="class")
+    def inputs(self):
+        return make_inputs()
+
+    @pytest.fixture(scope="class")
+    def reference(self, inputs):
+        return sv.run_reference(inputs)
+
+    @pytest.mark.parametrize("executor", EXECUTORS)
+    def test_matches_reference(self, inputs, reference, executor):
+        got = sv.run_ir_interpreter(inputs, executor=executor)
+        cmp = compare_outputs(got, reference)
+        assert cmp.ok, cmp.detail
+
+    def test_vectorized_matches_interpreter_and_logs_fallback(self, inputs):
+        ref = sv.run_ir_interpreter(inputs, executor="interpreter")
+        with observe.observed() as obs:
+            got = sv.run_ir_interpreter(inputs, executor="vectorized")
+        cmp = compare_outputs(got, ref, tolerance=SARB_COMPARE_TOLERANCE)
+        assert cmp.ok, cmp.detail
+        # The one loop-carried SARB step (adjust2 / smooth) must be
+        # demoted — visibly, through the decision log.
+        fb = obs.decisions.for_stage("executor:fallback")
+        assert {(d.function, d.step_name) for d in fb} == {
+            ("adjust2", "smooth")}
+        assert all(d.verdict == "interpreter" for d in fb)
+
+    def test_mode_selection_equals_explicit_executor(self, inputs):
+        explicit = sv.run_ir_interpreter(inputs, executor="vectorized")
+        with using_executor("vectorized"):
+            via_mode = sv.run_ir_interpreter(inputs)
+        for name in explicit:
+            assert np.array_equal(explicit[name], via_mode[name])
+
+
+class TestFun3dEquivalence:
+    @pytest.fixture(scope="class")
+    def mesh(self):
+        return make_mesh(27)
+
+    @pytest.fixture(scope="class")
+    def reference(self, mesh):
+        return f3v.run_reference(mesh)
+
+    @pytest.mark.parametrize("executor", EXECUTORS)
+    def test_matches_reference(self, mesh, reference, executor):
+        jac = f3v.run_ir_interpreter(mesh, executor=executor)
+        assert f3v.rms_check(jac, reference)
+
+    def test_vectorized_is_bitwise_equal(self, mesh):
+        # Every lifted FUN3D step is pointwise, so the array programs
+        # evaluate the same FP operations in the same order per element:
+        # the results are bit-identical, not merely close.
+        ref = f3v.run_ir_interpreter(mesh, executor="interpreter")
+        vec = f3v.run_ir_interpreter(mesh, executor="vectorized")
+        assert np.array_equal(ref, vec)
+
+
+# ----------------------------------------------------------------------
+# example projects
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("name", [
+    "quickstart",
+    "codegen_tour",
+    "sarb_integration",
+    "fun3d_jacobian",
+    "graph_kernel",
+])
+def test_example_passes_under_vectorized_executor(name, capsys):
+    # The examples assert their own numerics internally; running them with
+    # the vectorized executor serving every interpreter-mode run proves
+    # the executor swap is invisible to them.
+    spec = importlib.util.spec_from_file_location(
+        name, EXAMPLES / f"{name}.py")
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    with using_executor("vectorized"):
+        mod.main()
+    assert len(capsys.readouterr().out) > 200
+
+
+# ----------------------------------------------------------------------
+# synthetic kernels: liftable shapes and every fallback construct
+# ----------------------------------------------------------------------
+def _run_both(program, entry, make_args, sizes):
+    """Run under interpreter and vectorized; return (ref, vec, run)."""
+    args_ref = make_args()
+    get_executor("interpreter").run(program, entry, args_ref, sizes=sizes)
+    args_vec = make_args()
+    run = get_executor("vectorized").run(program, entry, args_vec,
+                                         sizes=sizes)
+    return args_ref, args_vec, run
+
+
+def _kernel(build_steps, extra_params=()):
+    b = GlafBuilder("k")
+    m = b.module("M")
+    f = m.function("f", return_type=T_VOID)
+    f.param("n", T_INT, intent="in")
+    f.param("x", T_REAL8, dims=("n",), intent="in")
+    f.param("y", T_REAL8, dims=("n",), intent="inout")
+    for name, typ, dims, intent in extra_params:
+        f.param(name, typ, dims=dims, intent=intent)
+    build_steps(f)
+    return b.build()
+
+
+N = 31
+
+
+def _x():
+    rng = np.random.default_rng(7)
+    return rng.standard_normal(N)
+
+
+def _liftable_cases():
+    def strided(f):
+        s = f.step("odd")
+        s.foreach(i=(1, "n", 2))
+        s.formula(ref("y", I("i")), ref("x", I("i")) * 3.0)
+
+    def masked(f):
+        s = f.step("clip")
+        s.foreach(i=(1, "n"))
+        s.if_(ref("x", I("i")).gt(0.0),
+              [SB.assign(ref("y", I("i")), ref("x", I("i")))],
+              [SB.assign(ref("y", I("i")), 0.0 - ref("x", I("i")))])
+
+    def guard_cond(f):
+        s = f.step("cond")
+        s.foreach(i=(1, "n"))
+        s.condition(ref("x", I("i")).gt(0.5))
+        s.formula(ref("y", I("i")), ref("x", I("i")) + 1.0)
+
+    def max_reduce(f):
+        s = f.step("mx")
+        s.foreach(i=(1, "n"))
+        s.formula(ref("y", 1), lib("MAX", ref("y", 1), ref("x", I("i"))))
+
+    def masked_sum(f):
+        # Both branches accumulate the same cell with the same op — the
+        # SARB thick_thin/cloud_adjust shape, lifted as two masked sums.
+        s = f.step("split")
+        s.foreach(i=(1, "n"))
+        s.if_(ref("x", I("i")).gt(0.0),
+              [SB.assign(ref("y", 1), ref("y", 1) + ref("x", I("i")))],
+              [SB.assign(ref("y", 1), ref("y", 1) + 1.0)])
+
+    return [
+        pytest.param(strided, id="strided-loop"),
+        pytest.param(masked, id="if-else-mask"),
+        pytest.param(guard_cond, id="step-condition"),
+        pytest.param(max_reduce, id="max-reduction"),
+        pytest.param(masked_sum, id="masked-same-op-reduction"),
+    ]
+
+
+def _fallback_cases():
+    def loop_carried(f):
+        s = f.step("carry")
+        s.foreach(i=(2, "n"))
+        s.formula(ref("y", I("i")),
+                  ref("y", I("i") - 1) + ref("x", I("i")))
+
+    def early_exit(f):
+        s = f.step("find")
+        s.foreach(i=(1, "n"))
+        s.if_(ref("x", I("i")).gt(1.0), [SB.exit_stmt()])
+        s.formula(ref("y", I("i")), ref("x", I("i")))
+
+    def early_return(f):
+        s = f.step("bail")
+        s.foreach(i=(1, "n"))
+        s.if_(ref("x", I("i")).gt(1.0), [SB.ret()])
+        s.formula(ref("y", I("i")), ref("x", I("i")))
+
+    return [
+        pytest.param(loop_carried, id="loop-carried"),
+        pytest.param(early_exit, id="exit-loop"),
+        pytest.param(early_return, id="early-return"),
+    ]
+
+
+class TestSyntheticKernels:
+    @pytest.mark.parametrize("build", _liftable_cases())
+    def test_liftable_bitwise_equal_no_fallback(self, build):
+        p = _kernel(build)
+        x = _x()
+        (_, _, y_ref), (_, _, y_vec), run = [
+            *_run_both(p, "f", lambda: [N, x.copy(), np.zeros(N)],
+                       {"n": N})]
+        assert np.array_equal(y_ref, y_vec)
+        assert run.fallbacks == ()
+        assert run.executor == "vectorized"
+
+    @pytest.mark.parametrize("build", _fallback_cases())
+    def test_fallback_equal_and_logged(self, build):
+        p = _kernel(build)
+        x = _x()
+        with observe.observed() as obs:
+            (_, _, y_ref), (_, _, y_vec), run = [
+                *_run_both(p, "f", lambda: [N, x.copy(), np.zeros(N)],
+                           {"n": N})]
+        assert np.array_equal(y_ref, y_vec)
+        assert len(run.fallbacks) == 1
+        assert obs.decisions.for_stage("executor:fallback")
+        assert obs.metrics.counter("exec.vectorized.fallbacks").value >= 1
+
+    def test_indirect_write_falls_back_and_matches(self):
+        # Scatter through an index grid — a lift refusal at compile time.
+        b = GlafBuilder("k")
+        m = b.module("M")
+        f = m.function("f", return_type=T_VOID)
+        f.param("n", T_INT, intent="in")
+        f.param("idx", T_INT, dims=("n",), intent="in")
+        f.param("x", T_REAL8, dims=("n",), intent="in")
+        f.param("y", T_REAL8, dims=("n",), intent="inout")
+        s = f.step("scatter")
+        s.foreach(i=(1, "n"))
+        s.formula(ref("y", ref("idx", I("i"))), ref("x", I("i")))
+        p = b.build()
+
+        rng = np.random.default_rng(3)
+        idx = rng.permutation(N).astype(np.int64) + 1
+        x = _x()
+        (_, _, _, y_ref), (_, _, _, y_vec), run = [
+            *_run_both(p, "f",
+                       lambda: [N, idx.copy(), x.copy(), np.zeros(N)],
+                       {"n": N})]
+        assert np.array_equal(y_ref, y_vec)
+        assert len(run.fallbacks) == 1
+
+    def test_function_call_in_loop_falls_back_and_matches(self):
+        b = GlafBuilder("k")
+        m = b.module("M")
+        g = m.function("twice", return_type=T_REAL8)
+        g.param("v", T_REAL8, intent="in")
+        g.returns(ref("v") * 2.0)
+        f = m.function("f", return_type=T_VOID)
+        f.param("n", T_INT, intent="in")
+        f.param("x", T_REAL8, dims=("n",), intent="in")
+        f.param("y", T_REAL8, dims=("n",), intent="inout")
+        from repro.core.expr import FuncCall
+        s = f.step("apply")
+        s.foreach(i=(1, "n"))
+        s.formula(ref("y", I("i")), FuncCall("twice", (ref("x", I("i")),)))
+        p = b.build()
+
+        x = _x()
+        (_, _, y_ref), (_, _, y_vec), run = [
+            *_run_both(p, "f", lambda: [N, x.copy(), np.zeros(N)],
+                       {"n": N})]
+        assert np.array_equal(y_ref, y_vec)
+        assert len(run.fallbacks) == 1
+        assert "call" in run.fallbacks[0].reason.lower()
+
+
+# ----------------------------------------------------------------------
+# sentinel parity
+# ----------------------------------------------------------------------
+class TestSentinelParity:
+    def _program(self):
+        def body(f):
+            s = f.step("pw")
+            s.foreach(i=(1, "n"))
+            s.formula(ref("y", I("i")), ref("x", I("i")) * 2.0)
+        b = GlafBuilder("s")
+        m = b.module("M")
+        f = m.function("f", return_type=T_VOID)
+        f.param("n", T_INT, intent="in")
+        f.param("x", T_REAL8, dims=("n",), intent="in")
+        f.param("y", T_REAL8, dims=("n",), intent="inout")
+        body(f)
+        return b.build()
+
+    @pytest.mark.parametrize("executor", ["interpreter", "vectorized"])
+    def test_nan_trips_identically(self, executor):
+        from repro.numeric import sentinels
+
+        p = self._program()
+        x = np.ones(5)
+        x[3] = np.nan
+        with sentinels():
+            with pytest.raises(NumericIntegrityError) as exc:
+                get_executor(executor).run(p, "f", [5, x, np.zeros(5)],
+                                           sizes={"n": 5})
+        assert exc.value.kind == "nan"

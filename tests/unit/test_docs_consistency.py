@@ -33,6 +33,20 @@ def _packages() -> list[str]:
                   and not p.name.startswith("_"))
 
 
+def _all_option_strings() -> set[str]:
+    """Every ``--flag`` registered anywhere in the CLI parser tree."""
+    out: set[str] = set()
+    stack = [build_parser()]
+    while stack:
+        parser = stack.pop()
+        for action in parser._actions:
+            out.update(s for s in action.option_strings
+                       if s.startswith("--"))
+            if action.__class__.__name__ == "_SubParsersAction":
+                stack.extend(action.choices.values())
+    return out
+
+
 class TestReadmeCoversCli:
     def test_all_subcommands_documented(self):
         readme = (REPO / "README.md").read_text()
@@ -71,6 +85,26 @@ class TestObservabilityDoc:
         assert "repro profile" in doc
         assert "sarb_integration" in doc
 
+    def test_event_catalog_covers_every_decision_stage(self):
+        """The stages-and-verdicts table must name every decision stage
+        any subsystem emits (fixed stages literally, parameterized
+        families as their ``<placeholder>`` template)."""
+        doc = (REPO / "docs" / "OBSERVABILITY.md").read_text()
+        fixed = ["parallelize", "pruning", "advisor", "guard", "fault",
+                 "retry", "executor:fallback"]
+        missing = [s for s in fixed if f"`{s}`" not in doc]
+        assert not missing, (
+            f"docs/OBSERVABILITY.md event catalog is missing stage(s): "
+            f"{missing}"
+        )
+        assert "`lint:<rule>`" in doc
+        assert "`numeric:<kind>`" in doc
+
+    def test_event_catalog_names_the_executor_spans(self):
+        doc = (REPO / "docs" / "OBSERVABILITY.md").read_text()
+        assert "exec.run.vectorized" in doc
+        assert "exec.vectorized" in doc
+
 
 class TestBenchmarkingDoc:
     """docs/BENCHMARKING.md must track the bench artifact machinery."""
@@ -90,11 +124,15 @@ class TestBenchmarkingDoc:
         assert "BENCHMARKING.md" in obs and "--chrome" in obs
 
     def test_committed_baseline_exists_and_validates(self):
-        from repro.bench import load_bench
+        """The *latest* committed artifact must carry the full current
+        registry; earlier trajectory points keep their historical
+        experiment sets."""
+        from repro.bench import EXPERIMENTS, load_bench
+        from repro.bench.record import bench_files
 
-        baseline = load_bench(REPO / "BENCH_1.json")
-        from repro.bench import EXPERIMENTS
-
+        trajectory = bench_files(REPO)
+        assert trajectory, "no committed BENCH_<n>.json baseline"
+        baseline = load_bench(trajectory[-1])
         assert set(baseline["experiments"]) == set(EXPERIMENTS)
         assert baseline["meta"]["repeats"] >= 3
 
@@ -219,3 +257,73 @@ class TestRobustnessDoc:
     def test_linked_from_readme(self):
         assert "ROBUSTNESS.md" in (REPO / "README.md").read_text()
         assert "faultcheck" in (REPO / "docs" / "ROBUSTNESS.md").read_text()
+
+
+class TestExecutorsDoc:
+    """docs/EXECUTORS.md must track the pluggable-executor machinery."""
+
+    def test_every_executor_documented(self):
+        doc = (REPO / "docs" / "EXECUTORS.md").read_text()
+        from repro.glafexec import EXECUTOR_NAMES
+
+        missing = [n for n in EXECUTOR_NAMES if f"`{n}`" not in doc]
+        assert not missing, (
+            f"docs/EXECUTORS.md is missing executor(s): {missing}"
+        )
+
+    def test_names_the_machinery(self):
+        doc = (REPO / "docs" / "EXECUTORS.md").read_text()
+        assert "--executor" in doc
+        assert "REPRO_EXECUTOR" in doc
+        assert "executor:fallback" in doc
+        assert "liftability_report" in doc
+        assert "X1" in doc
+        from repro.bench.experiments import EXECUTOR_SPEEDUP_GATE
+
+        assert f"{EXECUTOR_SPEEDUP_GATE:g}x" in doc
+
+    def test_linked_from_readme_and_architecture(self):
+        assert "EXECUTORS.md" in (REPO / "README.md").read_text()
+        assert "EXECUTORS.md" in (
+            REPO / "docs" / "ARCHITECTURE.md").read_text()
+
+    def test_readme_has_measured_performance_section(self):
+        readme = (REPO / "README.md").read_text()
+        assert "## Performance" in readme
+        assert "vectorized" in readme
+
+    def test_ci_runs_the_vectorized_leg(self):
+        ci = (REPO / ".github" / "workflows" / "ci.yml").read_text()
+        assert "REPRO_EXECUTOR=vectorized" in ci
+        assert "--executor vectorized" in ci
+        make = (REPO / "Makefile").read_text()
+        assert "REPRO_EXECUTOR=vectorized" in make
+        assert "--executor vectorized" in make
+
+    def test_speedup_experiment_registered(self):
+        from repro.bench import EXPERIMENTS
+
+        assert "X1" in EXPERIMENTS
+
+
+class TestTutorialFlags:
+    """Every ``--flag`` the tutorial shows must exist in the CLI, so the
+    walkthrough cannot drift from the actual flag vocabulary."""
+
+    def test_every_tutorial_flag_exists_in_cli(self):
+        import re
+
+        doc = (REPO / "docs" / "TUTORIAL.md").read_text()
+        shown = set(re.findall(r"--[a-z][a-z0-9-]*", doc))
+        assert shown, "tutorial should demonstrate CLI flags"
+        known = _all_option_strings()
+        unknown = sorted(shown - known)
+        assert not unknown, (
+            f"docs/TUTORIAL.md shows flag(s) the CLI does not have: "
+            f"{unknown}"
+        )
+
+    def test_tutorial_covers_the_current_flags(self):
+        doc = (REPO / "docs" / "TUTORIAL.md").read_text()
+        for flag in ("--resume", "--sentinels", "--executor"):
+            assert flag in doc, f"tutorial does not demonstrate {flag}"
