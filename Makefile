@@ -21,6 +21,7 @@ lint:
 # the reference interpreter, once with REPRO_EXECUTOR=vectorized so the
 # array executor serves every interpreter-mode run — docs/EXECUTORS.md),
 # lint gate, fault sweep (includes the numeric.sentinel scenario), the
+# fixed-seed differential fuzz campaign (docs/FUZZING.md), the
 # resume-integrity smoke (kill a recording, resume it, verify digest +
 # schema — docs/NUMERICS.md), and the benchmark regression gates against
 # the committed baseline (interpreter and vectorized legs).
@@ -29,6 +30,7 @@ ci: lint
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
 	REPRO_EXECUTOR=vectorized PYTHONPATH=src $(PYTHON) -m pytest -x -q
 	PYTHONPATH=src $(PYTHON) -m repro faultcheck
+	PYTHONPATH=src $(PYTHON) -m repro fuzz --seed 7 --count 25 --profile small
 	$(PYTHON) scripts/resume_smoke.py
 	PYTHONPATH=src $(PYTHON) -m repro bench record --repeats 3 --out BENCH_ci.json
 	PYTHONPATH=src $(PYTHON) -m repro bench compare BENCH_2.json BENCH_ci.json --fail-on-regress 400

@@ -67,41 +67,62 @@ _BENCH_RE = re.compile(r"^BENCH_(\d+)\.json$")
 # environment fingerprint
 # ---------------------------------------------------------------------------
 
-def _git_sha() -> str:
+def _git_sha() -> tuple[str, str]:
+    """The working tree's HEAD sha, plus why it is missing when it is.
+
+    A hung probe (``subprocess.TimeoutExpired``) kills the child but
+    leaves no stderr to explain the ``unknown`` — so the *reason* is
+    returned alongside the sha and recorded as ``fingerprint:degraded``
+    in the artifact, instead of silently omitting the provenance.
+    """
     try:
         proc = subprocess.run(
             ["git", "rev-parse", "HEAD"],
             capture_output=True, text=True, timeout=10,
             cwd=Path(__file__).resolve().parent,
         )
-    except (OSError, subprocess.SubprocessError):
-        return "unknown"
+    except subprocess.TimeoutExpired:
+        return "unknown", "git probe hung past its 10s timeout"
+    except (OSError, subprocess.SubprocessError) as e:
+        return "unknown", f"git probe failed: {type(e).__name__}: {e}"
     sha = proc.stdout.strip()
-    return sha if proc.returncode == 0 and sha else "unknown"
+    if proc.returncode == 0 and sha:
+        return sha, ""
+    detail = proc.stderr.strip() or f"git exited {proc.returncode}"
+    return "unknown", f"git probe failed: {detail}"
 
 
 def environment_fingerprint() -> dict[str, object]:
     """Everything a reader needs to judge whether two artifacts are
     comparable: interpreter, libraries, host, tree state, and the flags
     that change what the experiments execute (guard mode, fault plans,
-    simulated-machine constants)."""
+    simulated-machine constants).  When a probe could not establish a
+    field, ``degraded`` lists the reasons, so ``unknown`` values carry
+    their cause into the artifact."""
     import numpy as np
 
     from ..glafexec import executor_mode, guard_mode
     from ..perf import machine_fingerprint
     from ..robust import get_fault_plan
 
-    return {
+    sha, sha_degraded = _git_sha()
+    fp: dict[str, object] = {
         "python": platform.python_version(),
         "numpy": np.__version__,
         "platform": platform.platform(),
         "cpu_count": os.cpu_count() or 1,
-        "git_sha": _git_sha(),
+        "git_sha": sha,
         "guard_mode": guard_mode(),
         "executor": executor_mode(),
         "fault_plan_active": get_fault_plan() is not None,
         "machines": machine_fingerprint(),
     }
+    degraded = []
+    if sha_degraded:
+        degraded.append({"field": "git_sha", "reason": sha_degraded})
+    if degraded:
+        fp["degraded"] = degraded
+    return fp
 
 
 # ---------------------------------------------------------------------------
@@ -220,10 +241,17 @@ def record_benchmark(
             "cells": _cell_stats(results),
         }
 
+    environment = environment_fingerprint()
+    meta: dict[str, object] = {"repeats": repeats, "ids": ids,
+                               "resumed": resumed}
+    if environment.get("degraded"):
+        # Surface probe failures where compare/trend readers look first:
+        # an artifact with an unknown sha says *why* it is unknown.
+        meta["fingerprint:degraded"] = environment["degraded"]
     return {
         "schema": BENCH_SCHEMA,
-        "environment": environment_fingerprint(),
-        "meta": {"repeats": repeats, "ids": ids, "resumed": resumed},
+        "environment": environment,
+        "meta": meta,
         "experiments": out,
     }
 

@@ -7,7 +7,9 @@
 * ``generate PROJECT.json --target {fortran,c,opencl,python} --variant V``
   — load a saved GLAF project and print generated code.
 * ``analyze PROJECT.json`` — print per-step loop classes and
-  parallelization verdicts.
+  parallelization verdicts; ``--liftability`` adds, per loop step,
+  whether the vectorized executor lifts it or falls back to the
+  interpreter (and why — docs/EXECUTORS.md).
 * ``sloc PROJECT.json`` — per-subprogram SLOC of the generated FORTRAN.
 * ``variants`` — list the Table-2 pruning variants.
 * ``profile PROJECT.json`` — run the whole pipeline under the
@@ -27,6 +29,16 @@
   ``docs/STATIC_ANALYSIS.md``); exits 1 on any finding.  ``--selftest``
   runs the seeded clause-mutation corpus instead and fails unless the
   linter catches every mutant.
+* ``fuzz [--seed N] [--count K] [--profile small|full] [--resume]
+  [--json [FILE]]`` — generate K seeded legacy codebases and drive each
+  through the whole pipeline (build → analyze → codegen → parse → lint →
+  differential interpreter-vs-vectorized execution) under per-item
+  resource budgets (``docs/FUZZING.md``); failures are bucketed by
+  signature, quarantined as digest-named reproducer bundles
+  (``--quarantine DIR``), and delta-debug minimized.  ``--resume``
+  continues a killed campaign from its checkpoints, ``--fault
+  SITE:KIND[:FUNCTION]`` injects seeded faults into every item.  Exits 1
+  when any failure signature was found.
 * ``bench record|compare|trend`` — the longitudinal benchmark layer
   (``docs/BENCHMARKING.md``): ``record`` runs the experiments N times and
   writes the next schema-versioned ``BENCH_<n>.json`` artifact (atomic
@@ -134,6 +146,46 @@ def build_parser() -> argparse.ArgumentParser:
 
     ana = sub.add_parser("analyze", help="print loop classes and verdicts")
     ana.add_argument("project")
+    ana.add_argument("--liftability", action="store_true",
+                     help="also print, per loop step, whether the "
+                          "vectorized executor can lift it and the "
+                          "refusal reason when it cannot "
+                          "(docs/EXECUTORS.md)")
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="generate seeded legacy codebases and differentially fuzz "
+             "the whole pipeline (docs/FUZZING.md)",
+    )
+    fuzz.add_argument("--seed", type=int, default=0,
+                      help="campaign seed (default 0); same seed + same "
+                           "profile reproduces the same campaign")
+    fuzz.add_argument("--count", type=int, default=25,
+                      help="number of generated codebases (default 25)")
+    fuzz.add_argument("--profile", dest="fuzz_profile",
+                      choices=["small", "full"], default="small",
+                      help="size/feature profile: 'small' for CI, "
+                           "'full' for nightly (default: small)")
+    fuzz.add_argument("--resume", action="store_true",
+                      help="continue a killed campaign from its per-item "
+                           "checkpoints")
+    fuzz.add_argument("--checkpoint", metavar="DIR", default=None,
+                      help="checkpoint directory (default: "
+                           ".repro_fuzz.ckpt)")
+    fuzz.add_argument("--quarantine", metavar="DIR", default=None,
+                      help="reproducer-bundle directory (default: "
+                           "fuzz_quarantine)")
+    fuzz.add_argument("--json", dest="json_path", nargs="?",
+                      const=_JSON_STDOUT, default=None, metavar="FILE",
+                      help="emit the campaign summary as JSON (to stdout, "
+                           "or to FILE when given)")
+    fuzz.add_argument("--fault", action="append", default=[],
+                      metavar="SITE:KIND[:FUNCTION]",
+                      help="inject a seeded fault into every item "
+                           "(repeatable); used to verify the campaign "
+                           "catches and quarantines known-bad pipelines")
+    fuzz.add_argument("--fault-seed", type=int, default=0,
+                      help="seed for the injected fault plans (default 0)")
 
     sloc = sub.add_parser("sloc", help="SLOC of the generated FORTRAN")
     sloc.add_argument("project")
@@ -339,6 +391,11 @@ def _cmd_analyze(args) -> int:
 
     program = _load_program(args.project)
     plan = analyze_program(program)
+    lift = {}
+    if getattr(args, "liftability", False):
+        from .glafexec import liftability_report
+
+        lift = liftability_report(program)
     for fn in program.functions():
         print(f"{'SUBROUTINE' if fn.is_subroutine else 'FUNCTION'} {fn.name}")
         for i, step in enumerate(fn.steps):
@@ -355,6 +412,11 @@ def _cmd_analyze(args) -> int:
                   + " ".join(flags))
             if not sp.parallel and sp.reasons:
                 print(f"       reason: {sp.reasons[0]}")
+            if (fn.name, i) in lift:
+                reason = lift[(fn.name, i)]
+                print("       lift: "
+                      + ("vectorized" if not reason
+                         else f"interpreter fallback ({reason})"))
     return 0
 
 
@@ -540,6 +602,46 @@ def _cmd_faultcheck(args) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_fuzz(args) -> int:
+    from .fuzz import DEFAULT_QUARANTINE_DIR, run_campaign
+    from .robust import FaultSpec
+
+    faults = tuple(FaultSpec.parse(text) for text in args.fault)
+    summary = run_campaign(
+        args.seed, args.count, args.fuzz_profile,
+        resume=args.resume,
+        checkpoint_dir=args.checkpoint,
+        quarantine_dir=args.quarantine,
+        faults=faults,
+        fault_seed=args.fault_seed,
+    )
+    doc = summary.to_json()
+    if args.json_path is not None:
+        if args.json_path is _JSON_STDOUT:
+            json.dump(doc, sys.stdout, indent=2)
+            print()
+        else:
+            _write_json(args.json_path, doc)
+            print(f"summary written to {args.json_path}", file=sys.stderr)
+    if args.json_path is not _JSON_STDOUT:
+        stats = doc["stats"]
+        print(f"fuzz campaign: seed {summary.seed}, "
+              f"{summary.count} codebase(s), profile "
+              f"{summary.profile.name}")
+        print(f"  clean {stats['clean']}  failed {stats['failed']}  "
+              f"units {stats['units_run']}  "
+              f"vectorized fallbacks {stats['fallbacks']}")
+        if summary.resumed:
+            print(f"  resumed {summary.resumed} item(s) from checkpoint",
+                  file=sys.stderr)
+        for key in sorted(summary.buckets):
+            print(f"  signature {key}: {summary.buckets[key]} item(s)")
+        qdir = args.quarantine or DEFAULT_QUARANTINE_DIR
+        for q in summary.quarantined:
+            print(f"  quarantined {q['signature']} -> {qdir}/{q['bundle']}")
+    return 1 if summary.failed else 0
+
+
 _COMMANDS = {
     "experiments": _cmd_experiments,
     "generate": _cmd_generate,
@@ -549,6 +651,7 @@ _COMMANDS = {
     "profile": _cmd_profile,
     "faultcheck": _cmd_faultcheck,
     "lint": _cmd_lint,
+    "fuzz": _cmd_fuzz,
     "bench": _cmd_bench,
 }
 

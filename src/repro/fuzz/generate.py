@@ -1,0 +1,277 @@
+"""Seeded legacy-codebase generator.
+
+:func:`generate_codebase` draws a :class:`CodebaseSpec` from a seeded rng
+and renders it into a validated :class:`~repro.core.GlafProgram` through
+the same :class:`~repro.core.GlafBuilder` API the case studies use.  The
+split matters for triage: the *spec* is a small JSON-serializable value
+object, :func:`build_program` is a pure function of it, and the shrinker
+(:mod:`repro.fuzz.shrink`) minimizes failing specs — never programs —
+so every shrink candidate re-renders through the exact production path.
+
+Generated codebases mix the constructs the pipeline claims to handle:
+kernels covering every loop class the parallelizer rules on (pointwise,
+stencils, masked lanes, sum/MAX reductions, masked multi-accumulator
+reductions, loop-carried chains, indirect writes, triangular bounds,
+EXIT/RETURN control flow, interior function calls), plus the §3 legacy
+integration surfaces (COMMON blocks, module-scope state, derived-TYPE
+elements, SUBROUTINE call sites).  Same seed + same profile ⇒ the same
+spec, program, and FORTRAN text, byte for byte.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core import GlafBuilder, GlafProgram, I, T_INT, T_REAL8, T_VOID, lib, ref
+from ..core.builder import StepBuilder as SB
+from ..core.expr import FuncCall
+from .profile import FuzzProfile, get_profile
+
+__all__ = [
+    "StepSpec", "UnitSpec", "CodebaseSpec", "FuzzCodebase",
+    "generate_spec", "build_program", "generate_codebase", "item_rng",
+]
+
+#: Module that "hosts" the legacy state generated codebases integrate
+#: with (§3.1/§3.5 surfaces: USE-imported grids, TYPE parent variables).
+HOST_MODULE = "fuzz_host"
+
+
+def item_rng(seed: int, index: int) -> np.random.Generator:
+    """The campaign's per-item generator: one stream per (seed, item)."""
+    return np.random.default_rng(np.random.SeedSequence((seed, index)))
+
+
+@dataclass(frozen=True)
+class StepSpec:
+    """One loop step: a construct kind plus its drawn constants."""
+
+    kind: str
+    coeff: float = 1.0          # multiplicative constant in the formula
+    threshold: float = 0.0      # mask / EXIT / RETURN threshold
+
+    def to_json(self) -> dict[str, object]:
+        return {"kind": self.kind, "coeff": self.coeff,
+                "threshold": self.threshold}
+
+    @classmethod
+    def from_json(cls, doc: dict) -> "StepSpec":
+        return cls(kind=doc["kind"], coeff=doc["coeff"],
+                   threshold=doc["threshold"])
+
+
+@dataclass(frozen=True)
+class UnitSpec:
+    """One kernel SUBROUTINE (plus any helper subprograms it drives)."""
+
+    name: str
+    steps: tuple[StepSpec, ...]
+    structures: tuple[str, ...] = ()
+
+    @property
+    def needs_idx(self) -> bool:
+        return any(s.kind == "indirect-write" for s in self.steps)
+
+    def to_json(self) -> dict[str, object]:
+        return {"name": self.name,
+                "steps": [s.to_json() for s in self.steps],
+                "structures": list(self.structures)}
+
+    @classmethod
+    def from_json(cls, doc: dict) -> "UnitSpec":
+        return cls(name=doc["name"],
+                   steps=tuple(StepSpec.from_json(s) for s in doc["steps"]),
+                   structures=tuple(doc["structures"]))
+
+
+@dataclass(frozen=True)
+class CodebaseSpec:
+    """Everything needed to re-render one generated codebase."""
+
+    seed: int
+    index: int                  # campaign item index (second rng word)
+    profile: str
+    extent: int                 # runtime size bound to the symbolic 'n'
+    units: tuple[UnitSpec, ...]
+
+    def to_json(self) -> dict[str, object]:
+        return {"seed": self.seed, "index": self.index,
+                "profile": self.profile, "extent": self.extent,
+                "units": [u.to_json() for u in self.units]}
+
+    @classmethod
+    def from_json(cls, doc: dict) -> "CodebaseSpec":
+        return cls(seed=doc["seed"], index=doc["index"],
+                   profile=doc["profile"], extent=doc["extent"],
+                   units=tuple(UnitSpec.from_json(u) for u in doc["units"]))
+
+
+@dataclass(frozen=True)
+class FuzzCodebase:
+    """A rendered spec: the program plus its runtime size binding."""
+
+    spec: CodebaseSpec
+    program: GlafProgram
+
+    @property
+    def sizes(self) -> dict[str, int]:
+        return {"n": self.spec.extent}
+
+    @property
+    def entries(self) -> tuple[UnitSpec, ...]:
+        return self.spec.units
+
+
+# ----------------------------------------------------------------------
+# drawing a spec
+# ----------------------------------------------------------------------
+def generate_spec(seed: int, profile: FuzzProfile | str,
+                  index: int = 0) -> CodebaseSpec:
+    """Draw one codebase spec from the (seed, index) stream."""
+    prof = get_profile(profile) if isinstance(profile, str) else profile
+    rng = item_rng(seed, index)
+    extent = int(rng.integers(prof.extent[0], prof.extent[1] + 1))
+    n_units = int(rng.integers(prof.units[0], prof.units[1] + 1))
+    units = []
+    for u in range(n_units):
+        n_steps = int(rng.integers(prof.steps[0], prof.steps[1] + 1))
+        steps = tuple(
+            StepSpec(
+                kind=str(rng.choice(prof.step_kinds)),
+                coeff=round(float(rng.uniform(0.25, 2.0)), 6),
+                threshold=round(float(rng.uniform(-0.5, 1.0)), 6),
+            )
+            for _ in range(n_steps)
+        )
+        structures = tuple(
+            kind for kind in prof.structure_kinds if rng.random() < 0.35)
+        units.append(UnitSpec(name=f"k{u + 1}", steps=steps,
+                              structures=structures))
+    return CodebaseSpec(seed=seed, index=index, profile=prof.name,
+                        extent=extent, units=tuple(units))
+
+
+# ----------------------------------------------------------------------
+# rendering a spec into a program
+# ----------------------------------------------------------------------
+def _emit_step(f, unit: UnitSpec, sp: StepSpec, seq: int) -> None:
+    i = I("i")
+    c, t = sp.coeff, sp.threshold
+    s = f.step(f"{sp.kind.replace('-', '_')}_{seq}")
+    if sp.kind == "pointwise":
+        s.foreach(i=(1, "n"))
+        s.formula(ref("y", i), ref("x", i) * c + t)
+    elif sp.kind == "stencil":
+        s.foreach(i=(2, "n"))
+        s.formula(ref("y", i), ref("x", i) - ref("x", i - 1) * c)
+    elif sp.kind == "masked":
+        s.foreach(i=(1, "n"))
+        s.if_(ref("x", i).gt(t),
+              [SB.assign(ref("y", i), ref("x", i) * c)],
+              [SB.assign(ref("y", i), 0.0 - ref("x", i))])
+    elif sp.kind == "reduction-sum":
+        s.foreach(i=(1, "n"))
+        s.formula(ref("y", 1), ref("y", 1) + ref("x", i) * ref("x", i))
+    elif sp.kind == "reduction-max":
+        s.foreach(i=(1, "n"))
+        s.formula(ref("y", 1), lib("MAX", ref("y", 1), ref("x", i)))
+    elif sp.kind == "masked-multi-acc":
+        # The SARB thick_thin shape: both branches accumulate, but into
+        # *different* cells — a masked multi-accumulator reduction.
+        s.foreach(i=(1, "n"))
+        s.if_(ref("x", i).gt(t),
+              [SB.assign(ref("y", 1), ref("y", 1) + ref("x", i))],
+              [SB.assign(ref("y", 2), ref("y", 2) + c)])
+    elif sp.kind == "loop-carried":
+        s.foreach(i=(2, "n"))
+        s.formula(ref("y", i), ref("y", i - 1) * c + ref("x", i))
+    elif sp.kind == "indirect-write":
+        s.foreach(i=(1, "n"))
+        s.formula(ref("y", ref("idx", i)), ref("x", i) * c)
+    elif sp.kind == "triangular":
+        s.foreach(i=(1, "n"), j=(1, i))
+        s.formula(ref("y", i), ref("y", i) + ref("x", I("j")))
+    elif sp.kind == "early-exit":
+        s.foreach(i=(1, "n"))
+        s.if_(ref("x", i).gt(t), [SB.exit_stmt()])
+        s.formula(ref("y", i), ref("x", i) * c)
+    elif sp.kind == "early-return":
+        s.foreach(i=(1, "n"))
+        s.if_(ref("x", i).gt(t), [SB.ret()])
+        s.formula(ref("y", i), ref("x", i) * c)
+    elif sp.kind == "call-helper":
+        s.foreach(i=(1, "n"))
+        s.formula(ref("y", i), FuncCall(f"{unit.name}_fn", (ref("x", i),)))
+    else:  # pragma: no cover - profiles validate kinds up front
+        raise ValueError(f"unknown step kind {sp.kind!r}")
+
+
+def _emit_structures(b: GlafBuilder, m, f, unit: UnitSpec) -> None:
+    i = I("i")
+    if "common-block" in unit.structures:
+        s = f.step(f"{unit.name}_common")
+        s.foreach(i=(1, "n"))
+        s.formula(ref("cbuf", i), ref("cbuf", i) + ref("y", i))
+    if "module-scope" in unit.structures:
+        s = f.step(f"{unit.name}_module")
+        s.foreach(i=(1, "n"))
+        s.formula(ref("mstate", i), ref("mstate", i) + ref("x", i))
+    if "derived-type" in unit.structures:
+        s = f.step(f"{unit.name}_typed")
+        s.foreach(i=(1, "n"))
+        s.formula(ref("y", i), ref("y", i) + ref("gain"))
+    if "call-subroutine" in unit.structures:
+        # Helper SUBROUTINE + a non-loop CALL step (§3.4 call sites).
+        h = m.function(f"{unit.name}_scale", return_type=T_VOID)
+        h.param("n", T_INT, intent="in")
+        h.param("y", T_REAL8, dims=("n",), intent="inout")
+        hs = h.step("halve")
+        hs.foreach(i=(1, "n"))
+        hs.formula(ref("y", i), ref("y", i) * 0.5)
+        s = f.step(f"{unit.name}_call")
+        s.call(f"{unit.name}_scale", [ref("n"), ref("y")])
+
+
+def build_program(spec: CodebaseSpec) -> GlafProgram:
+    """Render ``spec`` into a validated program (pure; no rng)."""
+    b = GlafBuilder(f"fuzz_{spec.seed}_{spec.index}")
+    structures = {k for u in spec.units for k in u.structures}
+    if "common-block" in structures:
+        b.global_grid("cbuf", T_REAL8, dims=(spec.extent,),
+                      common_block="fzc",
+                      comment="legacy COMMON-block state (§3.2)")
+    if "derived-type" in structures:
+        b.derived_type("fz_cfg", {"gain": (T_REAL8, 0)},
+                       defined_in_module=HOST_MODULE)
+        b.global_grid("gain", T_REAL8, exists_in_module=HOST_MODULE,
+                      type_parent="cfgv", type_name="fz_cfg",
+                      comment="element of the legacy TYPE(fz_cfg) cfgv (§3.5)")
+    m = b.module("fuzz_kernels")
+    if "module-scope" in structures:
+        b.global_grid("mstate", T_REAL8, dims=(spec.extent,),
+                      module_scope=True,
+                      comment="module-scope accumulator state (§3.3)")
+    for unit in spec.units:
+        if any(s.kind == "call-helper" for s in unit.steps):
+            g = m.function(f"{unit.name}_fn", return_type=T_REAL8)
+            g.param("v", T_REAL8, intent="in")
+            g.returns(ref("v") * 2.0 + 1.0)
+        f = m.function(unit.name, return_type=T_VOID)
+        f.param("n", T_INT, intent="in")
+        f.param("x", T_REAL8, dims=("n",), intent="in")
+        f.param("y", T_REAL8, dims=("n",), intent="inout")
+        if unit.needs_idx:
+            f.param("idx", T_INT, dims=("n",), intent="in")
+        for seq, sp in enumerate(unit.steps, start=1):
+            _emit_step(f, unit, sp, seq)
+        _emit_structures(b, m, f, unit)
+    return b.build()
+
+
+def generate_codebase(seed: int, profile: FuzzProfile | str = "small",
+                      index: int = 0) -> FuzzCodebase:
+    """Draw and render one codebase; deterministic in (seed, profile, index)."""
+    spec = generate_spec(seed, profile, index)
+    return FuzzCodebase(spec=spec, program=build_program(spec))

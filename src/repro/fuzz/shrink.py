@@ -1,0 +1,135 @@
+"""Delta-debug minimization of failing codebase specs.
+
+Classic ddmin would bisect source text; here the unit of shrinking is
+the :class:`~repro.fuzz.generate.CodebaseSpec`, so every candidate
+re-renders through the production builder and the minimized reproducer
+is always a *well-formed* codebase — never a syntactically lucky text
+fragment.  Three passes run to a fixpoint, cheapest first:
+
+1. **drop units** — remove whole kernel subprograms;
+2. **drop statements** — remove individual steps and structure
+   surfaces inside the surviving units;
+3. **shrink bounds** — lower the runtime extent bound to ``n``.
+
+A candidate counts only if the *same failure signature* reproduces; a
+candidate that fails differently (or crashes the pipeline outright) is
+rejected, so the invariant "the bundle's minimized spec reproduces the
+bundle's signature" holds by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable
+
+from .generate import CodebaseSpec, UnitSpec
+
+__all__ = ["ShrinkResult", "shrink_spec"]
+
+#: Extents tried by the bound-shrinking pass, smallest first.  2 is the
+#: floor: accumulator cells y(1)/y(2) and the i-1 stencils need it.
+_EXTENTS = (2, 3, 4, 6, 8, 12, 16)
+
+
+class ShrinkResult:
+    """The minimized spec plus how much probing it took."""
+
+    def __init__(self, spec: CodebaseSpec, probes: int):
+        self.spec = spec
+        self.probes = probes
+
+
+def shrink_spec(
+    spec: CodebaseSpec,
+    reproduces: Callable[[CodebaseSpec], bool],
+    *,
+    max_probes: int = 150,
+) -> ShrinkResult:
+    """Minimize ``spec`` while ``reproduces`` stays true.
+
+    ``reproduces`` must re-run the pipeline on the candidate and report
+    whether the original failure signature recurs; it is expected not to
+    raise (the runner catches everything into signatures), but a raising
+    predicate just rejects the candidate.  ``max_probes`` bounds total
+    pipeline re-runs so triage stays cheap even for stubborn failures.
+    """
+    probes = 0
+
+    def attempt(cand: CodebaseSpec) -> bool:
+        nonlocal probes
+        if probes >= max_probes:
+            return False
+        probes += 1
+        try:
+            return bool(reproduces(cand))
+        except Exception:
+            return False
+
+    cur = spec
+
+    # Pass 1: drop whole units (never below one).
+    changed = True
+    while changed and len(cur.units) > 1:
+        changed = False
+        for unit in list(cur.units):
+            if len(cur.units) == 1:
+                break
+            cand = replace(
+                cur, units=tuple(u for u in cur.units if u is not unit))
+            if attempt(cand):
+                cur = cand
+                changed = True
+
+    # Pass 2: drop steps and structure surfaces inside surviving units.
+    changed = True
+    while changed:
+        changed = False
+        for ui, unit in enumerate(cur.units):
+            for step in list(unit.steps):
+                slim = replace(
+                    unit, steps=tuple(s for s in unit.steps if s is not step))
+                cand = _swap_unit(cur, ui, slim)
+                if attempt(cand):
+                    cur = cand
+                    unit = slim
+                    changed = True
+            for struct in list(unit.structures):
+                slim = replace(
+                    unit,
+                    structures=tuple(s for s in unit.structures
+                                     if s != struct))
+                cand = _swap_unit(cur, ui, slim)
+                if attempt(cand):
+                    cur = cand
+                    unit = slim
+                    changed = True
+
+    # Pass 3: shrink the runtime extent to the smallest reproducing value.
+    for n in _EXTENTS:
+        if n >= cur.extent:
+            break
+        cand = replace(cur, extent=n)
+        if attempt(cand):
+            cur = cand
+            break
+
+    from ..observe import get_decisions, get_metrics
+
+    m = get_metrics()
+    if m.enabled:
+        m.counter("fuzz.shrink.probes").inc(probes)
+    dl = get_decisions()
+    if dl.enabled:
+        dl.record("fuzz:shrink", "campaign", cur.index, "minimize",
+                  "minimized",
+                  units=len(cur.units),
+                  steps=sum(len(u.steps) for u in cur.units),
+                  extent=cur.extent, probes=probes)
+    return ShrinkResult(cur, probes)
+
+
+def _swap_unit(spec: CodebaseSpec, index: int,
+               unit: UnitSpec) -> CodebaseSpec:
+    units = list(spec.units)
+    units[index] = unit
+    return replace(spec, units=tuple(units))

@@ -1,0 +1,108 @@
+"""Shared mutation vocabulary for source-level fuzzing.
+
+The parser property tests (``tests/unit/test_parser_fuzz.py``) and the
+codebase generator draw from the same construct vocabulary so the two
+cannot drift: what we mutate is what we generate.  The pure pieces live
+here — the corpus loader, the noise alphabet, the mutation kinds, and
+:func:`apply_mutation`, which performs one mutation as a plain function
+of its arguments.  :func:`mutated_source` wraps them into a hypothesis
+strategy; hypothesis itself is imported lazily so this module (and the
+``repro fuzz`` pipeline built on it) works on an interpreter without the
+package installed.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "NOISE_ALPHABET", "MUTATION_KINDS", "parser_corpus",
+    "apply_mutation", "mutated_source",
+]
+
+#: Characters the mutator splices in: operators the grammar knows, ones
+#: it does not, digits, names, and whitespace — enough to hit lexer
+#: errors, parser errors, and accidental re-parses alike.
+NOISE_ALPHABET = "()*/+-=<>,:%;.!&?@#$[]{}'\"_x0 19\n\t"
+
+#: The source-level damage operators.
+MUTATION_KINDS = ("replace", "insert", "delete", "drop_line", "dup_line",
+                  "truncate")
+
+
+def parser_corpus() -> list[str]:
+    """The two case studies' legacy sources — the seed texts to mutate."""
+    from ..fun3d import full_legacy_source as fun3d_source
+    from ..fun3d.mesh import make_mesh
+    from ..sarb import full_legacy_source as sarb_source
+
+    sources = list(sarb_source().values())
+    sources += list(fun3d_source(make_mesh(n_points=12, seed=3)).values())
+    return sources
+
+
+def apply_mutation(src: str, kind: str, pos: int, *, payload: str = "",
+                   span: int = 1) -> str:
+    """Apply one mutation of ``kind`` to ``src`` at ``pos``.
+
+    ``pos`` indexes characters (or lines, for the line-level kinds) and
+    is clamped into range, so any non-negative position is valid;
+    ``payload`` is the spliced-in noise for replace/insert and ``span``
+    the width of a delete.  Pure: same arguments, same mutant.
+    """
+    if kind not in MUTATION_KINDS:
+        raise ValueError(f"unknown mutation kind {kind!r}; "
+                         f"known: {', '.join(MUTATION_KINDS)}")
+    if not src:
+        return src
+    if kind in ("drop_line", "dup_line"):
+        lines = src.splitlines(keepends=True)
+        i = min(pos, len(lines) - 1)
+        if kind == "drop_line":
+            del lines[i]
+        else:
+            lines.insert(i, lines[i])
+        return "".join(lines)
+    pos = min(pos, len(src) - 1)
+    if kind == "replace":
+        return src[:pos] + payload + src[pos + 1:]
+    if kind == "insert":
+        return src[:pos] + payload + src[pos:]
+    if kind == "delete":
+        return src[:pos] + src[pos + min(span, 40):]
+    return src[:pos]            # truncate
+
+
+def mutated_source():
+    """Hypothesis strategy: a corpus source with 1–4 seeded mutations.
+
+    Built on :data:`MUTATION_KINDS` / :data:`NOISE_ALPHABET` /
+    :func:`apply_mutation` so the property tests and the generator share
+    one vocabulary.  Requires hypothesis (imported here, not at module
+    scope).
+    """
+    from hypothesis import strategies as st
+
+    corpus = parser_corpus()
+    noise = st.text(alphabet=NOISE_ALPHABET, min_size=1, max_size=12)
+
+    @st.composite
+    def _strategy(draw) -> str:
+        src = draw(st.sampled_from(corpus))
+        for _ in range(draw(st.integers(min_value=1, max_value=4))):
+            if not src:
+                break
+            kind = draw(st.sampled_from(MUTATION_KINDS))
+            if kind in ("drop_line", "dup_line"):
+                pos = draw(st.integers(
+                    min_value=0,
+                    max_value=max(0, len(src.splitlines()) - 1)))
+                src = apply_mutation(src, kind, pos)
+                continue
+            pos = draw(st.integers(min_value=0, max_value=len(src) - 1))
+            src = apply_mutation(
+                src, kind, pos,
+                payload=(draw(noise) if kind in ("replace", "insert")
+                         else ""),
+                span=(draw(st.integers(1, 40)) if kind == "delete" else 1))
+        return src
+
+    return _strategy()

@@ -374,8 +374,14 @@ def guarded_vectorized_run(
     with get_tracer().span("exec.run.guarded-vectorized", entry=entry,
                            program=program.name):
         vec = VectorizedInterpreter(program, probe_ctx, limits=limits)
+        # Array arguments are storage, exactly like context grids: the
+        # probe gets copies, so neither its writes nor a mid-probe budget
+        # trip can leak into the arrays the authoritative interpreter run
+        # below reads and the caller keeps.
+        probe_args = [a.copy() if isinstance(a, np.ndarray) else a
+                      for a in args]
         try:
-            vec.call(entry, list(args))
+            vec.call(entry, probe_args)
             vec_snap = probe_ctx.snapshot(compare)
         except ResourceLimitError:
             raise                        # budget exhausted: never retry

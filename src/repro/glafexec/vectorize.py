@@ -370,7 +370,20 @@ class VectorizedInterpreter(Interpreter):
         snap = {g: self._storage(frame, g).copy() for g in plan.written}
         try:
             self._exec_lifted(frame, idx, step, plan)
-        except (ResourceLimitError, NumericIntegrityError):
+        except ResourceLimitError:
+            # The budget is spent for *this* run — the error stays
+            # terminal — but the step's partial writes must not survive:
+            # a later call on this interpreter (fresh budget) or a guard
+            # probing a clone must see pre-step storage, not a torn grid.
+            # Sticky-demote so any re-run interprets the step instead of
+            # re-tripping the lift.
+            for g, saved in snap.items():
+                self._storage(frame, g)[...] = saved
+            self._demoted.add(key)
+            self._note_fallback(frame, idx, step,
+                                "resource budget exhausted mid-lift")
+            raise
+        except NumericIntegrityError:
             raise
         except ExecutionError as e:
             # Roll back the step's writes and let the reference interpreter

@@ -19,6 +19,11 @@ Stages and their verdict vocabularies:
 ``numeric:<kind>``     ``detected``
 ``retry``              ``retried`` | ``gave-up``
 ``executor:fallback``  ``interpreter``
+``fuzz:item``          ``clean`` | ``failed``
+``fuzz:signature``     ``new`` | ``duplicate``
+``fuzz:shrink``        ``minimized``
+``fuzz:quarantine``    ``written``
+``fuzz:campaign``      ``clean`` | ``failed``
 =====================  ==============================================
 
 The ``guard`` stage is emitted by :class:`repro.glafexec.GuardedRunner`
@@ -37,7 +42,13 @@ by the numeric sentinels on every trip, and ``retry`` by
 :class:`repro.glafexec.VectorizedInterpreter` whenever a step it cannot
 lift to a whole-grid array program is demoted to the reference
 interpreter (verdict ``interpreter``, with the reason the lift was
-refused) — see ``docs/EXECUTORS.md``.
+refused) — see ``docs/EXECUTORS.md``.  The ``fuzz:*`` stages narrate a
+``repro fuzz`` campaign — one ``fuzz:item`` per generated project
+(reasons = failure signature keys), ``fuzz:signature`` when triage sees
+a signature (``new`` opens a bucket), ``fuzz:shrink`` /
+``fuzz:quarantine`` as a new bucket's exemplar is minimized and its
+reproducer bundle written, and one closing ``fuzz:campaign`` — see
+``docs/FUZZING.md``.
 """
 
 from __future__ import annotations

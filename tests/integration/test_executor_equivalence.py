@@ -302,6 +302,117 @@ class TestSyntheticKernels:
 
 
 # ----------------------------------------------------------------------
+# resource exhaustion mid-lift
+# ----------------------------------------------------------------------
+class TestResourceExhaustion:
+    """A budget trip inside a lifted step must not corrupt state.
+
+    ``ResourceLimitError`` is terminal for the run, but the arrays the
+    caller handed in are authoritative storage: the tripping step's
+    partial writes are rolled back, the step is sticky-demoted, and a
+    guarded probe's writes never reach the caller's arrays at all.
+    """
+
+    def _two_step(self):
+        def body(f):
+            s = f.step("double")
+            s.foreach(i=(1, "n"))
+            s.formula(ref("y", I("i")), ref("x", I("i")) * 2.0)
+            s = f.step("shift")
+            s.foreach(i=(1, "n"))
+            s.formula(ref("y", I("i")), ref("y", I("i")) + 1.0)
+        return _kernel(body)
+
+    def test_vectorized_trip_keeps_completed_steps_only(self):
+        # Budget covers step 1 exactly; step 2's up-front charge trips.
+        # y must hold step 1's result — no torn step-2 writes — and the
+        # demotion must be visible in the decision log.
+        from repro.errors import ResourceLimitError
+        from repro.robust import ResourceLimits
+
+        p = self._two_step()
+        x = _x()
+        y = np.zeros(N)
+        ex = get_executor("vectorized",
+                          limits=ResourceLimits(max_loop_iterations=N))
+        with observe.observed() as obs:
+            with pytest.raises(ResourceLimitError):
+                ex.run(p, "f", [N, x, y], sizes={"n": N})
+        assert np.array_equal(y, x * 2.0)
+        fb = obs.decisions.for_stage("executor:fallback")
+        assert [(d.step_name, d.reasons) for d in fb] == [
+            ("shift", ("resource budget exhausted mid-lift",))]
+
+    def test_guarded_probe_trip_leaves_callers_arrays_untouched(self):
+        # The probe runs on copies: even though its first step completed
+        # before the budget tripped, none of its writes may leak into the
+        # arrays the caller (and the authoritative interpreter run)
+        # owns.
+        from repro.errors import ResourceLimitError
+        from repro.robust import ResourceLimits
+
+        p = self._two_step()
+        x = _x()
+        y = np.zeros(N)
+        ex = get_executor("guarded",
+                          limits=ResourceLimits(max_loop_iterations=N))
+        with pytest.raises(ResourceLimitError):
+            ex.run(p, "f", [N, x, y], sizes={"n": N})
+        assert np.array_equal(y, np.zeros(N))
+
+    def test_mid_write_trip_rolls_back_and_sticky_demotes(self, monkeypatch):
+        # Simulate the wall-clock case: the budget trips after the lift
+        # has already written part of the grid.  Pre-step storage must be
+        # restored, and a later call on the same interpreter (fresh
+        # budget) must serve the step through the scalar interpreter.
+        from repro.errors import ResourceLimitError
+        from repro.glafexec.context import ExecutionContext
+        from repro.glafexec.vectorize import VectorizedInterpreter
+
+        def body(f):
+            s = f.step("double")
+            s.foreach(i=(1, "n"))
+            s.formula(ref("y", I("i")), ref("x", I("i")) * 2.0)
+        p = _kernel(body)
+
+        def torn(self, frame, idx, step, plan):
+            self._storage(frame, "y")[...] = 123.0  # partial garbage
+            raise ResourceLimitError("simulated mid-write budget trip")
+
+        monkeypatch.setattr(VectorizedInterpreter, "_exec_lifted", torn)
+        ctx = ExecutionContext(p, sizes={"n": N})
+        vec = VectorizedInterpreter(p, ctx)
+        x = _x()
+        y = np.zeros(N)
+        with pytest.raises(ResourceLimitError, match="mid-write"):
+            vec.call("f", [N, x, y])
+        assert np.array_equal(y, np.zeros(N))  # rolled back, not torn
+        assert ("f", 0) in vec._demoted
+        assert [e.reason for e in vec.fallbacks] == [
+            "resource budget exhausted mid-lift"]
+
+        # Demotion is sticky: the re-run never touches the (still
+        # patched, still poisonous) lift path and produces the
+        # interpreter's answer.
+        vec.call("f", [N, x, y])
+        assert np.array_equal(y, x * 2.0)
+
+    def test_guarded_probe_writes_never_pollute_reference_inputs(self):
+        # Accumulating kernel: if the probe shared the caller's arrays,
+        # the authoritative interpreter run would start from the probe's
+        # result and double-count.
+        def body(f):
+            s = f.step("acc")
+            s.foreach(i=(1, "n"))
+            s.formula(ref("y", 1), ref("y", 1) + ref("x", I("i")))
+        p = _kernel(body)
+        x = _x()
+        y = np.zeros(N)
+        get_executor("guarded").run(p, "f", [N, x, y], sizes={"n": N})
+        assert np.isclose(y[0], x.sum())
+
+
+# ----------------------------------------------------------------------
 # sentinel parity
 # ----------------------------------------------------------------------
 class TestSentinelParity:

@@ -103,6 +103,45 @@ class TestRecorder:
         assert env["guard_mode"] is False
         assert env["fault_plan_active"] is False
 
+    def test_hung_git_probe_degrades_the_fingerprint(self, monkeypatch):
+        # A git probe that hangs past its timeout must not silently omit
+        # the sha: the fingerprint records the reason, and the artifact
+        # meta carries it as fingerprint:degraded.
+        import subprocess as sp
+
+        from repro.bench import record as rec
+
+        def hang(*a, **kw):
+            raise sp.TimeoutExpired(cmd=a[0], timeout=kw.get("timeout", 10))
+
+        monkeypatch.setattr(rec.subprocess, "run", hang)
+        env = environment_fingerprint()
+        assert env["git_sha"] == "unknown"
+        assert env["degraded"] == [
+            {"field": "git_sha",
+             "reason": "git probe hung past its 10s timeout"}]
+        doc = record_benchmark(ids=["T2"], repeats=1, clock=fake_clock())
+        assert doc["meta"]["fingerprint:degraded"] == env["degraded"]
+
+    def test_failed_git_probe_carries_stderr(self, monkeypatch):
+        import subprocess as sp
+
+        from repro.bench import record as rec
+
+        def fail(*a, **kw):
+            return sp.CompletedProcess(a[0], 128, stdout="",
+                                       stderr="fatal: not a git repository")
+
+        monkeypatch.setattr(rec.subprocess, "run", fail)
+        env = environment_fingerprint()
+        assert env["git_sha"] == "unknown"
+        assert "not a git repository" in env["degraded"][0]["reason"]
+
+    def test_healthy_fingerprint_has_no_degraded_field(self):
+        env = environment_fingerprint()
+        if env["git_sha"] != "unknown":
+            assert "degraded" not in env
+
     def test_unknown_id_raises(self):
         with pytest.raises(KeyError):
             record_benchmark(ids=["ZZ"], repeats=1)

@@ -99,6 +99,22 @@ class TestCli:
         assert "parallel=yes" in out
         assert "reason:" in out          # adjust2's carried loop
 
+    def test_analyze_liftability(self, project_file, capsys):
+        assert main(["analyze", project_file, "--liftability"]) == 0
+        out = capsys.readouterr().out
+        # SARB has both lifted steps and the loop-carried smooth step
+        assert "lift: vectorized" in out
+        assert "lift: interpreter fallback" in out
+
+    def test_fuzz_clean_campaign_human_summary(self, tmp_path, capsys,
+                                               monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["fuzz", "--seed", "7", "--count", "3",
+                     "--profile", "small"]) == 0
+        out = capsys.readouterr().out
+        assert "fuzz campaign: seed 7, 3 codebase(s), profile small" in out
+        assert "clean 3  failed 0" in out
+
     def test_sloc(self, project_file, capsys):
         assert main(["sloc", project_file]) == 0
         out = capsys.readouterr().out

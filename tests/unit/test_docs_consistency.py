@@ -91,7 +91,9 @@ class TestObservabilityDoc:
         families as their ``<placeholder>`` template)."""
         doc = (REPO / "docs" / "OBSERVABILITY.md").read_text()
         fixed = ["parallelize", "pruning", "advisor", "guard", "fault",
-                 "retry", "executor:fallback"]
+                 "retry", "executor:fallback", "fuzz:item",
+                 "fuzz:signature", "fuzz:shrink", "fuzz:quarantine",
+                 "fuzz:campaign"]
         missing = [s for s in fixed if f"`{s}`" not in doc]
         assert not missing, (
             f"docs/OBSERVABILITY.md event catalog is missing stage(s): "
@@ -304,6 +306,49 @@ class TestExecutorsDoc:
         from repro.bench import EXPERIMENTS
 
         assert "X1" in EXPERIMENTS
+
+
+class TestFuzzingDoc:
+    """docs/FUZZING.md must track the fuzz-campaign machinery."""
+
+    def test_exists_and_names_the_schemas(self):
+        doc = (REPO / "docs" / "FUZZING.md").read_text()
+        from repro.fuzz import BUNDLE_SCHEMA, SUMMARY_SCHEMA
+
+        assert SUMMARY_SCHEMA in doc
+        assert BUNDLE_SCHEMA in doc
+        assert "repro fuzz" in doc
+        assert "--resume" in doc and "--fault" in doc
+
+    def test_every_profile_documented(self):
+        doc = (REPO / "docs" / "FUZZING.md").read_text()
+        from repro.fuzz import PROFILES
+
+        missing = [n for n in PROFILES if f"`{n}`" not in doc]
+        assert not missing, (
+            f"docs/FUZZING.md is missing fuzz profile(s): {missing}"
+        )
+
+    def test_every_generator_kind_documented(self):
+        doc = (REPO / "docs" / "FUZZING.md").read_text()
+        from repro.fuzz import STEP_KINDS, STRUCTURE_KINDS
+
+        missing = [k for k in (*STEP_KINDS, *STRUCTURE_KINDS)
+                   if f"`{k}`" not in doc]
+        assert not missing, (
+            f"docs/FUZZING.md is missing generator kind(s): {missing}"
+        )
+
+    def test_linked_from_readme_and_robustness(self):
+        assert "FUZZING.md" in (REPO / "README.md").read_text()
+        assert "FUZZING.md" in (REPO / "docs" / "ROBUSTNESS.md").read_text()
+
+    def test_ci_runs_the_fuzz_campaign(self):
+        ci = (REPO / ".github" / "workflows" / "ci.yml").read_text()
+        assert "repro fuzz --seed 7 --count 25 --profile small" in ci
+        assert "fuzz_quarantine" in ci       # bundles ship as artifacts
+        make = (REPO / "Makefile").read_text()
+        assert "repro fuzz --seed 7 --count 25 --profile small" in make
 
 
 class TestTutorialFlags:

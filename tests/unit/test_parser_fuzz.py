@@ -6,7 +6,12 @@ contract under test: the front end either parses the mutant or raises a
 typed :class:`FortranSyntaxError` (:class:`DiagnosticBundle` included) —
 it must never escape with a raw ``IndexError`` / ``KeyError`` /
 ``RecursionError`` / ``AttributeError``, hang, or crash, no matter how
-the input is damaged."""
+the input is damaged.
+
+The corpus, noise alphabet, and mutation operators come from
+:mod:`repro.fuzz.vocab`, the same vocabulary the ``repro fuzz`` codebase
+generator is built on — so what these properties fuzz and what the
+campaign generates cannot drift apart."""
 
 import pytest
 
@@ -17,62 +22,40 @@ from hypothesis import given, settings, strategies as st  # noqa: E402
 from repro.errors import DiagnosticBundle, FortranSyntaxError  # noqa: E402
 from repro.fortranlib.lexer import tokenize  # noqa: E402
 from repro.fortranlib.parser import parse_source  # noqa: E402
-
-
-def _corpus() -> list[str]:
-    from repro.fun3d import full_legacy_source as fun3d_source
-    from repro.fun3d.mesh import make_mesh
-    from repro.sarb import full_legacy_source as sarb_source
-
-    sources = list(sarb_source().values())
-    sources += list(fun3d_source(make_mesh(n_points=12, seed=3)).values())
-    return sources
-
-
-CORPUS = _corpus()
-
-# Characters the mutator splices in: operators the grammar knows, ones it
-# does not, digits, names, and whitespace — enough to hit lexer errors,
-# parser errors, and accidental re-parses alike.
-_NOISE = st.text(
-    alphabet="()*/+-=<>,:%;.!&?@#$[]{}'\"_x0 19\n\t",
-    min_size=1, max_size=12,
+from repro.fuzz.vocab import (  # noqa: E402
+    MUTATION_KINDS,
+    NOISE_ALPHABET,
+    apply_mutation,
+    mutated_source,
+    parser_corpus,
 )
 
-
-@st.composite
-def mutated_source(draw) -> str:
-    src = draw(st.sampled_from(CORPUS))
-    n_mutations = draw(st.integers(min_value=1, max_value=4))
-    for _ in range(n_mutations):
-        kind = draw(st.sampled_from(
-            ["replace", "insert", "delete", "drop_line", "dup_line",
-             "truncate"]))
-        if not src:
-            break
-        if kind in ("drop_line", "dup_line"):
-            lines = src.splitlines(keepends=True)
-            i = draw(st.integers(min_value=0, max_value=len(lines) - 1))
-            if kind == "drop_line":
-                del lines[i]
-            else:
-                lines.insert(i, lines[i])
-            src = "".join(lines)
-            continue
-        pos = draw(st.integers(min_value=0, max_value=len(src) - 1))
-        if kind == "replace":
-            src = src[:pos] + draw(_NOISE) + src[pos + 1:]
-        elif kind == "insert":
-            src = src[:pos] + draw(_NOISE) + src[pos:]
-        elif kind == "delete":
-            end = min(len(src), pos + draw(st.integers(1, 40)))
-            src = src[:pos] + src[end:]
-        else:  # truncate
-            src = src[:pos]
-    return src
-
+CORPUS = parser_corpus()
 
 _FUZZ = settings(max_examples=60, deadline=None)
+
+
+class TestVocabulary:
+    """The promoted helpers keep their contract for both consumers."""
+
+    def test_mutation_kinds_cover_all_damage_operators(self):
+        assert set(MUTATION_KINDS) == {
+            "replace", "insert", "delete", "drop_line", "dup_line",
+            "truncate"}
+
+    def test_apply_mutation_is_pure(self):
+        src = CORPUS[0]
+        a = apply_mutation(src, "replace", 10, payload="@@")
+        b = apply_mutation(src, "replace", 10, payload="@@")
+        assert a == b != src
+
+    def test_apply_mutation_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown mutation kind"):
+            apply_mutation("x", "transpose", 0)
+
+    def test_noise_alphabet_mixes_known_and_unknown_tokens(self):
+        assert "(" in NOISE_ALPHABET          # grammar-known operator
+        assert "@" in NOISE_ALPHABET          # lexer-unknown character
 
 
 class TestParserFuzz:
