@@ -23,12 +23,15 @@ lint:
 # lint gate, fault sweep (includes the numeric.sentinel scenario), the
 # fixed-seed differential fuzz campaign (docs/FUZZING.md), the
 # resume-integrity smoke (kill a recording, resume it, verify digest +
-# schema — docs/NUMERICS.md), and the benchmark regression gates against
+# schema — docs/NUMERICS.md), the run-ledger selftest (append,
+# stale-index reconciliation, quarantine, every exporter —
+# docs/RUN_LEDGER.md), and the benchmark regression gates against
 # the committed baseline (interpreter and vectorized legs).
 ci: lint
 	$(PYTHON) -m compileall -q src
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
 	REPRO_EXECUTOR=vectorized PYTHONPATH=src $(PYTHON) -m pytest -x -q
+	PYTHONPATH=src $(PYTHON) -m repro runs selftest
 	PYTHONPATH=src $(PYTHON) -m repro faultcheck
 	PYTHONPATH=src $(PYTHON) -m repro fuzz --seed 7 --count 25 --profile small
 	$(PYTHON) scripts/resume_smoke.py

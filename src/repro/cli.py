@@ -39,6 +39,17 @@
   continues a killed campaign from its checkpoints, ``--fault
   SITE:KIND[:FUNCTION]`` injects seeded faults into every item.  Exits 1
   when any failure signature was found.
+* ``runs list|show|diff|trend|gc|export|html|selftest`` — the persistent
+  run ledger (``docs/RUN_LEDGER.md``): every ledgered invocation appends
+  one digest-stamped ``repro.run/v1`` record to ``.repro/runs/``;
+  ``list`` tabulates them, ``show [RUN]`` prints one (default: latest),
+  ``diff OLD NEW`` compares wall/stages/counters/environment, ``trend``
+  renders the wall-time trajectory per command, ``gc --keep N`` prunes
+  old records, ``export [RUN] --prometheus|--chrome [--out FILE]``
+  renders one record as a Prometheus text-exposition page or a
+  Chrome/Perfetto trace, ``html [--out FILE]`` writes the self-contained
+  static dashboard, and ``selftest`` smoke-tests the whole ledger round
+  trip in a scratch directory (used by ``make ci``).
 * ``bench record|compare|trend`` — the longitudinal benchmark layer
   (``docs/BENCHMARKING.md``): ``record`` runs the experiments N times and
   writes the next schema-versioned ``BENCH_<n>.json`` artifact (atomic
@@ -62,6 +73,13 @@ from its per-case checkpoints.  ``experiments``, ``profile``, and
 to choose the IR execution engine (``docs/EXECUTORS.md``): the reference
 interpreter, the vectorized whole-grid array executor, or the guarded
 executor that cross-checks the two with serial fallback.
+
+Every pipeline entry point (``experiments``, ``generate``, ``profile``,
+``faultcheck``, ``lint``, ``fuzz``, ``bench record``) also records
+itself into the run ledger by default — ``--ledger DIR`` redirects it,
+``--no-ledger`` (or ``REPRO_LEDGER=0``) disables it, and ``--sample
+SECONDS`` turns on the background resource sampler whose RSS/CPU/GC
+time series lands in the record (``docs/RUN_LEDGER.md``).
 
 Any uncaught :class:`repro.errors.GlafError` prints a one-line
 ``error: ...`` and exits 2; only raw (non-framework) exceptions traceback.
@@ -94,6 +112,23 @@ def _add_profile_flag(sub: argparse.ArgumentParser) -> None:
         metavar="FILE",
         help="trace the run; print a report to stderr, or write a JSON "
              "trace to FILE when given",
+    )
+
+
+def _add_ledger_flags(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--ledger", dest="ledger_dir", metavar="DIR", default=None,
+        help="run-ledger directory (default: .repro/runs, or $REPRO_LEDGER; "
+             "docs/RUN_LEDGER.md)",
+    )
+    sub.add_argument(
+        "--no-ledger", action="store_true",
+        help="do not append a run record to the ledger",
+    )
+    sub.add_argument(
+        "--sample", type=float, default=None, metavar="SECONDS",
+        help="sample RSS/CPU/GC every SECONDS into the run record "
+             "(off by default)",
     )
 
 
@@ -134,6 +169,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="also write the result tables as JSON to FILE")
     _add_executor_flag(exp)
     _add_profile_flag(exp)
+    _add_ledger_flags(exp)
 
     gen = sub.add_parser("generate", help="generate code from a project file")
     gen.add_argument("project", help="path to a saved GLAF project JSON")
@@ -143,6 +179,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help='pruning variant (e.g. "GLAF serial", "GLAF-parallel v3")')
     gen.add_argument("--threads", type=int, default=4)
     _add_profile_flag(gen)
+    _add_ledger_flags(gen)
 
     ana = sub.add_parser("analyze", help="print loop classes and verdicts")
     ana.add_argument("project")
@@ -186,6 +223,7 @@ def build_parser() -> argparse.ArgumentParser:
                            "catches and quarantines known-bad pipelines")
     fuzz.add_argument("--fault-seed", type=int, default=0,
                       help="seed for the injected fault plans (default 0)")
+    _add_ledger_flags(fuzz)
 
     sloc = sub.add_parser("sloc", help="SLOC of the generated FORTRAN")
     sloc.add_argument("project")
@@ -222,6 +260,7 @@ def build_parser() -> argparse.ArgumentParser:
                       help="screen every interpreter assignment for NaN/Inf/"
                            "overflow during the profiled run")
     _add_executor_flag(prof)
+    _add_ledger_flags(prof)
 
     fc = sub.add_parser(
         "faultcheck",
@@ -231,6 +270,7 @@ def build_parser() -> argparse.ArgumentParser:
                     help="seed for the deterministic fault plans (default 0)")
     fc.add_argument("--json", dest="json_path", metavar="FILE",
                     help="also write the report as JSON to FILE")
+    _add_ledger_flags(fc)
 
     lint = sub.add_parser(
         "lint",
@@ -253,6 +293,7 @@ def build_parser() -> argparse.ArgumentParser:
                            "verify the linter catches every mutant")
     lint.add_argument("--seed", type=int, default=0,
                       help="seed for the --selftest fault plans (default 0)")
+    _add_ledger_flags(lint)
 
     bench = sub.add_parser(
         "bench",
@@ -277,6 +318,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="retry a repeat that fails with a transient "
                           "ExecutionError up to N times (default 0)")
     _add_executor_flag(rec)
+    _add_ledger_flags(rec)
 
     cmp_ = bsub.add_parser(
         "compare", help="diff two artifacts; gate on wall-time regressions")
@@ -291,6 +333,53 @@ def build_parser() -> argparse.ArgumentParser:
         "trend", help="summarize every BENCH_*.json into one trajectory table")
     trend.add_argument("--dir", dest="bench_dir", default=".",
                        help="directory holding the artifacts (default: .)")
+
+    runs = sub.add_parser(
+        "runs",
+        help="inspect and export the persistent run ledger "
+             "(docs/RUN_LEDGER.md)",
+    )
+    rsub = runs.add_subparsers(dest="runs_command", required=True)
+
+    def _runs_sub(name: str, help_: str) -> argparse.ArgumentParser:
+        rp = rsub.add_parser(name, help=help_)
+        rp.add_argument("--dir", dest="runs_dir", metavar="DIR", default=None,
+                        help="ledger directory (default: .repro/runs, or "
+                             "$REPRO_LEDGER)")
+        return rp
+
+    _runs_sub("list", "tabulate every recorded run")
+    rshow = _runs_sub("show", "print one run record (default: latest)")
+    rshow.add_argument("run", nargs="?", default=None,
+                       help="run id (e.g. run-000003) or 'latest'")
+    rdiff = _runs_sub("diff", "compare two run records")
+    rdiff.add_argument("old", help="baseline run id")
+    rdiff.add_argument("new", help="candidate run id (or 'latest')")
+    _runs_sub("trend", "wall-time trajectory per command across the ledger")
+    rgc = _runs_sub("gc", "prune old run records (and the quarantine)")
+    rgc.add_argument("--keep", type=int, default=20,
+                     help="newest records to keep (default 20; 0 drops all)")
+    rexp = _runs_sub("export", "render one run record for external tools")
+    rexp.add_argument("run", nargs="?", default=None,
+                      help="run id to export (default: latest)")
+    fmt = rexp.add_mutually_exclusive_group(required=True)
+    fmt.add_argument("--prometheus", action="store_true",
+                     help="Prometheus text exposition of the metrics "
+                          "snapshot")
+    fmt.add_argument("--chrome", action="store_true",
+                     help="Chrome/Perfetto trace-event JSON (spans + "
+                          "counters + decision instants)")
+    rexp.add_argument("--out", metavar="FILE", default=None,
+                      help="write to FILE instead of stdout")
+    rhtml = _runs_sub("html", "write the self-contained HTML dashboard")
+    rhtml.add_argument("--out", metavar="FILE", default="runs.html",
+                       help="output path (default: runs.html)")
+    rhtml.add_argument("--last", type=int, default=None, metavar="N",
+                       help="only the newest N runs (default: all)")
+    rsub.add_parser(
+        "selftest",
+        help="smoke-test the ledger round trip (append, reconcile, "
+             "quarantine, every exporter) in a scratch directory")
     return p
 
 
@@ -457,7 +546,7 @@ def _cmd_profile(args) -> int:
     specs = [FaultSpec.parse(text) for text in args.fault]
     targets = (["fortran", "c", "opencl", "python"]
                if args.target == "all" else [args.target])
-    with observe.observed() as obs, ExitStack() as stack:
+    with observe.observing() as obs, ExitStack() as stack:
         if specs:
             stack.enter_context(
                 fault_injection(FaultPlan(specs, seed=args.fault_seed)))
@@ -642,6 +731,137 @@ def _cmd_fuzz(args) -> int:
     return 1 if summary.failed else 0
 
 
+def _cmd_runs(args) -> int:
+    from . import observe
+
+    if args.runs_command == "selftest":
+        return _runs_selftest()
+
+    directory = (observe.ledger_dir_from_env(args.runs_dir)
+                 or observe.DEFAULT_LEDGER_DIR)
+    ledger = observe.RunLedger(directory)
+
+    if args.runs_command == "list":
+        print(observe.render_runs_table(ledger.entries()))
+        return 0
+    if args.runs_command == "show":
+        print(observe.render_run(ledger.resolve(args.run)))
+        return 0
+    if args.runs_command == "diff":
+        print(observe.diff_runs(ledger.resolve(args.old),
+                                ledger.resolve(args.new)))
+        return 0
+    if args.runs_command == "trend":
+        records = [ledger.load(e["id"]) for e in ledger.entries()]
+        print(observe.render_runs_trend(records))
+        return 0
+    if args.runs_command == "gc":
+        removed = ledger.gc(args.keep)
+        print(f"removed {len(removed)} run record(s), kept "
+              f"{len(ledger.entries())} in {ledger.dir}")
+        return 0
+    if args.runs_command == "export":
+        record = ledger.resolve(args.run)
+        if args.prometheus:
+            text = observe.to_prometheus(
+                record.get("metrics", {}),
+                labels={"run": record["id"],
+                        "command": record.get("command", "?")})
+            observe.parse_prometheus(text)   # what we emit must parse
+            if args.out:
+                from .numeric import atomic_write_text
+
+                atomic_write_text(args.out, text)
+                print(f"prometheus exposition written to {args.out}",
+                      file=sys.stderr)
+            else:
+                sys.stdout.write(text)
+        else:
+            doc = observe.record_to_chrome(record)
+            if args.out:
+                _write_json(args.out, doc)
+                print(f"chrome trace written to {args.out} (open in "
+                      f"chrome://tracing or https://ui.perfetto.dev)",
+                      file=sys.stderr)
+            else:
+                json.dump(doc, sys.stdout, indent=2)
+                print()
+        return 0
+    # html
+    entries = ledger.entries()
+    if args.last:
+        entries = entries[-args.last:]
+    records = [ledger.load(e["id"]) for e in entries]
+    from .numeric import atomic_write_text
+
+    atomic_write_text(args.out, observe.render_runs_html(records))
+    print(f"dashboard with {len(records)} run(s) written to {args.out}")
+    return 0
+
+
+def _runs_selftest() -> int:
+    """End-to-end ledger smoke test in a scratch directory: append three
+    observed runs, reconcile a stale index, quarantine a corrupt record,
+    and push every exporter through its own validator."""
+    import tempfile
+    from pathlib import Path
+
+    from . import observe
+    from .errors import GlafError
+
+    def check(name: str, ok: bool) -> None:
+        print(f"  {name:<28s} {'ok' if ok else 'FAIL'}")
+        if not ok:
+            raise GlafError(f"runs selftest: {name} failed")
+
+    with tempfile.TemporaryDirectory(prefix="repro-runs-selftest-") as tmp:
+        ledger = observe.RunLedger(tmp)
+        for i in range(3):
+            with observe.observed() as obs:
+                with obs.tracer.span("selftest.stage", round=i):
+                    obs.metrics.counter("selftest.items").inc(i + 1)
+                    obs.metrics.histogram("selftest.ms").observe(1.0 + i)
+                obs.decisions.record("run:record", "selftest", i,
+                                     "ledger", "opened")
+            ledger.append(observe.build_record(
+                command="selftest", argv=["runs", "selftest"],
+                wall_s=0.001 * (i + 1), observation=obs,
+                samples=[{"t": 0.0, "rss_mb": 1.0, "cpu_s": 0.0,
+                          "gc_gen0": 0}]))
+        check("append x3", len(ledger.entries()) == 3)
+        check("load latest",
+              ledger.resolve("latest")["outcome"]["status"] == "ok")
+
+        # A crash between record write and index write leaves the index
+        # stale; entries() must heal it from the directory.
+        ledger.index_path.unlink()
+        check("reconcile stale index", len(ledger.entries()) == 3)
+
+        # A torn write must be quarantined, never listed.
+        bad = Path(tmp) / "run-000099.json"
+        bad.write_text('{"schema": "repro.run/v1", "truncat')
+        check("quarantine corrupt record",
+              len(ledger.entries()) == 3
+              and (ledger.quarantine_dir / bad.name).exists())
+
+        record = ledger.resolve("latest")
+        page = observe.to_prometheus(record["metrics"],
+                                     labels={"run": record["id"]})
+        check("prometheus parses",
+              "repro_selftest_items_total" in observe.parse_prometheus(page))
+        doc = observe.record_to_chrome(record)
+        phases = {e["ph"] for e in doc["traceEvents"]}
+        check("chrome spans+counters+instants",
+              {"X", "C", "i"} <= phases)
+        html = observe.render_runs_html(
+            [ledger.load(e["id"]) for e in ledger.entries()])
+        check("html dashboard", "<svg" in html and "run-000003" in html)
+        check("gc keeps newest", ledger.gc(1) == ["run-000001", "run-000002"]
+              and ledger.latest_id() == "run-000003")
+    print("runs selftest: ok")
+    return 0
+
+
 _COMMANDS = {
     "experiments": _cmd_experiments,
     "generate": _cmd_generate,
@@ -653,7 +873,32 @@ _COMMANDS = {
     "lint": _cmd_lint,
     "fuzz": _cmd_fuzz,
     "bench": _cmd_bench,
+    "runs": _cmd_runs,
 }
+
+#: Commands that append a ``repro.run/v1`` record by default.  ``bench``
+#: is ledgered only for ``bench record`` (compare/trend are read-only).
+_LEDGERED = ("experiments", "generate", "profile", "faultcheck", "lint",
+             "fuzz", "bench")
+
+
+def _ledgered_command(args) -> str | None:
+    """The ledger's command name for this invocation, or ``None``."""
+    if args.command not in _LEDGERED:
+        return None
+    if args.command == "bench":
+        return ("bench record" if getattr(args, "bench_command", None)
+                == "record" else None)
+    return args.command
+
+
+def _checkpoint_linkage(args) -> dict | None:
+    """Checkpoint/resume linkage for the run record, when the command
+    has checkpointing at all (experiments, fuzz, bench record)."""
+    if not hasattr(args, "resume"):
+        return None
+    return {"dir": getattr(args, "checkpoint", None),
+            "resume": bool(args.resume)}
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -687,17 +932,72 @@ def main(argv: Sequence[str] | None = None) -> int:
             return 2
 
     profile = getattr(args, "profile", None)
-    if profile is None:
+    ledger_command = _ledgered_command(args)
+    ledger_dir = None
+    if ledger_command is not None and not getattr(args, "no_ledger", False):
+        ledger_dir = observe.ledger_dir_from_env(
+            getattr(args, "ledger_dir", None))
+    sample_interval = getattr(args, "sample", None)
+    if profile is None and ledger_dir is None and not sample_interval:
         return run()
 
+    # One observation covers the whole invocation: the profile report,
+    # the resource sampler, and the persisted run record all read from
+    # it (commands that observe themselves join it via observing()).
+    import time
+
+    started = time.time()
+    t0 = time.perf_counter()
+    sampler = None
+    rc, status, failure = 0, "ok", None
     with observe.observed() as obs:
-        rc = run()
+        if ledger_dir is not None:
+            obs.decisions.record("run:record", "cli", 0, ledger_command,
+                                 "opened", ledger=ledger_dir)
+        if sample_interval:
+            try:
+                sampler = observe.ResourceSampler(
+                    interval=sample_interval).start()
+            except ValueError as e:
+                print(f"error: {e}", file=sys.stderr)
+                return 2
+        try:
+            rc = run()
+            status = "ok" if rc == 0 else "failed"
+        except BaseException as e:           # recorded, then re-raised
+            rc, status, failure = 1, "crashed", e
+        finally:
+            if sampler is not None:
+                sampler.stop()
+    wall_s = time.perf_counter() - t0
+
     if profile is _PROFILE_REPORT:
         print(obs.report(title=f"profile: repro {args.command}"),
               file=sys.stderr)
-    else:
+    elif profile is not None:
         _write_json(profile, obs.to_json(command=args.command))
         print(f"trace written to {profile}", file=sys.stderr)
+
+    if ledger_dir is not None:
+        try:
+            record = observe.build_record(
+                command=ledger_command,
+                argv=list(argv) if argv is not None else sys.argv[1:],
+                exit_code=rc, status=status, wall_s=wall_s,
+                observation=obs,
+                samples=sampler.series() if sampler is not None else None,
+                checkpoint=_checkpoint_linkage(args),
+                started=started,
+                executor=getattr(args, "executor", None))
+            stamped = observe.RunLedger(ledger_dir).append(record)
+            print(f"run ledger: appended {stamped['id']} to {ledger_dir}",
+                  file=sys.stderr)
+        except OSError as e:
+            # A read-only or full filesystem must not fail the run.
+            print(f"run ledger: could not append to {ledger_dir} ({e})",
+                  file=sys.stderr)
+    if failure is not None:
+        raise failure
     return rc
 
 

@@ -125,3 +125,8 @@ class WorkloadError(GlafError):
 
 class BenchArtifactError(GlafError):
     """A ``BENCH_<n>.json`` artifact is malformed or has the wrong schema."""
+
+
+class RunLedgerError(GlafError):
+    """A ``.repro/runs`` record or index is malformed, missing, or fails
+    its content-digest check (see ``docs/RUN_LEDGER.md``)."""

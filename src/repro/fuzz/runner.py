@@ -315,7 +315,7 @@ def run_campaign(
     fault_seed: int = 0,
 ) -> CampaignSummary:
     """Run ``count`` seeded items with checkpointed resume and triage."""
-    from ..observe import get_decisions, get_metrics
+    from ..observe import get_decisions, get_metrics, get_tracer
 
     prof = get_profile(profile) if isinstance(profile, str) else profile
     store = CheckpointStore(checkpoint_dir or DEFAULT_CHECKPOINT_DIR)
@@ -325,6 +325,7 @@ def run_campaign(
     fault_keys = tuple(f"{f.site}:{f.kind}" for f in faults)
     summary = CampaignSummary(seed=seed, count=count, profile=prof)
     dl, m = get_decisions(), get_metrics()
+    tracer = get_tracer()
 
     for index in range(count):
         key = f"item-{index:05d}"
@@ -334,7 +335,9 @@ def run_campaign(
             summary.resumed += 1
         else:
             spec = generate_spec(seed, prof, index)
-            item = run_item(spec, prof, faults=faults, fault_seed=fault_seed)
+            with tracer.span("fuzz.item", index=index):
+                item = run_item(spec, prof, faults=faults,
+                                fault_seed=fault_seed)
             store.save(key, {"item": item.to_json()})
         summary.items.append(item)
         if m.enabled:
@@ -359,9 +362,10 @@ def run_campaign(
                     return any(f.signature.key == _k
                                for f in rerun.failures)
 
-                shrunk = shrink_spec(item.spec, reproduces)
-                min_run = run_item(shrunk.spec, prof, faults=faults,
-                                   fault_seed=fault_seed)
+                with tracer.span("fuzz.shrink", signature=sig.key):
+                    shrunk = shrink_spec(item.spec, reproduces)
+                    min_run = run_item(shrunk.spec, prof, faults=faults,
+                                       fault_seed=fault_seed)
                 triage.quarantine(
                     sig, failure, item.spec, prof, item.source,
                     faults=fault_keys,

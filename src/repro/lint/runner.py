@@ -103,6 +103,13 @@ def lint_case(case: str, variant: str, *, spliced: bool = True) -> LintReport:
     codebase — legacy units that surround the replacements included —
     with the plan cross-check applied to both.
     """
+    from ..observe import get_tracer
+
+    with get_tracer().span("lint.case", case=case, variant=variant):
+        return _lint_case(case, variant, spliced=spliced)
+
+
+def _lint_case(case: str, variant: str, *, spliced: bool) -> LintReport:
     from ..codegen.fortran import FortranGenerator
     from ..integration.splice import splice_into_codebase
     from ..optimize.plan import make_plan

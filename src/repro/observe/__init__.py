@@ -26,6 +26,16 @@ the duration of a ``with`` block and hands back the bundle::
 ``experiments`` / ``generate`` are the CLI front doors to the same
 machinery; :mod:`repro.observe.report` renders the flame-style tree, the
 per-stage summary, and the JSON export (schema ``repro.observe.trace/v1``).
+
+On top of the in-process trio sit the durable pieces (PR 8):
+
+* :mod:`repro.observe.ledger` — the persistent ``.repro/runs/`` run
+  ledger (``repro.run/v1`` records, atomic index, quarantine);
+* :mod:`repro.observe.export` — Prometheus text exposition, the
+  Chrome/Perfetto trace synthesized from a record, and the static HTML
+  dashboard behind ``repro runs``;
+* :mod:`repro.observe.sample` — the opt-in background
+  :class:`ResourceSampler` (RSS / CPU / GC time series).
 """
 
 from __future__ import annotations
@@ -89,7 +99,14 @@ __all__ = [
     # bench statistics
     "BENCH_SCHEMA", "RepeatStats", "summarize_repeats", "stage_seconds",
     # session
-    "Observation", "observed", "is_observing",
+    "Observation", "observed", "observing", "is_observing",
+    # run ledger + exporters + sampling
+    "RUN_SCHEMA", "INDEX_SCHEMA", "DEFAULT_LEDGER_DIR", "LEDGER_ENV",
+    "RunLedger", "build_record", "ledger_dir_from_env",
+    "to_prometheus", "parse_prometheus", "record_to_chrome",
+    "render_runs_html", "render_runs_table", "render_run", "diff_runs",
+    "render_runs_trend",
+    "ResourceSampler", "read_rss_bytes",
 ]
 
 
@@ -104,8 +121,9 @@ class Observation:
     def to_json(self, **meta: object) -> dict[str, object]:
         return trace_to_json(self.tracer, self.metrics, self.decisions, **meta)
 
-    def to_chrome_trace(self, **meta: object) -> dict[str, object]:
-        return to_chrome_trace(self.tracer, **meta)
+    def to_chrome_trace(self, *, samples=None, **meta: object) -> dict[str, object]:
+        return to_chrome_trace(self.tracer, self.metrics, self.decisions,
+                               samples=samples, **meta)
 
     def report(self, title: str = "pipeline profile") -> str:
         return render_report(self.tracer, self.metrics, self.decisions,
@@ -137,3 +155,43 @@ def observed(clock=None) -> Iterator[Observation]:
         set_tracer(prev_t)
         set_metrics(prev_m)
         set_decisions(prev_d)
+
+
+@contextmanager
+def observing(clock=None) -> Iterator[Observation]:
+    """The active observation if one is installed, else a fresh one.
+
+    ``repro profile`` and the run ledger both want "the observation for
+    this process": when ``main()`` has already installed one (because the
+    ledger is on), nesting a second would hide the outer one's spans from
+    the persisted record.  This joins the active trio instead; only when
+    nothing is installed does it behave like :func:`observed`.
+    """
+    if is_observing():
+        yield Observation(get_tracer(), get_metrics(), get_decisions())
+    else:
+        with observed(clock) as obs:
+            yield obs
+
+
+# Durable layer last: ledger/export/sample import the modules above.
+from .export import (  # noqa: E402
+    diff_runs,
+    parse_prometheus,
+    record_to_chrome,
+    render_run,
+    render_runs_html,
+    render_runs_table,
+    render_runs_trend,
+    to_prometheus,
+)
+from .ledger import (  # noqa: E402
+    DEFAULT_LEDGER_DIR,
+    INDEX_SCHEMA,
+    LEDGER_ENV,
+    RUN_SCHEMA,
+    RunLedger,
+    build_record,
+    ledger_dir_from_env,
+)
+from .sample import ResourceSampler, read_rss_bytes  # noqa: E402

@@ -24,6 +24,8 @@ Stages and their verdict vocabularies:
 ``fuzz:shrink``        ``minimized``
 ``fuzz:quarantine``    ``written``
 ``fuzz:campaign``      ``clean`` | ``failed``
+``run:record``         ``opened``
+``sample:resource``    ``started`` | ``stopped``
 =====================  ==============================================
 
 The ``guard`` stage is emitted by :class:`repro.glafexec.GuardedRunner`
@@ -48,12 +50,18 @@ refused) — see ``docs/EXECUTORS.md``.  The ``fuzz:*`` stages narrate a
 a signature (``new`` opens a bucket), ``fuzz:shrink`` /
 ``fuzz:quarantine`` as a new bucket's exemplar is minimized and its
 reproducer bundle written, and one closing ``fuzz:campaign`` — see
-``docs/FUZZING.md``.
+``docs/FUZZING.md``.  The ``run:record`` stage is emitted by the CLI when
+a ledgered run opens (attrs carry the ledger directory and the previous
+run id, so consecutive records link into a chain), and
+``sample:resource`` by the background
+:class:`repro.observe.sample.ResourceSampler` when it starts and stops —
+see ``docs/RUN_LEDGER.md``.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass, field
 
 __all__ = [
@@ -78,6 +86,7 @@ class Decision:
     loop_class: str = ""
     reasons: tuple[str, ...] = ()
     attrs: tuple[tuple[str, object], ...] = ()
+    t: float = 0.0                  # perf_counter stamp (Chrome instants)
 
     def to_dict(self) -> dict[str, object]:
         return {
@@ -89,6 +98,7 @@ class Decision:
             "loop_class": self.loop_class,
             "reasons": list(self.reasons),
             "attrs": dict(self.attrs),
+            "t": self.t,
         }
 
 
@@ -122,6 +132,7 @@ class DecisionLog:
             loop_class=loop_class,
             reasons=tuple(reasons),
             attrs=tuple(sorted(attrs.items())),
+            t=time.perf_counter(),
         )
         with self._lock:
             self.events.append(d)

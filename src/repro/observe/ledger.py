@@ -1,0 +1,362 @@
+"""Persistent, append-only run ledger: ``.repro/runs/`` (``repro.run/v1``).
+
+PR 1 made single runs observable; this module makes the observations
+*durable*.  Every ledgered CLI invocation (``experiments``, ``bench
+record``, ``fuzz``, ``lint``, ``faultcheck``, ``profile``, ``generate``)
+appends one digest-stamped record to a directory ledger:
+
+* :func:`build_record` distills one finished run — command, argv,
+  outcome/exit status, wall seconds, per-stage seconds, the metrics
+  snapshot, the decision events, an aggregated flame tree, the resource
+  sampler's time series, checkpoint/resume linkage, and the
+  :func:`repro.bench.record.environment_fingerprint` — into one
+  ``repro.run/v1`` document;
+* :class:`RunLedger` appends records as ``run-<n>.json`` files (atomic
+  write + sha256 content digest, the :mod:`repro.numeric.integrity`
+  machinery) and maintains an atomic ``index.json``.  The record file is
+  written *before* the index, so a crash between the two leaves a
+  loadable index that is merely stale; :meth:`RunLedger.entries`
+  reconciles it against the directory and rebuilds when they disagree.
+  A record that fails validation (truncated write on a non-atomic
+  filesystem, hand-editing) is never ingested: it is moved to
+  ``quarantine/`` and dropped from the index.
+
+``repro runs list|show|diff|trend|gc|export|html|selftest`` is the CLI
+over the ledger; :mod:`repro.observe.export` renders the exporters.
+The whole machinery is documented in ``docs/RUN_LEDGER.md``.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import time
+from pathlib import Path
+
+from ..errors import RunLedgerError
+from ..numeric.integrity import atomic_write_json, content_digest
+from .report import aggregate_children, stage_totals
+
+__all__ = [
+    "RUN_SCHEMA",
+    "INDEX_SCHEMA",
+    "DEFAULT_LEDGER_DIR",
+    "LEDGER_ENV",
+    "RunLedger",
+    "build_record",
+    "ledger_dir_from_env",
+]
+
+RUN_SCHEMA = "repro.run/v1"
+INDEX_SCHEMA = "repro.run.index/v1"
+DEFAULT_LEDGER_DIR = os.path.join(".repro", "runs")
+
+#: ``REPRO_LEDGER=0|off|`` disables the ledger; any other value is the
+#: ledger directory (overrides the default, loses to an explicit flag).
+LEDGER_ENV = "REPRO_LEDGER"
+
+_RUN_RE = re.compile(r"^run-(\d{6,})\.json$")
+
+# Entry fields the index carries per record, so `repro runs list` never
+# has to open every record file.
+_INDEX_FIELDS = ("command", "status", "exit_code", "wall_s", "started",
+                 "git_sha")
+
+
+def ledger_dir_from_env(explicit: str | None = None) -> str | None:
+    """The effective ledger directory: explicit flag > env var > default.
+
+    Returns ``None`` when the environment disables the ledger
+    (``REPRO_LEDGER`` set to ``0``, ``off``, or empty) and no explicit
+    directory was given.
+    """
+    if explicit:
+        return explicit
+    env = os.environ.get(LEDGER_ENV)
+    if env is None:
+        return DEFAULT_LEDGER_DIR
+    if env.strip().lower() in ("", "0", "off", "no", "false"):
+        return None
+    return env
+
+
+_ENV_CACHE: dict[str, object] | None = None
+
+
+def _default_environment() -> dict[str, object]:
+    """The bench recorder's fingerprint, computed once per process — it
+    shells out to git, which would dominate sub-millisecond ledger
+    appends.  (Lazy import too: bench.record imports observe at load.)"""
+    global _ENV_CACHE
+    if _ENV_CACHE is None:
+        from ..bench.record import environment_fingerprint
+
+        _ENV_CACHE = environment_fingerprint()
+    return dict(_ENV_CACHE)
+
+
+def _flame_tree(spans) -> list[dict[str, object]]:
+    """Recursive name-aggregated view of the span tree — compact enough
+    to persist per run, rich enough for the dashboard's flame summaries."""
+    out = []
+    for a in aggregate_children(list(spans)):
+        out.append({
+            "name": a.name,
+            "calls": a.count,
+            "total_s": round(a.total, 9),
+            "children": _flame_tree(a.children),
+        })
+    return out
+
+
+def build_record(
+    *,
+    command: str,
+    argv: list[str] | tuple[str, ...] = (),
+    exit_code: int = 0,
+    status: str = "ok",
+    wall_s: float = 0.0,
+    observation=None,
+    samples: list[dict] | None = None,
+    checkpoint: dict | None = None,
+    environment: dict | None = None,
+    started: float | None = None,
+    **meta: object,
+) -> dict[str, object]:
+    """One ``repro.run/v1`` document (unstamped: :meth:`RunLedger.append`
+    assigns the id and the content digest).
+
+    ``observation`` is a :class:`repro.observe.Observation`; its tracer
+    yields the per-stage seconds and the flame tree, its metrics registry
+    the snapshot, its decision log the events.  ``environment`` defaults
+    to the bench recorder's fingerprint so run records and bench
+    artifacts stay comparable.
+    """
+    if environment is None:
+        environment = _default_environment()
+    stages: list[dict] = []
+    flame: list[dict] = []
+    metrics: dict = {"counters": {}, "gauges": {}, "histograms": {}}
+    decisions: list[dict] = []
+    if observation is not None:
+        stages = stage_totals(observation.tracer)
+        flame = _flame_tree(observation.tracer.roots)
+        metrics = observation.metrics.snapshot()
+        # Decision stamps are absolute perf_counter values; the persisted
+        # record carries seconds since the tracer epoch so the Chrome
+        # exporter can place instants without knowing the live clock.
+        epoch = getattr(observation.tracer, "epoch", 0.0)
+        for d in observation.decisions.events:
+            doc = d.to_dict()
+            doc["t"] = round(max(0.0, doc.get("t", 0.0) - epoch), 6) \
+                if doc.get("t") else 0.0
+            decisions.append(doc)
+    return {
+        "schema": RUN_SCHEMA,
+        "command": command,
+        "argv": list(argv),
+        "started": round(started if started is not None else time.time(), 3),
+        "outcome": {"status": status, "exit_code": int(exit_code)},
+        "wall_s": round(float(wall_s), 9),
+        "stages": stages,
+        "flame": flame,
+        "metrics": metrics,
+        "decisions": decisions,
+        "samples": list(samples or ()),
+        "checkpoint": checkpoint,
+        "environment": environment,
+        "meta": dict(meta),
+    }
+
+
+class RunLedger:
+    """A directory of digest-verified run records with an atomic index."""
+
+    def __init__(self, directory: str | Path | None = None):
+        self.dir = Path(directory or DEFAULT_LEDGER_DIR)
+
+    # -- paths ---------------------------------------------------------
+    @property
+    def index_path(self) -> Path:
+        return self.dir / "index.json"
+
+    @property
+    def quarantine_dir(self) -> Path:
+        return self.dir / "quarantine"
+
+    def path_for(self, run_id: str) -> Path:
+        return self.dir / f"{run_id}.json"
+
+    # -- writing -------------------------------------------------------
+    def next_id(self) -> str:
+        last = 0
+        if self.dir.is_dir():
+            for p in self.dir.iterdir():
+                m = _RUN_RE.match(p.name)
+                if m:
+                    last = max(last, int(m.group(1)))
+        return f"run-{last + 1:06d}"
+
+    def append(self, record: dict) -> dict:
+        """Stamp and persist one record; returns it with ``id``/``sha256``.
+
+        The record file lands (atomically) before the index is rewritten,
+        so a crash between the two steps can only leave the index *stale*
+        — never pointing at a record that does not exist.  ``entries()``
+        heals staleness by rebuilding from the directory.
+        """
+        self.dir.mkdir(parents=True, exist_ok=True)
+        record = dict(record)
+        record.setdefault("schema", RUN_SCHEMA)
+        record["id"] = self.next_id()
+        record.pop("sha256", None)
+        record["sha256"] = content_digest(record)
+        atomic_write_json(self.path_for(record["id"]), record)
+        entries = self._index_entries_tolerant()
+        entries = [e for e in entries if e.get("id") != record["id"]]
+        entries.append(self._entry_for(record))
+        self._write_index(entries)
+        return record
+
+    def _entry_for(self, record: dict) -> dict:
+        entry = {"id": record["id"], "file": f"{record['id']}.json"}
+        outcome = record.get("outcome", {})
+        env = record.get("environment", {})
+        entry.update({
+            "command": record.get("command", ""),
+            "status": outcome.get("status", ""),
+            "exit_code": outcome.get("exit_code", 0),
+            "wall_s": record.get("wall_s", 0.0),
+            "started": record.get("started", 0.0),
+            "git_sha": str(env.get("git_sha", "unknown"))[:12],
+        })
+        return entry
+
+    def _write_index(self, entries: list[dict]) -> None:
+        entries = sorted(entries, key=lambda e: e.get("id", ""))
+        atomic_write_json(self.index_path,
+                          {"schema": INDEX_SCHEMA, "entries": entries})
+
+    # -- reading -------------------------------------------------------
+    def _index_entries_tolerant(self) -> list[dict]:
+        """Best-effort read of the current index (empty on any problem —
+        the caller is about to rewrite it from authoritative data)."""
+        import json
+
+        try:
+            doc = json.loads(self.index_path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return []
+        if not isinstance(doc, dict) or doc.get("schema") != INDEX_SCHEMA:
+            return []
+        entries = doc.get("entries", [])
+        return [e for e in entries if isinstance(e, dict)]
+
+    def run_files(self) -> list[Path]:
+        if not self.dir.is_dir():
+            return []
+        found = [(int(m.group(1)), p) for p in self.dir.iterdir()
+                 if (m := _RUN_RE.match(p.name))]
+        return [p for _, p in sorted(found)]
+
+    def entries(self) -> list[dict]:
+        """The index entries, reconciled against the record files.
+
+        When the index and the directory disagree (a crash between the
+        record write and the index write, files added or removed by
+        hand), the index is rebuilt from the validated record files —
+        invalid records are quarantined along the way.
+        """
+        files = {p.name for p in self.run_files()}
+        entries = self._index_entries_tolerant()
+        if {e.get("file") for e in entries} != files:
+            return self.rebuild_index()
+        return entries
+
+    def rebuild_index(self) -> list[dict]:
+        """Re-derive the index from the record files on disk.
+
+        Every record is validated (schema + content digest); records that
+        fail are moved to ``quarantine/`` — a half-written file must
+        never masquerade as a completed run.
+        """
+        entries = []
+        for path in self.run_files():
+            try:
+                record = self._validate(path)
+            except RunLedgerError:
+                self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+                os.replace(path, self.quarantine_dir / path.name)
+                continue
+            entries.append(self._entry_for(record))
+        if self.dir.is_dir():
+            self._write_index(entries)
+        return entries
+
+    def _validate(self, path: Path) -> dict:
+        import json
+
+        try:
+            record = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as e:
+            raise RunLedgerError(
+                f"{path}: corrupt/truncated run record ({e})") from e
+        if not isinstance(record, dict) or record.get("schema") != RUN_SCHEMA:
+            raise RunLedgerError(
+                f"{path}: expected run schema {RUN_SCHEMA!r}, found "
+                f"{record.get('schema') if isinstance(record, dict) else record!r}")
+        recorded = record.get("sha256")
+        stripped = {k: v for k, v in record.items() if k != "sha256"}
+        expected = content_digest(stripped)
+        if recorded != expected:
+            raise RunLedgerError(
+                f"{path}: run record digest mismatch (recorded "
+                f"{str(recorded)[:12]}…, computed {expected[:12]}…) — "
+                "record corrupted or hand-edited")
+        return record
+
+    def load(self, run_id: str) -> dict:
+        """One validated record by id (e.g. ``run-000003``)."""
+        path = self.path_for(run_id)
+        if not path.exists():
+            known = ", ".join(e["id"] for e in self.entries()) or "(none)"
+            raise RunLedgerError(
+                f"no run record {run_id!r} in {self.dir} (have: {known})")
+        return self._validate(path)
+
+    def latest_id(self) -> str | None:
+        entries = self.entries()
+        return entries[-1]["id"] if entries else None
+
+    def resolve(self, ref: str | None) -> dict:
+        """A record by reference: an id, or ``None``/``"latest"``."""
+        if ref is None or ref == "latest":
+            run_id = self.latest_id()
+            if run_id is None:
+                raise RunLedgerError(f"run ledger {self.dir} is empty")
+            return self.load(run_id)
+        return self.load(ref)
+
+    # -- maintenance ---------------------------------------------------
+    def gc(self, keep: int) -> list[str]:
+        """Drop the oldest records beyond ``keep``; purge the quarantine.
+
+        Returns the ids removed.  The index is rewritten after the
+        deletions, so a reader never sees an entry whose file is gone.
+        """
+        if keep < 0:
+            raise RunLedgerError("gc keep must be >= 0")
+        entries = self.entries()
+        doomed = entries[:-keep] if keep else entries
+        for entry in doomed:
+            self.path_for(entry["id"]).unlink(missing_ok=True)
+        if doomed:
+            self._write_index(entries[len(doomed):])
+        if self.quarantine_dir.is_dir():
+            for p in self.quarantine_dir.glob("run-*.json"):
+                p.unlink(missing_ok=True)
+            try:
+                self.quarantine_dir.rmdir()
+            except OSError:
+                pass
+        return [e["id"] for e in doomed]

@@ -10,7 +10,9 @@ As with tracing, the installed default is a no-op registry
 from __future__ import annotations
 
 import math
+import random
 import threading
+import zlib
 from typing import Iterable
 
 __all__ = [
@@ -66,12 +68,18 @@ class Gauge:
 class Histogram:
     """Streaming summary (count/sum/min/max) plus retained samples.
 
-    Samples are kept (capped at ``max_samples``, uniformly thinned by
-    stride once full) so reports can show medians without a dependency.
+    Samples are kept in a bounded reservoir (``max_samples``) so reports
+    can show medians without a dependency.  Once full, each new
+    observation replaces a uniformly random slot with probability
+    ``max_samples / count`` (Vitter's Algorithm R), so every observation
+    — early or late — is retained with equal probability and the
+    percentile estimates stay unbiased.  The RNG is seeded from the
+    instrument name, so two runs observing the same stream report the
+    same percentiles.
     """
 
     __slots__ = ("name", "count", "total", "min", "max", "_samples",
-                 "_max_samples", "_lock")
+                 "_max_samples", "_rng", "_lock")
 
     def __init__(self, name: str, max_samples: int = 4096):
         self.name = name
@@ -81,6 +89,7 @@ class Histogram:
         self.max = -math.inf
         self._samples: list[float] = []
         self._max_samples = max_samples
+        self._rng = random.Random(zlib.crc32(name.encode("utf-8")))
         self._lock = threading.Lock()
 
     def observe(self, v: float) -> None:
@@ -92,9 +101,12 @@ class Histogram:
                 self.min = v
             if v > self.max:
                 self.max = v
-            if len(self._samples) >= self._max_samples:
-                self._samples = self._samples[::2]
-            self._samples.append(v)
+            if len(self._samples) < self._max_samples:
+                self._samples.append(v)
+            else:
+                j = self._rng.randrange(self.count)
+                if j < self._max_samples:
+                    self._samples[j] = v
 
     @property
     def mean(self) -> float:
@@ -109,10 +121,16 @@ class Histogram:
         return xs[i]
 
     def summary(self) -> dict[str, float]:
-        if not self.count:
+        # One locked read of the whole tuple: a concurrent observe() can
+        # never yield a count from one observation and a sum from another
+        # (the sampler and the vectorized executor observe from threads).
+        with self._lock:
+            count, total = self.count, self.total
+            mn, mx = self.min, self.max
+        if not count:
             return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0}
-        return {"count": self.count, "sum": self.total, "min": self.min,
-                "max": self.max, "mean": self.mean}
+        return {"count": count, "sum": total, "min": mn,
+                "max": mx, "mean": total / count}
 
 
 class MetricsRegistry:

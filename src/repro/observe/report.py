@@ -224,7 +224,12 @@ def _chrome_arg(value: object) -> object:
 
 
 def to_chrome_trace(
-    tracer: Tracer | NullTracer, **meta: object
+    tracer: Tracer | NullTracer,
+    metrics: MetricsRegistry | NullMetricsRegistry | None = None,
+    decisions: DecisionLog | NullDecisionLog | None = None,
+    *,
+    samples: list[dict] | None = None,
+    **meta: object,
 ) -> dict[str, object]:
     """Export the recorded spans in Chrome trace-event format.
 
@@ -234,6 +239,17 @@ def to_chrome_trace(
     epoch; its pipeline stage (the first dotted name component) becomes the
     event category, so the UI can filter by stage.  Threads are mapped to
     stable integer ``tid``\\ s with metadata events carrying the real names.
+
+    With a ``metrics`` registry, every counter and gauge becomes a
+    Perfetto counter track: phase-``"C"`` events (a zero point at the
+    epoch and the final value at the end of the trace for counters, the
+    last-written value for gauges).  With a ``decisions`` log, every
+    decision becomes an instant event (``"ph": "i"``) at the moment it
+    was recorded, categorized by stage.  ``samples`` — the
+    :class:`repro.observe.sample.ResourceSampler` time series, dicts with
+    a ``t`` key in seconds relative to the epoch — become per-tick
+    counter events (``sample.rss_mb``, ``sample.cpu_s``,
+    ``sample.gc_gen0``).
     """
     epoch = getattr(tracer, "epoch", 0.0)
     tids: dict[str, int] = {}
@@ -248,13 +264,19 @@ def to_chrome_trace(
             })
         return tids[thread]
 
+    end = 0.0
+
     def emit(span: Span) -> None:
+        nonlocal end
+        start = (span.start - epoch) * 1e6
+        dur = span.duration * 1e6
+        end = max(end, start + dur)
         events.append({
             "name": span.name,
             "cat": span.name.split(".", 1)[0],
             "ph": "X",
-            "ts": round((span.start - epoch) * 1e6, 3),
-            "dur": round(span.duration * 1e6, 3),
+            "ts": round(start, 3),
+            "dur": round(dur, 3),
             "pid": 0,
             "tid": tid_of(span.thread),
             "args": {k: _chrome_arg(v) for k, v in span.attrs.items()},
@@ -264,6 +286,40 @@ def to_chrome_trace(
 
     for root in tracer.roots:
         emit(root)
+
+    if metrics is not None:
+        snap = metrics.snapshot()
+        for name, value in snap["counters"].items():
+            # Two points per counter: the zero at the epoch gives the UI
+            # a track to draw even for a single-valued counter.
+            events.append({"name": name, "cat": "metric", "ph": "C",
+                           "ts": 0.0, "pid": 0, "args": {"value": 0}})
+            events.append({"name": name, "cat": "metric", "ph": "C",
+                           "ts": round(end, 3), "pid": 0,
+                           "args": {"value": value}})
+        for name, value in snap["gauges"].items():
+            events.append({"name": name, "cat": "metric", "ph": "C",
+                           "ts": round(end, 3), "pid": 0,
+                           "args": {"value": value}})
+    if decisions is not None:
+        for d in decisions.events:
+            ts = max(0.0, (d.t - epoch) * 1e6) if d.t else 0.0
+            events.append({
+                "name": f"{d.stage}:{d.verdict}", "cat": d.stage,
+                "ph": "i", "s": "g", "ts": round(ts, 3), "pid": 0,
+                "tid": 0,
+                "args": {"function": d.function, "step": d.step_name,
+                         "reasons": _chrome_arg(list(d.reasons))},
+            })
+    for tick in samples or ():
+        ts = round(max(0.0, float(tick.get("t", 0.0))) * 1e6, 3)
+        for key, track in (("rss_mb", "sample.rss_mb"),
+                           ("cpu_s", "sample.cpu_s"),
+                           ("gc_gen0", "sample.gc_gen0")):
+            if key in tick:
+                events.append({"name": track, "cat": "sample", "ph": "C",
+                               "ts": ts, "pid": 0,
+                               "args": {"value": tick[key]}})
     return {
         "traceEvents": events,
         "displayTimeUnit": "ms",

@@ -400,11 +400,15 @@ def run_faultcheck(seed: int = 0) -> FaultCheckReport:
         raise AssertionError(
             f"faultcheck has no scenario for registered site(s): {sorted(missing)}"
         )
+    from ..observe import get_tracer
+
+    tracer = get_tracer()
     results = []
     for site in sorted(checks):
         kinds = SITES[site].kinds
         try:
-            results.append(checks[site]())
+            with tracer.span("faultcheck.site", site=site):
+                results.append(checks[site]())
         except GlafError as e:
             results.append(SiteResult(site, kinds[0], "surfaced",
                                       f"typed {type(e).__name__}: {e}", -1, 0))

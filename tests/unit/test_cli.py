@@ -413,3 +413,173 @@ class TestLintCommand:
         out = capsys.readouterr().out
         assert "mutant(s) caught" in out
         assert "MISSED" not in out
+
+
+class TestRunLedgerCli:
+    """Every pipeline entry point appends a repro.run/v1 record, and the
+    `repro runs` family reads it back (docs/RUN_LEDGER.md)."""
+
+    def _entries(self, ledger_dir):
+        return observe.RunLedger(ledger_dir).entries()
+
+    @pytest.mark.parametrize("argv, command", [
+        (["experiments", "T2"], "experiments"),
+        (["faultcheck"], "faultcheck"),
+        (["lint", "--level", "v3", "--case", "sarb"], "lint"),
+    ])
+    def test_entry_points_append_a_record(self, tmp_path, capsys,
+                                          argv, command):
+        ledger = tmp_path / "runs"
+        assert main(argv + ["--ledger", str(ledger)]) == 0
+        err = capsys.readouterr().err
+        assert "run ledger: appended run-000001" in err
+        entries = self._entries(ledger)
+        assert [e["command"] for e in entries] == [command]
+        record = observe.RunLedger(ledger).load("run-000001")
+        assert record["schema"] == "repro.run/v1"
+        assert record["outcome"] == {"status": "ok", "exit_code": 0}
+        assert record["wall_s"] > 0
+        assert record["stages"], "entry point recorded no stage timings"
+        assert "python" in record["environment"]
+
+    def test_generate_and_profile_append_records(self, project_file,
+                                                 tmp_path, capsys):
+        ledger = tmp_path / "runs"
+        assert main(["generate", project_file,
+                     "--ledger", str(ledger)]) == 0
+        assert main(["profile", project_file,
+                     "--ledger", str(ledger)]) == 0
+        capsys.readouterr()
+        assert [e["command"] for e in self._entries(ledger)] == [
+            "generate", "profile"]
+        # profile joins the ledger's observation instead of nesting its
+        # own, so its pipeline spans land in the persisted record.
+        record = observe.RunLedger(ledger).load("run-000002")
+        assert any(s["stage"] == "pipeline" for s in record["stages"])
+
+    def test_fuzz_and_bench_record_append_records(self, tmp_path, capsys,
+                                                  monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        ledger = tmp_path / "runs"
+        assert main(["fuzz", "--count", "2",
+                     "--ledger", str(ledger)]) == 0
+        assert main(["bench", "record", "X1", "--repeats", "1",
+                     "--out", str(tmp_path / "BENCH_1.json"),
+                     "--ledger", str(ledger)]) == 0
+        capsys.readouterr()
+        entries = self._entries(ledger)
+        assert [e["command"] for e in entries] == ["fuzz", "bench record"]
+        fuzz_rec = observe.RunLedger(ledger).load("run-000001")
+        assert any(s["stage"] == "fuzz" for s in fuzz_rec["stages"])
+        assert fuzz_rec["checkpoint"] == {"dir": None, "resume": False}
+
+    def test_failed_run_is_recorded_as_failed(self, tmp_path, capsys):
+        ledger = tmp_path / "runs"
+        assert main(["generate", str(tmp_path / "missing.json"),
+                     "--ledger", str(ledger)]) == 2
+        capsys.readouterr()
+        record = observe.RunLedger(ledger).resolve("latest")
+        assert record["outcome"] == {"status": "failed", "exit_code": 2}
+
+    def test_no_ledger_flag_and_env_kill_switch(self, tmp_path, capsys,
+                                                monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["experiments", "T2", "--no-ledger"]) == 0
+        monkeypatch.setenv(observe.LEDGER_ENV, "0")
+        assert main(["experiments", "T2"]) == 0
+        capsys.readouterr()
+        assert not (tmp_path / ".repro").exists()
+
+    def test_env_var_redirects_the_ledger(self, tmp_path, capsys,
+                                          monkeypatch):
+        target = tmp_path / "envledger"
+        monkeypatch.setenv(observe.LEDGER_ENV, str(target))
+        assert main(["experiments", "T2"]) == 0
+        capsys.readouterr()
+        assert len(self._entries(target)) == 1
+
+    def test_sample_flag_records_a_resource_series(self, tmp_path, capsys):
+        ledger = tmp_path / "runs"
+        assert main(["experiments", "T2", "--ledger", str(ledger),
+                     "--sample", "0.01"]) == 0
+        capsys.readouterr()
+        record = observe.RunLedger(ledger).resolve("latest")
+        assert len(record["samples"]) >= 1
+        assert record["samples"][-1]["rss_mb"] > 0
+        stages = [d["stage"] for d in record["decisions"]]
+        assert "sample:resource" in stages
+
+    def test_runs_list_show_diff_trend(self, tmp_path, capsys):
+        ledger = tmp_path / "runs"
+        for _ in range(2):
+            assert main(["experiments", "T2",
+                         "--ledger", str(ledger)]) == 0
+        capsys.readouterr()
+        assert main(["runs", "list", "--dir", str(ledger)]) == 0
+        out = capsys.readouterr().out
+        assert "run-000001" in out and "run-000002" in out
+        assert main(["runs", "show", "--dir", str(ledger)]) == 0
+        assert "run-000002" in capsys.readouterr().out   # latest
+        assert main(["runs", "diff", "run-000001", "latest",
+                     "--dir", str(ledger)]) == 0
+        assert "wall:" in capsys.readouterr().out
+        assert main(["runs", "trend", "--dir", str(ledger)]) == 0
+        assert "experiments" in capsys.readouterr().out
+
+    def test_runs_gc(self, tmp_path, capsys):
+        ledger = tmp_path / "runs"
+        for _ in range(3):
+            assert main(["experiments", "T2",
+                         "--ledger", str(ledger)]) == 0
+        assert main(["runs", "gc", "--keep", "1",
+                     "--dir", str(ledger)]) == 0
+        out = capsys.readouterr().out
+        assert "removed 2 run record(s)" in out
+        assert [e["id"] for e in self._entries(ledger)] == ["run-000003"]
+
+    def test_runs_export_prometheus_parses(self, tmp_path, capsys):
+        ledger = tmp_path / "runs"
+        assert main(["experiments", "T2", "--ledger", str(ledger)]) == 0
+        capsys.readouterr()
+        assert main(["runs", "export", "--prometheus",
+                     "--dir", str(ledger)]) == 0
+        page = capsys.readouterr().out
+        families = observe.parse_prometheus(page)
+        assert any(name.startswith("repro_") for name in families)
+
+    def test_runs_export_chrome_file(self, tmp_path, capsys):
+        ledger = tmp_path / "runs"
+        assert main(["experiments", "T2", "--ledger", str(ledger)]) == 0
+        out_file = tmp_path / "trace.json"
+        assert main(["runs", "export", "--chrome", "--out", str(out_file),
+                     "--dir", str(ledger)]) == 0
+        capsys.readouterr()
+        doc = json.loads(out_file.read_text())
+        phases = {e["ph"] for e in doc["traceEvents"]}
+        assert {"X", "C"} <= phases
+
+    def test_runs_html_renders_three_run_trajectory(self, tmp_path, capsys):
+        ledger = tmp_path / "runs"
+        for _ in range(3):
+            assert main(["experiments", "T2",
+                         "--ledger", str(ledger)]) == 0
+        out_file = tmp_path / "dash.html"
+        assert main(["runs", "html", "--out", str(out_file),
+                     "--dir", str(ledger)]) == 0
+        capsys.readouterr()
+        html = out_file.read_text()
+        assert "<svg" in html and "polyline" in html
+        for rid in ("run-000001", "run-000002", "run-000003"):
+            assert rid in html
+
+    def test_runs_on_empty_ledger(self, tmp_path, capsys):
+        assert main(["runs", "list", "--dir", str(tmp_path / "none")]) == 0
+        assert "empty" in capsys.readouterr().out
+        assert main(["runs", "show", "--dir", str(tmp_path / "none")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_runs_selftest(self, capsys):
+        assert main(["runs", "selftest"]) == 0
+        out = capsys.readouterr().out
+        assert "runs selftest: ok" in out
+        assert "FAIL" not in out

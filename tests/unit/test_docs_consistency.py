@@ -93,7 +93,7 @@ class TestObservabilityDoc:
         fixed = ["parallelize", "pruning", "advisor", "guard", "fault",
                  "retry", "executor:fallback", "fuzz:item",
                  "fuzz:signature", "fuzz:shrink", "fuzz:quarantine",
-                 "fuzz:campaign"]
+                 "fuzz:campaign", "run:record", "sample:resource"]
         missing = [s for s in fixed if f"`{s}`" not in doc]
         assert not missing, (
             f"docs/OBSERVABILITY.md event catalog is missing stage(s): "
@@ -351,6 +351,59 @@ class TestFuzzingDoc:
         assert "repro fuzz --seed 7 --count 25 --profile small" in make
 
 
+class TestRunLedgerDoc:
+    """docs/RUN_LEDGER.md must track the run-ledger machinery."""
+
+    def test_exists_and_names_the_schemas(self):
+        doc = (REPO / "docs" / "RUN_LEDGER.md").read_text()
+        from repro.observe import INDEX_SCHEMA, RUN_SCHEMA
+
+        assert RUN_SCHEMA in doc
+        assert INDEX_SCHEMA in doc
+        assert "RunLedgerError" in doc
+        assert "REPRO_LEDGER" in doc
+
+    def test_every_runs_subcommand_documented(self):
+        """Every ``repro runs <sub>`` registered in the parser must be
+        shown in the ledger doc."""
+        parser = build_parser()
+        runs = [a for a in parser._actions
+                if a.__class__.__name__ == "_SubParsersAction"][0]
+        runs_parser = runs.choices["runs"]
+        subs = [a for a in runs_parser._actions
+                if a.__class__.__name__ == "_SubParsersAction"]
+        assert subs, "`repro runs` must register subcommands"
+        doc = (REPO / "docs" / "RUN_LEDGER.md").read_text()
+        missing = [c for c in sorted(subs[0].choices)
+                   if f"runs {c}" not in doc]
+        assert not missing, (
+            f"docs/RUN_LEDGER.md is missing runs subcommand(s): {missing}"
+        )
+
+    def test_names_the_controls_and_exporters(self):
+        doc = (REPO / "docs" / "RUN_LEDGER.md").read_text()
+        for flag in ("--ledger", "--no-ledger", "--sample",
+                     "--prometheus", "--chrome", "--keep"):
+            assert flag in doc, f"RUN_LEDGER.md does not show {flag}"
+        assert "`run:record`" in doc or "run:record" in doc
+        assert "sample:resource" in doc
+        assert "quarantine" in doc
+
+    def test_linked_from_companion_docs(self):
+        assert "RUN_LEDGER.md" in (REPO / "README.md").read_text()
+        assert "RUN_LEDGER.md" in (
+            REPO / "docs" / "OBSERVABILITY.md").read_text()
+        assert "RUN_LEDGER.md" in (
+            REPO / "docs" / "ARCHITECTURE.md").read_text()
+
+    def test_ci_runs_the_ledger_selftest(self):
+        ci = (REPO / ".github" / "workflows" / "ci.yml").read_text()
+        assert "runs selftest" in ci
+        assert ".repro/runs" in ci        # ledger ships as failure artifact
+        make = (REPO / "Makefile").read_text()
+        assert "runs selftest" in make
+
+
 class TestTutorialFlags:
     """Every ``--flag`` the tutorial shows must exist in the CLI, so the
     walkthrough cannot drift from the actual flag vocabulary."""
@@ -370,5 +423,6 @@ class TestTutorialFlags:
 
     def test_tutorial_covers_the_current_flags(self):
         doc = (REPO / "docs" / "TUTORIAL.md").read_text()
-        for flag in ("--resume", "--sentinels", "--executor"):
+        for flag in ("--resume", "--sentinels", "--executor", "--sample"):
             assert flag in doc, f"tutorial does not demonstrate {flag}"
+        assert "repro runs" in doc

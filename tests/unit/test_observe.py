@@ -117,6 +117,57 @@ class TestMetricsRegistry:
         assert len(h._samples) <= 4096
         assert h.percentile(50) > 0
 
+    def test_histogram_reservoir_percentiles_stay_stable(self):
+        # Regression: the old decimation (`samples[::2]` + append) kept
+        # every other early value and *all* recent ones, so a uniform
+        # stream read back with badly skewed percentiles.  Reservoir
+        # sampling keeps every observation equally likely to survive:
+        # the median of 0..99999 must stay near 50k even though only
+        # 4096 samples are retained.
+        h = MetricsRegistry().histogram("h")
+        n = 100_000
+        for i in range(n):
+            h.observe(float(i))
+        assert len(h._samples) == 4096
+        for q, expected in ((25, n * 0.25), (50, n * 0.50), (75, n * 0.75)):
+            got = h.percentile(q)
+            assert abs(got - expected) < n * 0.05, (
+                f"p{q} drifted: got {got}, expected ~{expected}")
+
+    def test_histogram_reservoir_is_deterministic_per_name(self):
+        def fill(name):
+            h = MetricsRegistry().histogram(name)
+            for i in range(20_000):
+                h.observe(float(i))
+            return list(h._samples)
+
+        assert fill("same") == fill("same")      # seeded by name: stable
+
+    def test_histogram_summary_is_not_torn_under_writes(self):
+        # Regression: summary() used to read count/total/min/max without
+        # the lock, so a concurrent writer could yield a snapshot whose
+        # mean != sum/count.  With a constant stream every consistent
+        # snapshot has sum == count * 1.0 exactly.
+        h = MetricsRegistry().histogram("torn")
+        stop = threading.Event()
+
+        def writer():
+            while not stop.is_set():
+                h.observe(1.0)
+
+        th = threading.Thread(target=writer)
+        th.start()
+        try:
+            for _ in range(2_000):
+                s = h.summary()
+                assert s["sum"] == s["count"] * 1.0
+                if s["count"]:
+                    assert s["min"] == s["max"] == 1.0
+                    assert s["mean"] == 1.0
+        finally:
+            stop.set()
+            th.join()
+
 
 class TestDecisionLog:
     def test_record_and_group(self):
@@ -417,3 +468,52 @@ class TestChromeTrace:
         doc = obs.to_chrome_trace(label="demo")
         assert doc["otherData"] == {"label": "demo"}
         assert any(e["name"] == "exec.run" for e in doc["traceEvents"])
+
+    def test_counters_become_counter_events(self):
+        # Regression: counters used to be dropped from the Chrome export
+        # entirely — the trace showed spans but no metric tracks.
+        with observe.observed() as obs:
+            with obs.tracer.span("exec.run"):
+                obs.metrics.counter("exec.interp.calls").inc(7)
+                obs.metrics.gauge("sample.rss_mb").set(42.5)
+        doc = obs.to_chrome_trace()
+        counters = [e for e in doc["traceEvents"] if e["ph"] == "C"]
+        by_name = {}
+        for e in counters:
+            by_name.setdefault(e["name"], []).append(e)
+        # Two points per counter (zero at the epoch, final at the end)
+        # so the UI draws a track, not an isolated dot.
+        assert [e["args"]["value"] for e in by_name["exec.interp.calls"]] \
+            == [0, 7]
+        assert all(e["cat"] == "metric" for e in counters)
+        assert by_name["sample.rss_mb"][-1]["args"]["value"] == 42.5
+        json.dumps(doc)
+
+    def test_decisions_become_instant_events(self):
+        with observe.observed() as obs:
+            with obs.tracer.span("exec.run"):
+                obs.decisions.record("guard", "adjust2", 1, "sweep",
+                                     "fallback", reasons=["diverged"])
+        doc = obs.to_chrome_trace()
+        instants = [e for e in doc["traceEvents"] if e["ph"] == "i"]
+        assert len(instants) == 1
+        inst = instants[0]
+        assert inst["name"] == "guard:fallback"
+        assert inst["cat"] == "guard"
+        assert inst["s"] == "g"
+        assert inst["ts"] >= 0
+        assert inst["args"]["function"] == "adjust2"
+
+    def test_sample_series_becomes_counter_tracks(self):
+        with observe.observed() as obs:
+            with obs.tracer.span("exec.run"):
+                pass
+        doc = obs.to_chrome_trace(samples=[
+            {"t": 0.0, "rss_mb": 10.0, "cpu_s": 0.1, "gc_gen0": 3},
+            {"t": 0.05, "rss_mb": 12.0, "cpu_s": 0.2, "gc_gen0": 5},
+        ])
+        rss = [e for e in doc["traceEvents"]
+               if e["ph"] == "C" and e["name"] == "sample.rss_mb"]
+        assert [e["args"]["value"] for e in rss] == [10.0, 12.0]
+        assert rss[0]["cat"] == "sample"
+        assert rss[1]["ts"] == pytest.approx(0.05 * 1e6)
