@@ -11,10 +11,12 @@ test:
 	$(PYTHON) -m pytest tests/
 
 # Static parallel-correctness gate: every shipped SARB/FUN3D output must
-# lint clean at every pruning level, and the seeded clause-mutation
+# lint clean at every pruning level — structural rules plus the
+# interprocedural dataflow rules (--dataflow) — and the seeded mutation
 # corpus must be caught at 100% (docs/STATIC_ANALYSIS.md).
 lint:
 	PYTHONPATH=src $(PYTHON) -m repro lint
+	PYTHONPATH=src $(PYTHON) -m repro lint --dataflow
 	PYTHONPATH=src $(PYTHON) -m repro lint --selftest
 
 # What .github/workflows/ci.yml runs: compile check, full suite (once on
@@ -33,7 +35,7 @@ ci: lint
 	REPRO_EXECUTOR=vectorized PYTHONPATH=src $(PYTHON) -m pytest -x -q
 	PYTHONPATH=src $(PYTHON) -m repro runs selftest
 	PYTHONPATH=src $(PYTHON) -m repro faultcheck
-	PYTHONPATH=src $(PYTHON) -m repro fuzz --seed 7 --count 25 --profile small
+	PYTHONPATH=src $(PYTHON) -m repro fuzz --seed 7 --count 25 --profile small --crosscheck
 	$(PYTHON) scripts/resume_smoke.py
 	PYTHONPATH=src $(PYTHON) -m repro bench record --repeats 3 --out BENCH_ci.json
 	PYTHONPATH=src $(PYTHON) -m repro bench compare BENCH_2.json BENCH_ci.json --fail-on-regress 400

@@ -1,0 +1,278 @@
+"""Affine subscript classification against statically known extents.
+
+Every array subscript in a unit is replayed against the interval
+environment from :func:`..ranges.solve_ranges` and classified:
+
+* **proven** — the subscript interval lies inside ``[1, extent]`` for a
+  dimension whose extent is statically known, or the subscript and a
+  symbolic extent share one *stable* symbol (``a(i)`` under ``DO i = 1,
+  n`` against a declared/allocated extent ``n``, with ``n`` never
+  assigned in the unit);
+* **possible-oob** — the subscript interval provably escapes a *finite*
+  bound (its low end is below 1, or its high end exceeds a known
+  extent);
+* **unknown** — everything else: unmatched symbolic extents, subscripts
+  the interval lattice cannot pin down, ±inf endpoints that merely fail
+  to prove containment.
+
+Only the finite-violation case is reported as a finding; ``unknown`` is
+deliberately silent so units indexing with COMMON- or argument-carried
+extents stay lint-clean.  The same replay evaluates ``cond`` atoms that
+guard parallel regions: a guard that folds to a constant ``.false.``
+means dead parallel work and is surfaced as a :class:`GuardIssue`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ...fortranlib.ast import (
+    FAllocate,
+    FAssign,
+    FCall,
+    FPrint,
+)
+from .cfg import CFG
+from .engine import Problem, solve
+from .model import (
+    UnitModel,
+    _const_int,
+    atom_events,
+    expr_subscript_sites,
+    sym_affine,
+)
+from .ranges import Env, Interval, eval_bool, eval_interval, apply_atom
+
+__all__ = ["BoundsIssue", "GuardIssue", "RangeSummary", "check_bounds"]
+
+
+@dataclass(frozen=True)
+class BoundsIssue:
+    """A subscript proven to escape a finite dimension bound."""
+
+    array: str
+    dim: int           # 1-based dimension index
+    line: int
+    detail: str
+
+
+@dataclass(frozen=True)
+class GuardIssue:
+    """A constant-false conditional guarding a parallel region."""
+
+    line: int
+    detail: str
+
+
+@dataclass
+class RangeSummary:
+    """Per-unit result of the range/bounds pass."""
+
+    proven: int = 0
+    possible: int = 0
+    unknown: int = 0
+    issues: list[BoundsIssue] = field(default_factory=list)
+    guards: list[GuardIssue] = field(default_factory=list)
+    exit_env: dict[str, Interval] = field(default_factory=dict)
+
+
+def _atom_exprs(atom) -> list:
+    """Expressions whose subscripts the atom evaluates."""
+    node = atom.node
+    if atom.kind == "stmt":
+        if isinstance(node, FAssign):
+            return [node.target, node.value]
+        if isinstance(node, FCall):
+            return list(node.args)
+        if isinstance(node, FPrint):
+            return list(node.args)
+        if isinstance(node, FAllocate):
+            out = []
+            for _, dims in node.items:
+                out.extend(dims)
+            return out
+        return []
+    if atom.kind == "do":
+        out = [node.start, node.end]
+        if node.step is not None:
+            out.append(node.step)
+        return out
+    if atom.kind in ("while", "cond"):
+        return [node]
+    return []
+
+
+# ----------------------------------------------------------------------
+# symbolic upper bounds: var <= symbol + offset
+# ----------------------------------------------------------------------
+#
+# A second, tiny fixpoint alongside the numeric intervals.  It exists
+# for the canonical legacy shape the intervals cannot prove — ``DO i =
+# 1, n`` indexing ``a(i)`` against a declared (or allocated) extent of
+# the *same* symbol ``n``.  Entries are only trusted for symbols never
+# assigned anywhere in the unit (extents bind at entry/allocation, so a
+# mutated symbol would break the equation).
+
+SymEnv = dict[str, tuple[str, int]]       # var -> var <= symbol + offset
+
+
+def _modified_names(cfg: CFG, model: UnitModel, summaries) -> set[str]:
+    """Every name carrying a def event anywhere in the unit."""
+    out: set[str] = set()
+    for block in cfg.blocks:
+        for atom in block.atoms:
+            for ev in atom_events(atom, model, summaries):
+                if ev.op == "def":
+                    out.add(ev.name)
+    return out
+
+
+def _sym_apply(atom, env: SymEnv, model: UnitModel, summaries,
+               modified: set[str]) -> SymEnv:
+    kind, node = atom.kind, atom.node
+    if kind in ("do-bind", "do-post"):
+        var = node.var.lower()
+        step = 1 if node.step is None else _const_int(node.step)
+        dec = sym_affine(node.end)
+        env = dict(env)
+        if (step is None or step < 1 or dec is None
+                or dec[0] in modified or model.is_array(dec[0])):
+            env.pop(var, None)
+            return env
+        # body-side: var <= end; exit-side: var <= end + step
+        env[var] = (dec[0], dec[1] + (step if kind == "do-post" else 0))
+        return env
+    defs = [ev.name for ev in atom_events(atom, model, summaries)
+            if ev.op == "def" and ev.name in env]
+    if defs:
+        env = dict(env)
+        for n in defs:
+            env.pop(n, None)
+    return env
+
+
+def _sym_join(a: SymEnv, b: SymEnv) -> SymEnv:
+    out: SymEnv = {}
+    for n in a.keys() & b.keys():
+        if a[n][0] == b[n][0]:
+            out[n] = (a[n][0], max(a[n][1], b[n][1]))
+    return out
+
+
+def _sym_widen(old: SymEnv, new: SymEnv) -> SymEnv:
+    return {n: v for n, v in old.items() if new.get(n) == v}
+
+
+def _solve_sym_ubs(cfg: CFG, model: UnitModel, summaries,
+                   modified: set[str]) -> dict[int, SymEnv | None]:
+    def transfer(block, env):
+        if env is None:
+            return None
+        s: SymEnv = dict(env)
+        for atom in block.atoms:
+            s = _sym_apply(atom, s, model, summaries, modified)
+        return s
+
+    joined, _ = solve(cfg, Problem(
+        forward=True, boundary={}, transfer=transfer,
+        join=_sym_join, widen=_sym_widen))
+    return joined
+
+
+def _sym_proves(sub, array: str, dim: int, model: UnitModel,
+                sym_env: SymEnv, modified: set[str]) -> bool:
+    """True when ``sub <= extent`` holds symbolically for this dim."""
+    sym_ext = model.array_sym_extents.get(array)
+    if sym_ext is None or dim > len(sym_ext) or sym_ext[dim - 1] is None:
+        return False
+    ext_sym, ext_off = sym_ext[dim - 1]
+    if ext_sym in modified or model.is_array(ext_sym):
+        return False
+    dec = sym_affine(sub)
+    if dec is None:
+        return False
+    base, off = dec
+    if base == ext_sym:               # a(n) / a(n-1) against extent n
+        return off <= ext_off
+    ub = sym_env.get(base)
+    return (ub is not None and ub[0] == ext_sym
+            and ub[1] + off <= ext_off)
+
+
+def _classify(array: str, args, env: Env, model: UnitModel, line: int,
+              summary: RangeSummary, seen: set[tuple[str, int]],
+              sym_env: SymEnv, modified: set[str]) -> None:
+    extents = model.array_extents.get(array)
+    for dim, sub in enumerate(args, start=1):
+        iv = eval_interval(sub, env, model)
+        if iv.is_empty:
+            summary.unknown += 1
+            continue
+        extent = None
+        if extents is not None and dim <= len(extents):
+            extent = extents[dim - 1]
+        low_ok = iv.lo >= 1
+        high_ok = extent is not None and iv.hi <= extent
+        if low_ok and (high_ok or (extent is None and _sym_proves(
+                sub, array, dim, model, sym_env, modified))):
+            summary.proven += 1
+            continue
+        violates_low = iv.hi < 1           # every value below the base
+        escapes_low = iv.lo < 1 and iv.lo != float("-inf")
+        escapes_high = (extent is not None and iv.hi > extent
+                        and iv.hi != float("inf"))
+        if violates_low or escapes_low or escapes_high:
+            summary.possible += 1
+            if (array, line) in seen:
+                continue
+            seen.add((array, line))
+            if escapes_high:
+                detail = (f"subscript range {iv!r} exceeds extent "
+                          f"{extent} of {array!r} dimension {dim}")
+            else:
+                detail = (f"subscript range {iv!r} goes below the "
+                          f"1-based lower bound of {array!r} "
+                          f"dimension {dim}")
+            summary.issues.append(BoundsIssue(array, dim, line, detail))
+        else:
+            summary.unknown += 1
+
+
+def check_bounds(cfg: CFG, model: UnitModel, summaries,
+                 range_envs: dict[int, Env | None]) -> RangeSummary:
+    """Classify every subscript and fold parallel-region guards."""
+    out = RangeSummary()
+    seen: set[tuple[str, int]] = set()
+    seen_guards: set[int] = set()
+    modified = _modified_names(cfg, model, summaries)
+    sym_envs = _solve_sym_ubs(cfg, model, summaries, modified)
+
+    for bid in sorted(cfg.reachable()):
+        env = range_envs.get(bid)
+        if env is None:
+            continue       # statically dead block
+        sym = sym_envs.get(bid) or {}
+        for atom in cfg.blocks[bid].atoms:
+            for e in _atom_exprs(atom):
+                sites: list = []
+                expr_subscript_sites(e, model, sites)
+                for array, args in sites:
+                    _classify(array, args, env, model, atom.line,
+                              out, seen, sym, modified)
+            if (atom.kind == "cond" and atom.guards_parallel
+                    and atom.line not in seen_guards
+                    and eval_bool(atom.node, env, model) is False):
+                seen_guards.add(atom.line)
+                out.guards.append(GuardIssue(
+                    atom.line,
+                    "condition is statically .false.; the parallel "
+                    "region it guards can never execute"))
+            sym = _sym_apply(atom, sym, model, summaries, modified)
+            env = apply_atom(atom, env, model, summaries)
+            if env is None:
+                break
+
+    exit_env = range_envs.get(cfg.exit)
+    if exit_env:
+        out.exit_env = dict(exit_env)
+    return out

@@ -1,0 +1,287 @@
+"""Per-unit control-flow graphs for the dataflow engine.
+
+Two builders share the same block/atom vocabulary:
+
+* :func:`build_unit_cfg` — over a parsed FORTRAN subprogram or PROGRAM
+  body, with DO back/zero-trip edges, IF/ELSE-IF chains, and EXIT /
+  CYCLE / RETURN / STOP jump edges;
+* :func:`build_step_cfg` — over one GLAF step (its implicit loop nest
+  plus the statement list, with IfStmt branches and ExitLoop / Return
+  edges).
+
+Blocks hold *atoms* rather than raw statements: loop headers are split
+into a bounds-evaluation atom (``do``), a body-side binding atom
+(``do-bind``) and an exit-side binding atom (``do-post``) so a forward
+analysis can give the induction variable a different value on the body
+edge (within the iteration range) than on the exit edge (one stride
+past it) — without per-edge states in the engine.  Branch entries get
+``assume`` atoms carrying the branch condition (positive or negated)
+for the interval analysis to refine against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ...fortranlib.ast import (
+    FAllocate,
+    FAssign,
+    FCall,
+    FCycle,
+    FDeallocate,
+    FDo,
+    FDoWhile,
+    FExit,
+    FIf,
+    FOmpDirective,
+    FPrint,
+    FProgramUnit,
+    FReturn,
+    FStop,
+    FSubprogram,
+    FVar,
+)
+
+__all__ = ["Atom", "Block", "CFG", "build_unit_cfg", "build_step_cfg"]
+
+
+@dataclass(frozen=True)
+class Atom:
+    """One analysis-relevant event inside a basic block.
+
+    ``kind`` ∈ {'stmt', 'do', 'do-bind', 'do-post', 'while', 'cond',
+    'assume', 'assume-not', 'exit-use', 'step-range', 'step-cond',
+    'step-stmt'}; ``node`` is the owning statement or expression.
+    """
+
+    kind: str
+    node: object
+    line: int = 0
+    guards_parallel: bool = False   # 'cond' atoms: branch holds an OMP loop
+
+
+@dataclass
+class Block:
+    id: int
+    atoms: list[Atom] = field(default_factory=list)
+    succs: list[int] = field(default_factory=list)
+    preds: list[int] = field(default_factory=list)
+
+
+@dataclass
+class CFG:
+    blocks: list[Block]
+    entry: int
+    exit: int
+
+    def reachable(self) -> set[int]:
+        """Block ids reachable from the entry (code after RETURN/EXIT in
+        the same branch is statically dead and excluded from findings)."""
+        seen = {self.entry}
+        stack = [self.entry]
+        while stack:
+            b = stack.pop()
+            for s in self.blocks[b].succs:
+                if s not in seen:
+                    seen.add(s)
+                    stack.append(s)
+        return seen
+
+
+class _Builder:
+    def __init__(self) -> None:
+        self.blocks: list[Block] = []
+
+    def new(self) -> Block:
+        b = Block(len(self.blocks))
+        self.blocks.append(b)
+        return b
+
+    def edge(self, src: Block, dst: Block) -> None:
+        if dst.id not in src.succs:
+            src.succs.append(dst.id)
+            dst.preds.append(src.id)
+
+
+def _contains_parallel(stmts: list) -> bool:
+    """Does this statement list (recursively) hold an OMP-parallel loop?"""
+    for s in stmts:
+        if isinstance(s, FOmpDirective) and s.kind == "parallel_do":
+            return True
+        if isinstance(s, FDo):
+            if s.omp is not None and s.omp.kind == "parallel_do":
+                return True
+            if _contains_parallel(s.body):
+                return True
+        elif isinstance(s, FDoWhile):
+            if _contains_parallel(s.body):
+                return True
+        elif isinstance(s, FIf):
+            for _, body in s.branches:
+                if _contains_parallel(body):
+                    return True
+    return False
+
+
+def build_unit_cfg(unit: FSubprogram | FProgramUnit) -> CFG:
+    """CFG over one FORTRAN unit's executable body."""
+    bld = _Builder()
+    entry = bld.new()
+    exit_ = bld.new()
+    first = bld.new()
+    bld.edge(entry, first)
+    last = _seq(bld, unit.body, first, exit_, [])
+    bld.edge(last, exit_)
+    if isinstance(unit, FSubprogram) and unit.kind == "function":
+        result = (unit.result or unit.name).lower()
+        exit_.atoms.append(Atom("exit-use", FVar(result)))
+    return CFG(bld.blocks, entry.id, exit_.id)
+
+
+def _seq(bld: _Builder, stmts: list, cur: Block, exit_: Block,
+         loops: list[tuple[Block, Block]]) -> Block:
+    """Thread ``stmts`` from ``cur``; returns the fall-through block."""
+    for s in stmts:
+        if isinstance(s, (FAssign, FCall, FPrint, FAllocate, FDeallocate)):
+            cur.atoms.append(Atom("stmt", s, s.line))
+        elif isinstance(s, FIf):
+            cur = _branch(bld, s, cur, exit_, loops)
+        elif isinstance(s, FDo):
+            cur = _do_loop(bld, s, cur, exit_, loops)
+        elif isinstance(s, FDoWhile):
+            head = bld.new()
+            bld.edge(cur, head)
+            head.atoms.append(Atom("while", s.cond, s.line))
+            after = bld.new()
+            body = bld.new()
+            bld.edge(head, body)
+            loops.append((head, after))
+            end = _seq(bld, s.body, body, exit_, loops)
+            loops.pop()
+            bld.edge(end, head)
+            bld.edge(head, after)
+            cur = after
+        elif isinstance(s, FExit):
+            bld.edge(cur, loops[-1][1] if loops else exit_)
+            cur = bld.new()
+        elif isinstance(s, FCycle):
+            bld.edge(cur, loops[-1][0] if loops else exit_)
+            cur = bld.new()
+        elif isinstance(s, (FReturn, FStop)):
+            bld.edge(cur, exit_)
+            cur = bld.new()
+        # Everything else (OMP sentinels, CONTINUE, stray decls) carries
+        # no dataflow events.
+    return cur
+
+
+def _branch(bld: _Builder, s: FIf, cur: Block, exit_: Block,
+            loops: list[tuple[Block, Block]]) -> Block:
+    join = bld.new()
+    chain: Block | None = cur
+    for cond, body in s.branches:
+        if cond is not None:
+            chain.atoms.append(Atom("cond", cond, s.line,
+                                    guards_parallel=_contains_parallel(body)))
+        b = bld.new()
+        bld.edge(chain, b)
+        if cond is not None:
+            b.atoms.append(Atom("assume", cond, s.line))
+        end = _seq(bld, body, b, exit_, loops)
+        bld.edge(end, join)
+        if cond is None:         # ELSE: no fall-through remains
+            chain = None
+            break
+        nxt = bld.new()
+        bld.edge(chain, nxt)
+        nxt.atoms.append(Atom("assume-not", cond, s.line))
+        chain = nxt
+    if chain is not None:
+        bld.edge(chain, join)
+    return join
+
+
+def _do_loop(bld: _Builder, s: FDo, cur: Block, exit_: Block,
+             loops: list[tuple[Block, Block]]) -> Block:
+    head = bld.new()
+    bld.edge(cur, head)
+    head.atoms.append(Atom("do", s, s.line))
+    bind = bld.new()
+    bld.edge(head, bind)
+    bind.atoms.append(Atom("do-bind", s, s.line))
+    post = bld.new()
+    bld.edge(head, post)
+    post.atoms.append(Atom("do-post", s, s.line))
+    after = bld.new()
+    bld.edge(post, after)
+    loops.append((head, after))
+    end = _seq(bld, s.body, bind, exit_, loops)
+    loops.pop()
+    bld.edge(end, head)
+    return after
+
+
+# ----------------------------------------------------------------------
+# GLAF step bodies
+# ----------------------------------------------------------------------
+
+def build_step_cfg(step) -> CFG:
+    """CFG over one GLAF step: the (single, perfect) loop nest is one
+    header with a back edge; the statement list forms the body with
+    IfStmt branches and ExitLoop / Return jump edges."""
+    from ...core.step import Assign, CallStmt, ExitLoop, IfStmt, Return
+
+    bld = _Builder()
+    entry = bld.new()
+    exit_ = bld.new()
+
+    if not step.ranges:
+        body = bld.new()
+        bld.edge(entry, body)
+        end = _step_seq(bld, step, step.stmts, body, exit_, None)
+        bld.edge(end, exit_)
+        return CFG(bld.blocks, entry.id, exit_.id)
+
+    head = bld.new()
+    bld.edge(entry, head)
+    for r in step.ranges:
+        head.atoms.append(Atom("step-range", r))
+    after = bld.new()
+    bld.edge(head, after)           # zero-trip / normal exit
+    body = bld.new()
+    bld.edge(head, body)
+    if step.condition is not None:
+        body.atoms.append(Atom("step-cond", step.condition))
+    end = _step_seq(bld, step, step.stmts, body, exit_, after)
+    bld.edge(end, head)             # back edge
+    bld.edge(after, exit_)
+    return CFG(bld.blocks, entry.id, exit_.id)
+
+
+def _step_seq(bld: _Builder, step, stmts, cur: Block, exit_: Block,
+              after: Block | None) -> Block:
+    from ...core.step import Assign, CallStmt, ExitLoop, IfStmt, Return
+
+    for s in stmts:
+        if isinstance(s, (Assign, CallStmt)):
+            cur.atoms.append(Atom("step-stmt", s))
+        elif isinstance(s, IfStmt):
+            cur.atoms.append(Atom("step-cond", s.cond))
+            join = bld.new()
+            then = bld.new()
+            bld.edge(cur, then)
+            end = _step_seq(bld, step, s.then, then, exit_, after)
+            bld.edge(end, join)
+            orelse = bld.new()
+            bld.edge(cur, orelse)
+            end = _step_seq(bld, step, s.orelse, orelse, exit_, after)
+            bld.edge(end, join)
+            cur = join
+        elif isinstance(s, Return):
+            cur.atoms.append(Atom("step-stmt", s))
+            bld.edge(cur, exit_)
+            cur = bld.new()
+        elif isinstance(s, ExitLoop):
+            bld.edge(cur, after if after is not None else exit_)
+            cur = bld.new()
+    return cur

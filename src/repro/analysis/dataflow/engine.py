@@ -1,0 +1,101 @@
+"""The generic worklist fixpoint solver.
+
+One engine serves every analysis in the package: a :class:`Problem`
+bundles direction, the boundary state, a block transfer function and the
+lattice join.  States are ordinary Python values compared with ``==``;
+``None`` is the bottom element (unreachable along the solved direction)
+and is produced automatically for blocks no state has flowed into — a
+transfer function may also *return* ``None`` to cut a path it can prove
+dead (e.g. a definitely zero-trip loop body).
+
+For lattices of infinite height (intervals) a ``widen`` callback is
+applied once a block has been revisited more than :data:`WIDEN_AFTER`
+times, which forces convergence without giving up precision on the
+first few loop iterations.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable
+
+from .cfg import CFG, Block
+
+__all__ = ["Problem", "solve", "WIDEN_AFTER"]
+
+WIDEN_AFTER = 4
+
+
+@dataclass
+class Problem:
+    """One dataflow problem over a CFG.
+
+    ``transfer(block, state)`` maps the joined state at the block's
+    analysis entry (its start for forward problems, its end for backward
+    ones) to the state at the opposite side.  ``join`` combines two
+    non-``None`` states; ``widen(previous, joined)`` may over-approximate
+    to force termination.
+    """
+
+    forward: bool
+    boundary: object
+    transfer: Callable[[Block, object], object]
+    join: Callable[[object, object], object]
+    widen: Callable[[object, object], object] | None = None
+
+
+def solve(cfg: CFG, problem: Problem) -> tuple[dict[int, object],
+                                               dict[int, object]]:
+    """Run ``problem`` to fixpoint; returns ``(joined, transferred)``.
+
+    For a forward problem ``joined[b]`` is the state at the *start* of
+    block ``b`` and ``transferred[b]`` the state at its end; a backward
+    problem flips both (``joined[b]`` is the state at the block's end —
+    e.g. live-out — and ``transferred[b]`` the state at its start).
+    """
+    n = len(cfg.blocks)
+    start = cfg.entry if problem.forward else cfg.exit
+
+    def incoming(b: Block) -> list[int]:
+        return b.preds if problem.forward else b.succs
+
+    def outgoing(b: Block) -> list[int]:
+        return b.succs if problem.forward else b.preds
+
+    joined: dict[int, object] = {i: None for i in range(n)}
+    transferred: dict[int, object] = {i: None for i in range(n)}
+    visits = [0] * n
+    work: deque[int] = deque([start])
+    queued = {start}
+
+    while work:
+        bid = work.popleft()
+        queued.discard(bid)
+        block = cfg.blocks[bid]
+        if bid == start:
+            state: object = problem.boundary
+        else:
+            state = None
+            for src in incoming(block):
+                s = transferred[src]
+                if s is None:
+                    continue
+                state = s if state is None else problem.join(state, s)
+        if state is None:
+            continue
+        visits[bid] += 1
+        if (problem.widen is not None and visits[bid] > WIDEN_AFTER
+                and joined[bid] is not None):
+            state = problem.widen(joined[bid], state)
+        if state == joined[bid] and visits[bid] > 1:
+            continue
+        joined[bid] = state
+        out = problem.transfer(block, state)
+        if out != transferred[bid] or visits[bid] == 1:
+            transferred[bid] = out
+            for dst in outgoing(block):
+                if dst not in queued:
+                    queued.add(dst)
+                    work.append(dst)
+    return joined, transferred

@@ -1,0 +1,111 @@
+"""INTENT summaries for interprocedural reaching definitions.
+
+Legacy FORTRAN rarely declares INTENT, so the reaching analysis cannot
+rely on declarations alone at CALL sites.  :func:`infer_summaries`
+computes, for every unit in a parsed batch, the *effective* intent of
+each dummy argument:
+
+* declared INTENT wins when present;
+* otherwise a dummy that may be **read before any write** on some path
+  (decided by the same may-uninitialized fixpoint the use-before-def
+  rule runs, seeded with only the dummies) has an ``in`` component, and
+  a dummy that is written anywhere has an ``out`` component;
+* a dummy with neither defaults to ``in`` (harmless: the caller keeps
+  treating the actual as read).
+
+Summaries are one level deep — while inferring a unit, calls *it* makes
+are treated with declared intents when available and conservatively
+(read + written) otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .cfg import CFG
+from .engine import Problem, solve
+from .model import UnitModel, atom_events
+
+__all__ = ["UnitSummary", "infer_summaries"]
+
+
+@dataclass(frozen=True)
+class UnitSummary:
+    """Effective per-dummy intents of one callee."""
+
+    name: str
+    params: tuple[str, ...]
+    declared: dict[str, str] = field(default_factory=dict)
+    inferred: dict[str, str] = field(default_factory=dict)
+
+    def effective(self, dummy: str) -> str:
+        return self.declared.get(dummy) or self.inferred.get(dummy, "inout")
+
+
+def _declared_only(models: dict[str, tuple[UnitModel, CFG]]
+                   ) -> dict[str, UnitSummary]:
+    out = {}
+    for name, (model, _) in models.items():
+        out[name] = UnitSummary(
+            name=name, params=model.params,
+            declared=dict(model.intents),
+            inferred={p: "inout" for p in model.params})
+    return out
+
+
+def _infer_one(model: UnitModel, cfg: CFG,
+               callees: dict[str, UnitSummary]) -> UnitSummary:
+    seed = frozenset(model.params)
+
+    def transfer(block, state):
+        s = set(state)
+        for atom in block.atoms:
+            for ev in atom_events(atom, model, callees):
+                if ev.op == "def" and ev.strong:
+                    s.discard(ev.name)
+        return frozenset(s)
+
+    joined, _ = solve(cfg, Problem(
+        forward=True, boundary=seed, transfer=transfer,
+        join=lambda a, b: a | b))
+
+    reads_first: set[str] = set()
+    writes: set[str] = set()
+    reachable = cfg.reachable()
+    for bid in reachable:
+        state = joined[bid]
+        if state is None:
+            continue
+        live = set(state)
+        for atom in cfg.blocks[bid].atoms:
+            for ev in atom_events(atom, model, callees):
+                if ev.op == "use" and ev.name in model.params:
+                    # Array dummies take only weak defs, so "still
+                    # maybe-unwritten" would be always true; for them a
+                    # plain read marks the in-component instead.
+                    if ev.name in model.arrays or ev.name in live:
+                        reads_first.add(ev.name)
+                elif ev.op == "def":
+                    if ev.name in model.params:
+                        writes.add(ev.name)
+                    if ev.strong:
+                        live.discard(ev.name)
+
+    inferred: dict[str, str] = {}
+    for p in model.params:
+        if p in reads_first and p in writes:
+            inferred[p] = "inout"
+        elif p in writes:
+            inferred[p] = "out"
+        else:
+            inferred[p] = "in"
+    return UnitSummary(name=model.name.lower(), params=model.params,
+                       declared=dict(model.intents), inferred=inferred)
+
+
+def infer_summaries(models: dict[str, tuple[UnitModel, CFG]]
+                    ) -> dict[str, UnitSummary]:
+    """Summaries for every unit in the batch, keyed by lowercase name."""
+    declared = _declared_only(models)
+    return {name: _infer_one(model, cfg, declared)
+            for name, (model, cfg) in models.items()}

@@ -1,0 +1,393 @@
+"""Per-unit symbol model and def/use event extraction.
+
+The analyses need to know, for every name in a unit: which sharing
+channel it lives in (the linter's :mod:`repro.lint.symbols` channels are
+passed in verbatim), whether it is an array (and with what constant
+extents, when they are knowable), whether it is an integer scalar worth
+range-tracking, and — for dummies — the declared INTENT.
+
+:func:`atom_events` linearizes one CFG atom into ordered ``use`` / ``def``
+events.  Defs are *strong* (they kill) only for plain scalar targets;
+array, field and unknown-callee writes are weak, which keeps the
+may-uninitialized analysis sound in the presence of partial updates.
+A name parsed as ``base(args)`` counts as an array reference only when
+``base`` is declared (or allocated) as an array — otherwise it is a
+function reference: its arguments are used and, for known callees, the
+:mod:`.intent` summary decides which actuals are also defined.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ...fortranlib.ast import (
+    FAllocate,
+    FAssign,
+    FBin,
+    FCall,
+    FCallExpr,
+    FDecl,
+    FDeallocate,
+    FDo,
+    FExpr,
+    FFieldRef,
+    FIndexed,
+    FNum,
+    FPrint,
+    FProgramUnit,
+    FSubprogram,
+    FUn,
+    FVar,
+)
+from .cfg import Atom
+
+__all__ = ["Event", "UnitModel", "build_model", "atom_events",
+           "expr_subscript_sites", "sym_affine", "PURE_INTRINSICS"]
+
+# Intrinsics are pure: their arguments are read, never written.  Any
+# other unresolvable callee conservatively counts as writing every plain
+# variable actual (suppressing findings rather than inventing them).
+PURE_INTRINSICS = frozenset({
+    "abs", "acos", "asin", "atan", "atan2", "ceiling", "cos", "cosh",
+    "dble", "dot_product", "epsilon", "exp", "floor", "huge", "iabs",
+    "int", "log", "log10", "matmul", "max", "maxval", "min", "minval",
+    "mod", "nint", "present", "real", "sign", "sin", "sinh", "size",
+    "sqrt", "sum", "tan", "tanh", "tiny", "transpose", "allocated",
+})
+
+
+@dataclass(frozen=True)
+class Event:
+    """One ordered def/use event produced by an atom."""
+
+    op: str                  # 'use' | 'def'
+    name: str                # lowercase
+    strong: bool = True      # defs only: does it kill?
+    line: int = 0
+    store: bool = False      # def came from an explicit assignment
+    array: bool = False      # the referenced object is an array
+    assumed: bool = False    # def assumed for an unknown callee: kills
+                             # UNINIT soundly but is no write *evidence*
+
+
+@dataclass
+class UnitModel:
+    """Everything the analyses need to know about one unit's names."""
+
+    name: str
+    unit: FSubprogram | FProgramUnit
+    channels: dict[str, str]
+    params: tuple[str, ...] = ()
+    result: str | None = None
+    intents: dict[str, str] = field(default_factory=dict)   # declared only
+    arrays: set[str] = field(default_factory=set)
+    array_extents: dict[str, tuple[int | None, ...]] = field(
+        default_factory=dict)
+    # Per-dimension symbolic extents: (symbol, offset) meaning the
+    # declared extent is ``symbol + offset``, for dims whose extent is
+    # not a constant.  Parallel to array_extents.
+    array_sym_extents: dict[str, tuple[tuple[str, int] | None, ...]] = field(
+        default_factory=dict)
+    int_scalars: set[str] = field(default_factory=set)
+    initialized: set[str] = field(default_factory=set)
+    saved: set[str] = field(default_factory=set)     # SAVE: escapes the call
+    const_values: dict[str, int] = field(default_factory=dict)  # PARAMETERs
+
+    def channel(self, name: str) -> str:
+        return self.channels.get(name, "")
+
+    def is_local(self, name: str) -> bool:
+        return self.channels.get(name) == "local"
+
+    def is_array(self, name: str) -> bool:
+        return name in self.arrays
+
+    def uninit_on_entry(self) -> frozenset[str]:
+        """Names carrying the UNINIT pseudo-definition at unit entry:
+        local scalars without an initializer, scalar INTENT(OUT)
+        dummies, and the function result."""
+        out = {n for n in self.channels
+               if self.is_local(n) and n not in self.arrays
+               and n not in self.initialized}
+        for p in self.params:
+            if self.intents.get(p) == "out" and p not in self.arrays:
+                out.add(p)
+        if self.result:
+            r = self.result.lower()
+            if r not in self.arrays:
+                out.add(r)
+        return frozenset(out)
+
+
+def _const_int(e: FExpr) -> int | None:
+    if isinstance(e, FNum) and isinstance(e.value, int):
+        return e.value
+    if isinstance(e, FUn) and e.op == "neg":
+        v = _const_int(e.operand)
+        return -v if v is not None else None
+    if isinstance(e, FBin):
+        lv, rv = _const_int(e.left), _const_int(e.right)
+        if lv is None or rv is None:
+            return None
+        if e.op == "+":
+            return lv + rv
+        if e.op == "-":
+            return lv - rv
+        if e.op == "*":
+            return lv * rv
+    return None
+
+
+def sym_affine(e: FExpr) -> tuple[str, int] | None:
+    """Decompose ``e`` as ``variable + constant`` → ``(name, offset)``.
+
+    The one-symbol affine form shared by the symbolic bounds proof: a
+    bare variable is ``(name, 0)``; ``v + 2`` / ``v - 1`` / ``2 + v``
+    carry their literal offset.  Anything else returns None.
+    """
+    if isinstance(e, FVar):
+        return e.name.lower(), 0
+    if isinstance(e, FBin) and e.op in ("+", "-"):
+        if isinstance(e.left, FVar):
+            c = _const_int(e.right)
+            if c is not None:
+                return e.left.name.lower(), c if e.op == "+" else -c
+        if e.op == "+" and isinstance(e.right, FVar):
+            c = _const_int(e.left)
+            if c is not None:
+                return e.right.name.lower(), c
+    return None
+
+
+def build_model(unit: FSubprogram | FProgramUnit, channels: dict[str, str],
+                *, extra_extents: dict[str, tuple[int | None, ...]]
+                | None = None) -> UnitModel:
+    """Build the model from the unit's declarations plus the channel map
+    (and optional module-level extents resolved by the caller)."""
+    model = UnitModel(name=unit.name, unit=unit, channels=dict(channels))
+    if isinstance(unit, FSubprogram):
+        model.params = tuple(p.lower() for p in unit.params)
+        if unit.kind == "function":
+            model.result = (unit.result or unit.name).lower()
+
+    for name, extents in (extra_extents or {}).items():
+        model.arrays.add(name)
+        model.array_extents[name] = extents
+
+    for d in unit.decls:
+        if not isinstance(d, FDecl):
+            continue
+        for ent in d.entities:
+            n = ent.name.lower()
+            is_array = bool(ent.dims) or ent.deferred_rank > 0
+            if is_array:
+                model.arrays.add(n)
+                if ent.dims:
+                    model.array_extents[n] = tuple(
+                        _const_int(dim) for dim in ent.dims)
+                    model.array_sym_extents[n] = tuple(
+                        sym_affine(dim) if _const_int(dim) is None
+                        else None
+                        for dim in ent.dims)
+            elif d.spec.base == "integer":
+                model.int_scalars.add(n)
+            if d.intent and n in model.params:
+                model.intents[n] = d.intent.lower()
+            if ent.init is not None or "save" in d.attrs:
+                model.initialized.add(n)
+            if "save" in d.attrs:
+                model.saved.add(n)
+            if "parameter" in d.attrs and ent.init is not None:
+                v = _const_int(ent.init)
+                model.initialized.add(n)
+                if v is not None and not is_array:
+                    model.const_values[n] = v
+
+    # Constant ALLOCATE extents refine deferred-shape locals (first
+    # allocation wins; conflicting re-allocations drop to unknown).
+    _scan_allocates(unit.body, model)
+    return model
+
+
+def _scan_allocates(stmts: list, model: UnitModel) -> None:
+    from ...fortranlib.ast import FDoWhile, FIf
+
+    for s in stmts:
+        if isinstance(s, FAllocate):
+            for ref, dims in s.items:
+                if not isinstance(ref, FVar):
+                    continue
+                n = ref.name.lower()
+                extents = tuple(_const_int(d) for d in dims)
+                syms = tuple(sym_affine(d) if _const_int(d) is None
+                             else None
+                             for d in dims)
+                model.arrays.add(n)
+                if n in model.array_extents and model.array_extents[n] != extents:
+                    model.array_extents[n] = tuple(None for _ in extents)
+                else:
+                    model.array_extents[n] = extents
+                if (n in model.array_sym_extents
+                        and model.array_sym_extents[n] != syms):
+                    model.array_sym_extents[n] = tuple(None for _ in syms)
+                else:
+                    model.array_sym_extents[n] = syms
+        elif isinstance(s, FDo):
+            _scan_allocates(s.body, model)
+        elif isinstance(s, FDoWhile):
+            _scan_allocates(s.body, model)
+        elif isinstance(s, FIf):
+            for _, body in s.branches:
+                _scan_allocates(body, model)
+
+
+# ----------------------------------------------------------------------
+# events
+# ----------------------------------------------------------------------
+
+def _root_var(e: FExpr) -> str | None:
+    while isinstance(e, FFieldRef):
+        e = e.base
+    return e.name.lower() if isinstance(e, FVar) else None
+
+
+def _call_effect(name: str, args: tuple, model: UnitModel, summaries,
+                 line: int, out: list[Event]) -> None:
+    """Events for a function/subroutine reference with these actuals."""
+    summary = summaries.get(name) if summaries else None
+    if summary is not None and len(summary.params) == len(args):
+        for actual, dummy in zip(args, summary.params):
+            intent = summary.effective(dummy)
+            if intent in ("in", "inout"):
+                _expr_uses(actual, model, summaries, line, out)
+            else:                       # out: subscripts still evaluated
+                if isinstance(actual, FIndexed):
+                    for a in actual.args:
+                        _expr_uses(a, model, summaries, line, out)
+            if intent in ("out", "inout"):
+                if isinstance(actual, FVar):
+                    n = actual.name.lower()
+                    out.append(Event("def", n, strong=not model.is_array(n),
+                                     line=line, array=model.is_array(n)))
+                elif isinstance(actual, FIndexed):
+                    base = _root_var(actual.base)
+                    if base is not None:
+                        out.append(Event("def", base, strong=False,
+                                         line=line, array=True))
+        return
+    if name in PURE_INTRINSICS:
+        for a in args:
+            _expr_uses(a, model, summaries, line, out)
+        return
+    # Unknown callee: every plain-variable actual is read and (assumed)
+    # written — the assumption that suppresses false findings.
+    for a in args:
+        _expr_uses(a, model, summaries, line, out)
+        if isinstance(a, FVar):
+            n = a.name.lower()
+            out.append(Event("def", n, strong=not model.is_array(n),
+                             line=line, array=model.is_array(n),
+                             assumed=True))
+
+
+def _expr_uses(e: FExpr, model: UnitModel, summaries, line: int,
+               out: list[Event]) -> None:
+    if isinstance(e, FVar):
+        out.append(Event("use", e.name.lower(), line=line,
+                         array=model.is_array(e.name.lower())))
+    elif isinstance(e, FIndexed):
+        base = e.base
+        if isinstance(base, FVar) and not model.is_array(base.name.lower()):
+            _call_effect(base.name.lower(), e.args, model, summaries,
+                         line, out)
+            return
+        root = _root_var(base)
+        if root is not None:
+            out.append(Event("use", root, line=line, array=True))
+        for a in e.args:
+            _expr_uses(a, model, summaries, line, out)
+    elif isinstance(e, FFieldRef):
+        root = _root_var(e)
+        if root is not None:
+            out.append(Event("use", root, line=line))
+    elif isinstance(e, FBin):
+        _expr_uses(e.left, model, summaries, line, out)
+        _expr_uses(e.right, model, summaries, line, out)
+    elif isinstance(e, FUn):
+        _expr_uses(e.operand, model, summaries, line, out)
+    elif isinstance(e, FCallExpr):
+        _call_effect(e.name.lower(), e.args, model, summaries, line, out)
+
+
+def atom_events(atom: Atom, model: UnitModel, summaries=None) -> list[Event]:
+    """Ordered def/use events for one atom (uses precede the final def)."""
+    out: list[Event] = []
+    kind, node, line = atom.kind, atom.node, atom.line
+    if kind == "stmt":
+        if isinstance(node, FAssign):
+            _expr_uses(node.value, model, summaries, line, out)
+            tgt = node.target
+            if isinstance(tgt, FVar):
+                n = tgt.name.lower()
+                out.append(Event("def", n, strong=not model.is_array(n),
+                                 line=line, store=True,
+                                 array=model.is_array(n)))
+            elif isinstance(tgt, FIndexed):
+                for a in tgt.args:
+                    _expr_uses(a, model, summaries, line, out)
+                base = _root_var(tgt.base)
+                if base is not None:
+                    out.append(Event("def", base, strong=False, line=line,
+                                     store=True, array=True))
+            elif isinstance(tgt, FFieldRef):
+                base = _root_var(tgt)
+                if base is not None:
+                    out.append(Event("def", base, strong=False, line=line,
+                                     store=True))
+        elif isinstance(node, FCall):
+            _call_effect(node.name.lower(), node.args, model, summaries,
+                         line, out)
+        elif isinstance(node, FPrint):
+            for a in node.args:
+                _expr_uses(a, model, summaries, line, out)
+        elif isinstance(node, FAllocate):
+            for _, dims in node.items:
+                for d in dims:
+                    _expr_uses(d, model, summaries, line, out)
+        elif isinstance(node, FDeallocate):
+            pass
+    elif kind == "do":
+        assert isinstance(node, FDo)
+        for b in (node.start, node.end, node.step):
+            if b is not None:
+                _expr_uses(b, model, summaries, line, out)
+    elif kind in ("do-bind", "do-post"):
+        assert isinstance(node, FDo)
+        out.append(Event("def", node.var.lower(), strong=True, line=line))
+    elif kind in ("while", "cond"):
+        _expr_uses(node, model, summaries, line, out)
+    elif kind == "exit-use":
+        out.append(Event("use", node.name, line=line))
+    # 'assume'/'assume-not' atoms exist only for the interval analysis.
+    return out
+
+
+def expr_subscript_sites(e: FExpr, model: UnitModel,
+                         out: list[tuple[str, tuple[FExpr, ...]]]) -> None:
+    """Collect every true array-subscript site ``(array, args)`` in ``e``
+    (function references recurse into their arguments only)."""
+    if isinstance(e, FIndexed):
+        if isinstance(e.base, FVar) and model.is_array(e.base.name.lower()):
+            out.append((e.base.name.lower(), e.args))
+        for a in e.args:
+            expr_subscript_sites(a, model, out)
+    elif isinstance(e, FBin):
+        expr_subscript_sites(e.left, model, out)
+        expr_subscript_sites(e.right, model, out)
+    elif isinstance(e, FUn):
+        expr_subscript_sites(e.operand, model, out)
+    elif isinstance(e, FCallExpr):
+        for a in e.args:
+            expr_subscript_sites(a, model, out)
+    elif isinstance(e, FFieldRef):
+        expr_subscript_sites(e.base, model, out)

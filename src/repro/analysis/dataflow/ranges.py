@@ -1,0 +1,370 @@
+"""Forward interval propagation on integer scalars.
+
+The lattice maps integer scalar names to closed intervals with ±inf
+bounds; the join is the interval hull and loops converge through the
+engine's widening hook (a bound that keeps moving is pushed to its
+infinity).  The DO-header split in :mod:`.cfg` gives the induction
+variable a *body-side* binding (within the iteration range) and an
+*exit-side* binding (the hull of the zero-trip value and one stride
+past the last iterate), which is what makes the analysis sound for
+reads of the variable after the loop while staying precise inside it.
+
+``assume`` atoms refine the environment against branch conditions
+(``x <= n``-style comparisons and conjunctions), and a refinement that
+empties an interval proves the branch dead — the transfer returns the
+bottom state and downstream blocks become unreachable along that path.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ...fortranlib.ast import (
+    FBin,
+    FDo,
+    FExpr,
+    FLogical,
+    FNum,
+    FUn,
+    FVar,
+)
+from .cfg import CFG
+from .engine import Problem, solve
+from .model import UnitModel, atom_events
+
+__all__ = ["Interval", "TOP", "eval_interval", "eval_bool", "solve_ranges"]
+
+_INF = math.inf
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A closed integer interval with ±inf bounds."""
+
+    lo: float
+    hi: float
+
+    @property
+    def is_empty(self) -> bool:
+        return self.lo > self.hi
+
+    def hull(self, other: "Interval") -> "Interval":
+        return Interval(min(self.lo, other.lo), max(self.hi, other.hi))
+
+    def widen(self, newer: "Interval") -> "Interval":
+        return Interval(-_INF if newer.lo < self.lo else self.lo,
+                        _INF if newer.hi > self.hi else self.hi)
+
+    def __repr__(self) -> str:
+        def fmt(v: float) -> str:
+            if v == -_INF:
+                return "-inf"
+            if v == _INF:
+                return "+inf"
+            return str(int(v))
+        return f"[{fmt(self.lo)}, {fmt(self.hi)}]"
+
+
+TOP = Interval(-_INF, _INF)
+
+
+def _mul_bound(a: float, b: float) -> float:
+    if a == 0 or b == 0:      # inf * 0 = 0 under interval arithmetic
+        return 0.0
+    return a * b
+
+
+def _add(a: Interval, b: Interval) -> Interval:
+    return Interval(a.lo + b.lo, a.hi + b.hi)
+
+
+def _sub(a: Interval, b: Interval) -> Interval:
+    return Interval(a.lo - b.hi, a.hi - b.lo)
+
+
+def _mul(a: Interval, b: Interval) -> Interval:
+    products = [_mul_bound(a.lo, b.lo), _mul_bound(a.lo, b.hi),
+                _mul_bound(a.hi, b.lo), _mul_bound(a.hi, b.hi)]
+    return Interval(min(products), max(products))
+
+
+def _neg(a: Interval) -> Interval:
+    return Interval(-a.hi, -a.lo)
+
+
+Env = dict[str, Interval]      # names absent from the dict are TOP
+
+
+def eval_interval(e: FExpr, env: Env, model: UnitModel) -> Interval:
+    if isinstance(e, FNum):
+        if isinstance(e.value, int):
+            return Interval(e.value, e.value)
+        return TOP
+    if isinstance(e, FVar):
+        n = e.name.lower()
+        if n in model.const_values:
+            v = model.const_values[n]
+            return Interval(v, v)
+        if n in env:
+            return env[n]
+        return TOP
+    if isinstance(e, FUn):
+        if e.op == "neg":
+            return _neg(eval_interval(e.operand, env, model))
+        if e.op == "pos":
+            return eval_interval(e.operand, env, model)
+        return TOP
+    if isinstance(e, FBin):
+        if e.op in ("+", "-", "*"):
+            lv = eval_interval(e.left, env, model)
+            rv = eval_interval(e.right, env, model)
+            if lv.is_empty or rv.is_empty:
+                return lv if lv.is_empty else rv
+            if e.op == "+":
+                return _add(lv, rv)
+            if e.op == "-":
+                return _sub(lv, rv)
+            return _mul(lv, rv)
+        return TOP
+    return TOP
+
+
+def eval_bool(e: FExpr, env: Env, model: UnitModel) -> bool | None:
+    """Three-valued evaluation of a condition (None = undecidable)."""
+    if isinstance(e, FLogical):
+        return e.value
+    if isinstance(e, FUn) and e.op == "not":
+        v = eval_bool(e.operand, env, model)
+        return None if v is None else not v
+    if isinstance(e, FBin):
+        if e.op == "and":
+            lv = eval_bool(e.left, env, model)
+            rv = eval_bool(e.right, env, model)
+            if lv is False or rv is False:
+                return False
+            if lv is True and rv is True:
+                return True
+            return None
+        if e.op == "or":
+            lv = eval_bool(e.left, env, model)
+            rv = eval_bool(e.right, env, model)
+            if lv is True or rv is True:
+                return True
+            if lv is False and rv is False:
+                return False
+            return None
+        if e.op in ("<", "<=", ">", ">=", "==", "!="):
+            a = eval_interval(e.left, env, model)
+            b = eval_interval(e.right, env, model)
+            if a.is_empty or b.is_empty:
+                return None
+            return _compare(e.op, a, b)
+    return None
+
+
+def _compare(op: str, a: Interval, b: Interval) -> bool | None:
+    if op == "<":
+        if a.hi < b.lo:
+            return True
+        if a.lo >= b.hi:
+            return False
+        return None
+    if op == "<=":
+        if a.hi <= b.lo:
+            return True
+        if a.lo > b.hi:
+            return False
+        return None
+    if op == ">":
+        return _compare("<", b, a)
+    if op == ">=":
+        return _compare("<=", b, a)
+    if op == "==":
+        if a.lo == a.hi == b.lo == b.hi:
+            return True
+        if a.hi < b.lo or a.lo > b.hi:
+            return False
+        return None
+    if op == "!=":
+        v = _compare("==", a, b)
+        return None if v is None else not v
+    return None
+
+
+# ----------------------------------------------------------------------
+# transfer
+# ----------------------------------------------------------------------
+
+def _do_intervals(s: FDo, env: Env, model: UnitModel
+                  ) -> tuple[Interval | None, Interval]:
+    """(body-side interval or None when provably zero-trip, exit-side)."""
+    start = eval_interval(s.start, env, model)
+    end = eval_interval(s.end, env, model)
+    step = (eval_interval(s.step, env, model) if s.step is not None
+            else Interval(1, 1))
+    if step.lo > 0:
+        body = Interval(start.lo, end.hi)
+        post = start.hull(_add(end, step))
+    elif step.hi < 0:
+        body = Interval(end.lo, start.hi)
+        post = start.hull(_add(end, step))
+    else:
+        return TOP, TOP
+    if body.is_empty:
+        return None, post
+    return body, post
+
+
+def range_transfer(block, env: Env | None, model: UnitModel,
+                   summaries) -> Env | None:
+    """Shared by the fixpoint and the replaying bounds checker."""
+    from ...fortranlib.ast import FAssign
+
+    if env is None:
+        return None
+    s: Env = dict(env)
+    for atom in block.atoms:
+        out = apply_atom(atom, s, model, summaries)
+        if out is None:
+            return None
+        s = out
+    return s
+
+
+def apply_atom(atom, env: Env, model: UnitModel, summaries) -> Env | None:
+    """Apply one atom to the environment (None = path proven dead)."""
+    from ...fortranlib.ast import FAssign
+
+    kind, node = atom.kind, atom.node
+    if kind == "stmt":
+        if isinstance(node, FAssign) and isinstance(node.target, FVar):
+            n = node.target.name.lower()
+            if n in model.int_scalars or n in {p for p in model.params}:
+                iv = eval_interval(node.value, env, model)
+                env = dict(env)
+                if iv == TOP:
+                    env.pop(n, None)
+                else:
+                    env[n] = iv
+                return env
+        # Calls (and unknown-callee function refs) may clobber actuals.
+        clobbered = [ev.name for ev in atom_events(atom, model, summaries)
+                     if ev.op == "def" and ev.name in env]
+        if clobbered:
+            env = dict(env)
+            for n in clobbered:
+                env.pop(n, None)
+        return env
+    if kind == "do-bind":
+        body, _ = _do_intervals(node, env, model)
+        if body is None:
+            return None
+        env = dict(env)
+        env[node.var.lower()] = body
+        return env
+    if kind == "do-post":
+        _, post = _do_intervals(node, env, model)
+        env = dict(env)
+        env[node.var.lower()] = post
+        return env
+    if kind == "assume":
+        return _refine(node, env, model, negate=False)
+    if kind == "assume-not":
+        return _refine(node, env, model, negate=True)
+    return env
+
+
+_FLIP = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "==": "==", "!=": "!="}
+_NEG = {"<": ">=", "<=": ">", ">": "<=", ">=": "<", "==": "!=", "!=": "=="}
+
+
+def _refine(cond: FExpr, env: Env, model: UnitModel, *,
+            negate: bool) -> Env | None:
+    """Narrow ``env`` under ``cond`` (or its negation); None = dead path."""
+    if isinstance(cond, FBin) and cond.op == "and" and not negate:
+        env1 = _refine(cond.left, env, model, negate=False)
+        if env1 is None:
+            return None
+        return _refine(cond.right, env1, model, negate=False)
+    if isinstance(cond, FBin) and cond.op == "or" and negate:
+        env1 = _refine(cond.left, env, model, negate=True)
+        if env1 is None:
+            return None
+        return _refine(cond.right, env1, model, negate=True)
+    if not isinstance(cond, FBin) or cond.op not in _NEG:
+        return env
+    op = _NEG[cond.op] if negate else cond.op
+    out = env
+    if isinstance(cond.left, FVar):
+        out = _narrow(cond.left.name.lower(), op,
+                      eval_interval(cond.right, env, model), out, model)
+        if out is None:
+            return None
+    if isinstance(cond.right, FVar):
+        out = _narrow(cond.right.name.lower(), _FLIP[op],
+                      eval_interval(cond.left, env, model), out, model)
+    return out
+
+
+def _narrow(name: str, op: str, bound: Interval, env: Env,
+            model: UnitModel) -> Env | None:
+    if name not in model.int_scalars and name not in model.params:
+        return env
+    cur = env.get(name, TOP)
+    if op == "<":
+        new = Interval(cur.lo, min(cur.hi, bound.hi - 1))
+    elif op == "<=":
+        new = Interval(cur.lo, min(cur.hi, bound.hi))
+    elif op == ">":
+        new = Interval(max(cur.lo, bound.lo + 1), cur.hi)
+    elif op == ">=":
+        new = Interval(max(cur.lo, bound.lo), cur.hi)
+    elif op == "==":
+        new = Interval(max(cur.lo, bound.lo), min(cur.hi, bound.hi))
+    else:                       # != refines nothing interval-wise
+        return env
+    if new.is_empty:
+        return None
+    if new == TOP:
+        return env
+    env = dict(env)
+    env[name] = new
+    return env
+
+
+# ----------------------------------------------------------------------
+# the fixpoint
+# ----------------------------------------------------------------------
+
+def _join(a: Env, b: Env) -> Env:
+    out: Env = {}
+    for n in a.keys() & b.keys():
+        h = a[n].hull(b[n])
+        if h != TOP:
+            out[n] = h
+    return out
+
+
+def _widen(old: Env, new: Env) -> Env:
+    out: Env = {}
+    for n in old.keys() & new.keys():
+        w = old[n].widen(new[n])
+        if w != TOP:
+            out[n] = w
+    return out
+
+
+def solve_ranges(cfg: CFG, model: UnitModel, summaries
+                 ) -> dict[int, Env | None]:
+    """Interval environment at the start of every block."""
+    boundary: Env = {}
+    for n, v in model.const_values.items():
+        boundary[n] = Interval(v, v)
+
+    joined, _ = solve(cfg, Problem(
+        forward=True, boundary=boundary,
+        transfer=lambda block, env: range_transfer(
+            block, env, model, summaries),
+        join=_join, widen=_widen))
+    return joined

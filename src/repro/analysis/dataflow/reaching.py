@@ -1,0 +1,130 @@
+"""May-uninitialized forward analysis: use-before-def and INTENT checks.
+
+A name carries the UNINIT pseudo-definition at unit entry when nothing
+defines it before execution starts: local scalars without initializers,
+scalar INTENT(OUT) dummies, and the function result.  The forward
+fixpoint tracks the set of names UNINIT *may* still reach (union join —
+a definition on only one path does not clear the other), and the
+reporting pass flags the first read of each such name.
+
+The same pass performs the INTENT checks: a write to a declared
+INTENT(IN) dummy, a read of a declared INTENT(OUT) scalar dummy while it
+may still be unwritten, and a call site passing a non-variable actual to
+a declared INTENT(OUT) dummy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...fortranlib.ast import FCall, FIndexed, FVar
+from .cfg import CFG
+from .engine import Problem, solve
+from .intent import UnitSummary
+from .model import UnitModel, atom_events
+
+__all__ = ["UninitUse", "IntentIssue", "analyze_uninit"]
+
+
+@dataclass(frozen=True)
+class UninitUse:
+    """A read that the UNINIT pseudo-definition may reach."""
+
+    name: str
+    line: int
+    kind: str        # 'local' | 'result'
+
+
+@dataclass(frozen=True)
+class IntentIssue:
+    """A declared-INTENT contract violation."""
+
+    name: str
+    line: int
+    kind: str        # 'write-to-in' | 'read-out-uninit' | 'expr-to-out'
+    detail: str
+
+
+def analyze_uninit(cfg: CFG, model: UnitModel,
+                   summaries: dict[str, UnitSummary]
+                   ) -> tuple[list[UninitUse], list[IntentIssue]]:
+    seed = model.uninit_on_entry()
+    out_dummies = {p for p in model.params
+                   if model.intents.get(p) == "out"}
+
+    def transfer(block, state):
+        s = set(state)
+        for atom in block.atoms:
+            for ev in atom_events(atom, model, summaries):
+                if ev.op == "def" and ev.strong:
+                    s.discard(ev.name)
+        return frozenset(s)
+
+    joined, _ = solve(cfg, Problem(
+        forward=True, boundary=seed, transfer=transfer,
+        join=lambda a, b: a | b))
+
+    uses: list[UninitUse] = []
+    issues: list[IntentIssue] = []
+    seen_uninit: set[str] = set()
+    seen_intent: set[tuple[str, str]] = set()
+
+    for bid in sorted(cfg.reachable()):
+        state = joined[bid]
+        if state is None:
+            continue
+        live = set(state)
+        for atom in cfg.blocks[bid].atoms:
+            _check_call_actuals(atom, model, summaries, issues, seen_intent)
+            for ev in atom_events(atom, model, summaries):
+                if ev.op == "use" and ev.name in live:
+                    if ev.name in out_dummies:
+                        if ("read-out-uninit", ev.name) not in seen_intent:
+                            seen_intent.add(("read-out-uninit", ev.name))
+                            issues.append(IntentIssue(
+                                ev.name, ev.line, "read-out-uninit",
+                                f"INTENT(OUT) dummy {ev.name!r} is read "
+                                "before this unit assigns it"))
+                    elif ev.name not in seen_uninit:
+                        seen_uninit.add(ev.name)
+                        kind = ("result" if model.result == ev.name
+                                else "local")
+                        uses.append(UninitUse(ev.name, ev.line, kind))
+                elif ev.op == "def":
+                    if (not ev.assumed and ev.name in model.params
+                            and model.intents.get(ev.name) == "in"
+                            and ("write-to-in", ev.name) not in seen_intent):
+                        seen_intent.add(("write-to-in", ev.name))
+                        issues.append(IntentIssue(
+                            ev.name, ev.line, "write-to-in",
+                            f"INTENT(IN) dummy {ev.name!r} is written"))
+                    if ev.strong:
+                        live.discard(ev.name)
+    return uses, issues
+
+
+def _check_call_actuals(atom, model: UnitModel,
+                        summaries: dict[str, UnitSummary],
+                        issues: list[IntentIssue],
+                        seen: set[tuple[str, str]]) -> None:
+    """Caller-side check: a literal or expression actual bound to a
+    declared INTENT(OUT) dummy can never receive the output."""
+    node = atom.node
+    if atom.kind != "stmt" or not isinstance(node, FCall):
+        return
+    summary = summaries.get(node.name.lower())
+    if summary is None or len(summary.params) != len(node.args):
+        return
+    for actual, dummy in zip(node.args, summary.params):
+        if summary.declared.get(dummy) != "out":
+            continue
+        if isinstance(actual, (FVar, FIndexed)):
+            continue
+        key = ("expr-to-out", f"{node.name.lower()}:{dummy}")
+        if key in seen:
+            continue
+        seen.add(key)
+        issues.append(IntentIssue(
+            dummy, node.line, "expr-to-out",
+            f"call to {node.name!r} passes a non-variable actual to "
+            f"INTENT(OUT) dummy {dummy!r}"))

@@ -188,6 +188,11 @@ def build_parser() -> argparse.ArgumentParser:
                           "vectorized executor can lift it and the "
                           "refusal reason when it cannot "
                           "(docs/EXECUTORS.md)")
+    ana.add_argument("--ranges", action="store_true",
+                     help="run interval range propagation and the static "
+                          "bounds checker over the generated FORTRAN and "
+                          "print per-unit subscript classifications "
+                          "(docs/STATIC_ANALYSIS.md)")
 
     fuzz = sub.add_parser(
         "fuzz",
@@ -223,6 +228,11 @@ def build_parser() -> argparse.ArgumentParser:
                            "catches and quarantines known-bad pipelines")
     fuzz.add_argument("--fault-seed", type=int, default=0,
                       help="seed for the injected fault plans (default 0)")
+    fuzz.add_argument("--crosscheck", action="store_true",
+                      help="cross-check the static bounds checker's "
+                           "proven-in-bounds claims against runtime "
+                           "out-of-bounds trips (fuzzer as soundness "
+                           "oracle; docs/FUZZING.md)")
     _add_ledger_flags(fuzz)
 
     sloc = sub.add_parser("sloc", help="SLOC of the generated FORTRAN")
@@ -288,6 +298,10 @@ def build_parser() -> argparse.ArgumentParser:
                       const=_JSON_STDOUT, default=None, metavar="FILE",
                       help="emit the report as JSON (to stdout, or to FILE "
                            "when given)")
+    lint.add_argument("--dataflow", action="store_true",
+                      help="also run the interprocedural dataflow pass "
+                           "(use-before-def, dead-store, possible-oob, "
+                           "intent-violation, const-false-guard)")
     lint.add_argument("--selftest", action="store_true",
                       help="run the seeded clause-mutation corpus and "
                            "verify the linter catches every mutant")
@@ -506,6 +520,23 @@ def _cmd_analyze(args) -> int:
                 print("       lift: "
                       + ("vectorized" if not reason
                          else f"interpreter fallback ({reason})"))
+    if getattr(args, "ranges", False):
+        from .codegen import generate_fortran_module
+        from .fortranlib.parser import parse_source
+        from .lint.dataflow import analyze_batch_ranges
+        from .optimize import make_plan
+
+        src = generate_fortran_module(make_plan(program, "GLAF-parallel v0"))
+        parsed = {"generated.f90": parse_source(src)}
+        print("ranges (generated FORTRAN, interval analysis):")
+        for ur in analyze_batch_ranges(parsed):
+            s = ur.summary
+            print(f"  {ur.unit}: subscripts proven={s.proven} "
+                  f"possible-oob={s.possible} unknown={s.unknown}")
+            for issue in s.issues:
+                print(f"       oob: {issue.detail} (line {issue.line})")
+            for n, iv in sorted(s.exit_env.items()):
+                print(f"       {n} in {iv!r} at exit")
     return 0
 
 
@@ -666,7 +697,7 @@ def _cmd_lint(args) -> int:
 
     levels = sorted(LEVELS) if args.level == "all" else [args.level]
     cases = ("sarb", "fun3d") if args.case == "all" else (args.case,)
-    report = lint_levels(levels, cases)
+    report = lint_levels(levels, cases, dataflow=args.dataflow)
     if args.json_path is not None:
         doc = report.to_json()
         if args.json_path is _JSON_STDOUT:
@@ -703,6 +734,7 @@ def _cmd_fuzz(args) -> int:
         quarantine_dir=args.quarantine,
         faults=faults,
         fault_seed=args.fault_seed,
+        crosscheck=args.crosscheck,
     )
     doc = summary.to_json()
     if args.json_path is not None:
@@ -720,6 +752,10 @@ def _cmd_fuzz(args) -> int:
         print(f"  clean {stats['clean']}  failed {stats['failed']}  "
               f"units {stats['units_run']}  "
               f"vectorized fallbacks {stats['fallbacks']}")
+        if args.crosscheck:
+            print(f"  crosscheck: {stats['claims_proven']} proven-in-bounds "
+                  f"unit claim(s), {stats['claims_refuted']} refuted by "
+                  "the runtime")
         if summary.resumed:
             print(f"  resumed {summary.resumed} item(s) from checkpoint",
                   file=sys.stderr)

@@ -275,6 +275,12 @@ class FortranGenerator:
         for fn in self.program.functions():
             em.blank()
             unit = self.generate_subprogram(fn)
+            # Fault-injection hook: a seeded plan may corrupt one body
+            # (the dataflow mutants 'repro lint --dataflow' must catch).
+            mutated = inject("codegen.fortran.body", unit.lines,
+                             function=fn.name)
+            if mutated is not None:
+                unit.lines = mutated
             self.units.append(unit)
             for line in unit.lines:
                 if line.startswith("!$OMP") or not line.strip():

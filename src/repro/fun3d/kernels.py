@@ -118,18 +118,22 @@ def build_fun3d_program() -> GlafProgram:
     s = f.step("stage_gamma")
     s.foreach(k=(1, 5))
     s.formula(ref("tmp02", I("k")), ref("tmp01", I("k")) * ref("gamma_c"))
+    # The staged temporaries form a live chain — each stage consumes the
+    # previous one and the final stage feeds the assembly.  The algebra
+    # is exact in IEEE double (power-of-two scaling and a Sterbenz
+    # subtraction), so tmp06 carries precisely 0.5 * tmp02.
     s = f.step("stage_half")
     s.foreach(k=(1, 5))
     s.formula(ref("tmp03", I("k")), ref("tmp02", I("k")) * 0.5)
-    s = f.step("stage_diff")
+    s = f.step("stage_resid")
     s.foreach(k=(1, 5))
-    s.formula(ref("tmp04", I("k")), ref("tmp01", I("k")) - ref("tmp02", I("k")))
-    s = f.step("stage_sq")
+    s.formula(ref("tmp04", I("k")), ref("tmp02", I("k")) - ref("tmp03", I("k")))
+    s = f.step("stage_recombine")
     s.foreach(k=(1, 5))
-    s.formula(ref("tmp05", I("k")), ref("tmp03", I("k")) * ref("tmp03", I("k")))
-    s = f.step("stage_mix")
+    s.formula(ref("tmp05", I("k")), ref("tmp03", I("k")) + ref("tmp04", I("k")))
+    s = f.step("stage_carry")
     s.foreach(k=(1, 5))
-    s.formula(ref("tmp06", I("k")), ref("tmp04", I("k")) + ref("tmp05", I("k")) * 0.1)
+    s.formula(ref("tmp06", I("k")), ref("tmp05", I("k")) * 0.5)
 
     s = f.step("edge_offsets", comment="locate each edge's CSR offset")
     s.foreach(e=(1, 6))
@@ -144,12 +148,11 @@ def build_fun3d_program() -> GlafProgram:
     s.formula(
         ref("jac", ref("eoff", I("e")), I("k")),
         ref("jac", ref("eoff", I("e")), I("k"))
-        + 0.5
-        * (
+        + (
             ref("q", ref("edge_nodes", ref("cell_edges", ref("c"), I("e")), 1), I("k"))
             + ref("q", ref("edge_nodes", ref("cell_edges", ref("c"), I("e")), 2), I("k"))
         )
-        * ref("tmp02", I("k"))
+        * ref("tmp06", I("k"))
         * ref("ew_c"),
     )
 

@@ -72,6 +72,11 @@ class ItemResult:
     source: str = ""                 # generated FORTRAN (when codegen ran)
     units_run: int = 0
     fallbacks: int = 0               # vectorized-executor demotions seen
+    # static-vs-runtime crosscheck tallies (crosscheck runs only):
+    # units whose every subscript the bounds checker proved in-bounds,
+    # and how many of those claims the runtime contradicted.
+    claims_proven: int = 0
+    claims_refuted: int = 0
 
     @property
     def status(self) -> str:
@@ -86,6 +91,8 @@ class ItemResult:
             "source": self.source,
             "units_run": self.units_run,
             "fallbacks": self.fallbacks,
+            "claims_proven": self.claims_proven,
+            "claims_refuted": self.claims_refuted,
         }
 
     @classmethod
@@ -97,6 +104,8 @@ class ItemResult:
             source=doc.get("source", ""),
             units_run=doc.get("units_run", 0),
             fallbacks=doc.get("fallbacks", 0),
+            claims_proven=doc.get("claims_proven", 0),
+            claims_refuted=doc.get("claims_refuted", 0),
         )
 
 
@@ -174,9 +183,25 @@ def _execute_unit(program, spec: CodebaseSpec, unit,
     return failures, len(vec_run.fallbacks)
 
 
+def _static_bounds_claims(source: str) -> dict[str, object]:
+    """Per-unit range summaries of the generated source (lowercase keys).
+
+    A unit whose every subscript is *proven* in-bounds (``possible == 0``
+    and ``unknown == 0`` with at least one classified subscript) carries a
+    refutable static claim: any runtime out-of-bounds trip in that unit
+    means the bounds proof was unsound.
+    """
+    from ..fortranlib.parser import parse_source
+    from ..lint.dataflow import analyze_batch_ranges
+
+    parsed = {"<fuzz>": parse_source(source)}
+    return {ur.unit.lower(): ur.summary
+            for ur in analyze_batch_ranges(parsed)}
+
+
 def run_item(spec: CodebaseSpec, profile: FuzzProfile | str, *,
              faults: tuple[FaultSpec, ...] = (),
-             fault_seed: int = 0) -> ItemResult:
+             fault_seed: int = 0, crosscheck: bool = False) -> ItemResult:
     """Drive one spec end-to-end; never raises for pipeline failures.
 
     Typed :class:`GlafError`\\ s, lint findings, oracle divergence, and
@@ -184,6 +209,9 @@ def run_item(spec: CodebaseSpec, profile: FuzzProfile | str, *,
     non-framework exceptions (genuine harness bugs) still propagate.
     ``faults`` enters a fresh seeded fault-injection plan for just this
     item, so one-shot faults fire identically on every reproduction.
+    With ``crosscheck``, the static bounds checker's proven-in-bounds
+    claims are compared against runtime out-of-bounds trips — the fuzzer
+    acting as a soundness oracle for the analyzer.
     """
     prof = get_profile(profile) if isinstance(profile, str) else profile
     res = ItemResult(index=spec.index, spec=spec)
@@ -248,11 +276,35 @@ def run_item(spec: CodebaseSpec, profile: FuzzProfile | str, *,
             res.failures.append(ItemFailure(
                 FailureSignature("lint", type(e).__name__),
                 detail=str(e)))
+        claims: dict[str, object] = {}
+        if crosscheck and res.source:
+            try:
+                claims = _static_bounds_claims(res.source)
+            except GlafError as e:
+                res.failures.append(ItemFailure(
+                    FailureSignature("crosscheck", type(e).__name__),
+                    detail=str(e)))
         for unit in spec.units:
             failures, fallbacks = _execute_unit(program, spec, unit, prof)
             res.failures.extend(failures)
             res.fallbacks += fallbacks
             res.units_run += 1
+            claim = claims.get(unit.name.lower())
+            if (claim is not None and claim.possible == 0
+                    and claim.unknown == 0 and claim.proven > 0):
+                res.claims_proven += 1
+                for f in failures:
+                    if (f.signature.stage == "execute"
+                            and "out of bounds" in f.detail):
+                        res.claims_refuted += 1
+                        res.failures.append(ItemFailure(
+                            FailureSignature("crosscheck",
+                                             "UnsoundBoundsProof",
+                                             rule="bounds"),
+                            detail=(f"{unit.name}: every subscript was "
+                                    "statically proven in-bounds, yet the "
+                                    f"runtime tripped: {f.detail}"),
+                            unit=unit.name))
     return res
 
 
@@ -290,6 +342,9 @@ class CampaignSummary:
                 "units_run": sum(it.units_run for it in self.items),
                 "fallbacks": sum(it.fallbacks for it in self.items),
                 "signatures": len(self.buckets),
+                "claims_proven": sum(it.claims_proven for it in self.items),
+                "claims_refuted": sum(it.claims_refuted
+                                      for it in self.items),
             },
             "buckets": {k: self.buckets[k] for k in sorted(self.buckets)},
             "quarantined": self.quarantined,
@@ -313,6 +368,7 @@ def run_campaign(
     quarantine_dir: str | None = None,
     faults: tuple[FaultSpec, ...] = (),
     fault_seed: int = 0,
+    crosscheck: bool = False,
 ) -> CampaignSummary:
     """Run ``count`` seeded items with checkpointed resume and triage."""
     from ..observe import get_decisions, get_metrics, get_tracer
@@ -337,7 +393,8 @@ def run_campaign(
             spec = generate_spec(seed, prof, index)
             with tracer.span("fuzz.item", index=index):
                 item = run_item(spec, prof, faults=faults,
-                                fault_seed=fault_seed)
+                                fault_seed=fault_seed,
+                                crosscheck=crosscheck)
             store.save(key, {"item": item.to_json()})
         summary.items.append(item)
         if m.enabled:
@@ -358,14 +415,16 @@ def run_campaign(
                 def reproduces(cand: CodebaseSpec,
                                _k: str = sig.key) -> bool:
                     rerun = run_item(cand, prof, faults=faults,
-                                     fault_seed=fault_seed)
+                                     fault_seed=fault_seed,
+                                     crosscheck=crosscheck)
                     return any(f.signature.key == _k
                                for f in rerun.failures)
 
                 with tracer.span("fuzz.shrink", signature=sig.key):
                     shrunk = shrink_spec(item.spec, reproduces)
                     min_run = run_item(shrunk.spec, prof, faults=faults,
-                                       fault_seed=fault_seed)
+                                       fault_seed=fault_seed,
+                                       crosscheck=crosscheck)
                 triage.quarantine(
                     sig, failure, item.spec, prof, item.source,
                     faults=fault_keys,

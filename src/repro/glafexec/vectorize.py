@@ -89,10 +89,20 @@ class _ArrayAssign:
 
 @dataclass(frozen=True)
 class LiftedStep:
-    """A step compiled to an executable whole-grid array program."""
+    """A step compiled to an executable whole-grid array program.
+
+    ``snapshot_free`` lists written grids whose pre-step copy the runtime
+    provably never needs: the grid is written pointwise with no mask and
+    no step condition, and the step reads it nowhere (per the backward
+    grid-liveness pass over the step CFG).  Re-executing such a step
+    through the interpreter rewrites every cell of the written slice from
+    inputs the failed lift never touched, so a torn partial write heals
+    itself and the rollback snapshot is dead weight.
+    """
 
     assigns: tuple[_ArrayAssign, ...]
     written: tuple[str, ...]
+    snapshot_free: tuple[str, ...] = ()
 
 
 class _Unliftable(Exception):
@@ -257,7 +267,23 @@ def compile_step(step: Step) -> LiftedStep | LiftFailure:
                 return LiftFailure(
                     f"loop bounds read grid(s) {sorted(overlap)} written in "
                     "the step")
-    return LiftedStep(assigns=tuple(assigns), written=tuple(sorted(written)))
+
+    # Liveness proof for snapshot elision: a grid written only pointwise,
+    # unmasked and unconditioned, that the step never reads (live-on-entry
+    # per the dataflow engine's backward pass) is self-healing under
+    # re-execution — no rollback copy needed.
+    from ..analysis.dataflow import step_live_on_entry
+
+    live_in = step_live_on_entry(step)
+    masked = {a.target.grid for a in assigns if a.mask is not None}
+    snapshot_free = tuple(sorted(
+        g for g in written
+        if write_kind[g] == "pointwise"
+        and g not in masked
+        and step.condition is None
+        and g not in live_in))
+    return LiftedStep(assigns=tuple(assigns), written=tuple(sorted(written)),
+                      snapshot_free=snapshot_free)
 
 
 def liftability_report(program) -> dict[tuple[str, int], str]:
@@ -268,7 +294,7 @@ def liftability_report(program) -> dict[tuple[str, int], str]:
     EXECUTORS.md worked example.
     """
     out: dict[tuple[str, int], str] = {}
-    for fn in program.functions():
+    for fn in sorted(program.functions(), key=lambda f: f.name):
         for idx, step in enumerate(fn.steps):
             if not step.is_loop:
                 continue
@@ -361,13 +387,17 @@ class VectorizedInterpreter(Interpreter):
             self._plans[key] = plan
             if isinstance(plan, LiftFailure):
                 self._note_fallback(frame, idx, step, plan.reason)
+            elif isinstance(plan, LiftedStep) and plan.snapshot_free:
+                self._note_snapshot_elide(frame, idx, step, plan)
         if plan is _DIRECT or isinstance(plan, LiftFailure):
             Interpreter._exec_step(self, frame, idx, step)
             return
 
         frame.current_step = idx
         frame.current_step_name = step.name
-        snap = {g: self._storage(frame, g).copy() for g in plan.written}
+        elided = set(plan.snapshot_free)
+        snap = {g: self._storage(frame, g).copy() for g in plan.written
+                if g not in elided}
         try:
             self._exec_lifted(frame, idx, step, plan)
         except ResourceLimitError:
@@ -400,6 +430,25 @@ class VectorizedInterpreter(Interpreter):
         m = get_metrics()
         if m.enabled:
             m.counter("exec.vectorized.steps").inc()
+
+    def _note_snapshot_elide(self, frame, idx: int, step: Step,
+                             plan: LiftedStep) -> None:
+        """Record the liveness-proved rollback-snapshot elision (once per
+        compiled step)."""
+        from ..observe import get_decisions, get_metrics
+
+        m = get_metrics()
+        if m.enabled:
+            m.counter("exec.vectorized.snapshot_elided").inc(
+                len(plan.snapshot_free))
+        dl = get_decisions()
+        if dl.enabled:
+            dl.record("executor:snapshot-elide", frame.fn.name, idx,
+                      step.name, "no-rollback-copy",
+                      reasons=tuple(
+                          f"grid {g!r} written pointwise, unmasked, and "
+                          "never read in the step (dead on step entry)"
+                          for g in plan.snapshot_free))
 
     def _note_fallback(self, frame, idx: int, step: Step, reason: str) -> None:
         self.fallbacks.append(

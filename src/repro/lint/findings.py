@@ -76,6 +76,46 @@ RULES: dict[str, LintRule] = {r.id: r for r in (
         failure_mode="the shipped code no longer matches the analysis that "
                      "justified it; correctness arguments are void",
     ),
+    LintRule(
+        id="use-before-def",
+        summary="a local scalar (or the function result) may be read on "
+                "some path before anything assigns it, per the "
+                "interprocedural may-uninitialized fixpoint",
+        failure_mode="the read yields whatever the stack held; results "
+                     "vary run to run and differ under parallel execution",
+    ),
+    LintRule(
+        id="dead-store",
+        summary="a store to a local whose value no later-reachable read "
+                "consumes (backward liveness), or a local array that is "
+                "written but never read anywhere in the unit",
+        failure_mode="wasted work at best; at worst the store was meant "
+                     "to feed a read that binds to something else entirely",
+    ),
+    LintRule(
+        id="possible-oob",
+        summary="interval analysis proves an array subscript can escape a "
+                "statically known extent (or go below the 1-based lower "
+                "bound) on some feasible path",
+        failure_mode="out-of-bounds access corrupts neighboring storage "
+                     "or traps; under OpenMP the corruption is racy too",
+    ),
+    LintRule(
+        id="intent-violation",
+        summary="a declared INTENT contract is broken: an INTENT(IN) "
+                "dummy is written, an INTENT(OUT) dummy is read before "
+                "the unit assigns it, or a call passes a non-variable "
+                "actual to an INTENT(OUT) dummy",
+        failure_mode="compilers may cache INTENT(IN) actuals or skip "
+                     "copy-back; the violating access reads or loses data",
+    ),
+    LintRule(
+        id="const-false-guard",
+        summary="a conditional guarding a parallel region folds to a "
+                "constant .false. under interval analysis",
+        failure_mode="the parallel region is dead code; the speedup the "
+                     "plan promised for it never materializes",
+    ),
 )}
 
 
@@ -90,13 +130,18 @@ class LintFinding:
     variable: str = ""        # offending variable, when there is one
     channel: str = ""         # sharing channel: local / dummy / common /
                               # use'd module / host module / type element
+    levels: tuple[str, ...] = ()   # pruning variants the finding appears
+                                   # at, filled by lint_levels dedup
 
     def to_json(self) -> dict[str, object]:
-        return {
+        out: dict[str, object] = {
             "rule": self.rule, "unit": self.unit, "line": self.line,
             "message": self.message, "variable": self.variable,
             "channel": self.channel,
         }
+        if self.levels:
+            out["levels"] = list(self.levels)
+        return out
 
 
 @dataclass

@@ -1,13 +1,21 @@
-"""Seeded clause-mutation self-test: can the linter catch known-bad code?
+"""Seeded mutation self-test: can the linter catch known-bad code?
 
 A linter that has never seen a bug is untrustworthy.  This module drives
-the PR-2 fault-injection registry's ``codegen.fortran.omp`` site to
-corrupt one emitted directive per run — drop a PRIVATE, drop a
-REDUCTION, widen a COLLAPSE, suppress a directive, or conjure one onto a
-serial loop — then lints the mutated module and demands a nonzero
-finding count.  The corpus spans both case studies and several pruning
-levels; ``repro lint --selftest`` (and CI) fail unless **every** mutant
-both fires and is caught.
+the fault-injection registry to corrupt one generated module per run,
+then lints the mutant and demands a nonzero finding count.  Two sites
+feed the corpus:
+
+* ``codegen.fortran.omp`` — directive-clause mutants for the structural
+  rules: drop a PRIVATE, drop a REDUCTION, widen a COLLAPSE, suppress a
+  directive, or conjure one onto a serial loop;
+* ``codegen.fortran.body`` — statement mutants for the dataflow rules:
+  delete an initialization (use-before-def), widen a literal DO bound
+  past an array edge (possible-oob), store to a never-read array
+  (dead-store), or flip a scalar INTENT(IN) to OUT (intent-violation).
+
+The corpus spans both case studies and several pruning levels;
+``repro lint --selftest`` (and CI) fail unless **every** mutant both
+fires and is caught.
 
 A dropped PRIVATE on a *collapsed* index is semantically harmless (the
 index is predetermined private), so some mutants are detectable only by
@@ -27,25 +35,28 @@ __all__ = ["Mutant", "MutantResult", "MUTANTS", "run_mutation_selftest"]
 
 @dataclass(frozen=True)
 class Mutant:
-    """One planned directive corruption."""
+    """One planned corruption of a generated module."""
 
     id: str
     case: str                     # 'sarb' | 'fun3d'
     variant: str                  # pruning-variant name
-    kind: str                     # a codegen.fortran.omp fault kind
+    kind: str                     # a fault kind the site supports
     function: str                 # match: only fire in this function
     serial_target: bool = False   # match loops the plan left serial
+    site: str = "codegen.fortran.omp"
 
     def spec(self) -> FaultSpec:
         match: dict[str, object] = {"function": self.function}
         if self.serial_target:
             match["parallel"] = False
-        return FaultSpec(site="codegen.fortran.omp", kind=self.kind,
-                         match=match)
+        return FaultSpec(site=self.site, kind=self.kind, match=match)
 
 
-# The corpus: >= 10 distinct mutants covering every fault kind, both case
-# studies, and more than one pruning level.
+# Dataflow mutants ride the codegen.fortran.body site.
+_BODY = "codegen.fortran.body"
+
+# The corpus: distinct mutants covering every fault kind of both sites,
+# both case studies, and more than one pruning level.
 MUTANTS: tuple[Mutant, ...] = (
     Mutant("sarb-drop-private-lw", "sarb", "GLAF-parallel v0",
            "drop-private", "lw_spectral_integration"),
@@ -75,6 +86,23 @@ MUTANTS: tuple[Mutant, ...] = (
            "spurious-directive", "adjust2", serial_target=True),
     Mutant("fun3d-spurious-ioff", "fun3d", "GLAF-parallel v0",
            "spurious-directive", "ioff_search", serial_target=True),
+    # -- dataflow mutants (codegen.fortran.body) -----------------------
+    Mutant("fun3d-drop-init-edge", "fun3d", "GLAF-parallel v0",
+           "drop-init", "edge_loop", site=_BODY),
+    Mutant("fun3d-drop-init-cell", "fun3d", "GLAF-parallel v0",
+           "drop-init", "cell_loop", site=_BODY),
+    Mutant("fun3d-overrun-edge", "fun3d", "GLAF-parallel v0",
+           "overrun-bound", "edge_loop", site=_BODY),
+    Mutant("fun3d-overrun-edge-v3", "fun3d", "GLAF-parallel v3",
+           "overrun-bound", "edge_loop", site=_BODY),
+    Mutant("fun3d-dead-store-edge", "fun3d", "GLAF-parallel v0",
+           "dead-store", "edge_loop", site=_BODY),
+    Mutant("sarb-flip-intent-lw", "sarb", "GLAF-parallel v0",
+           "flip-intent", "lw_spectral_integration", site=_BODY),
+    Mutant("sarb-flip-intent-sw-v3", "sarb", "GLAF-parallel v3",
+           "flip-intent", "sw_spectral_integration", site=_BODY),
+    Mutant("fun3d-flip-intent-cell", "fun3d", "GLAF-parallel v0",
+           "flip-intent", "cell_loop", site=_BODY),
 )
 
 
@@ -113,7 +141,7 @@ def run_mutant(mutant: Mutant, *, seed: int = 0
         source = FortranGenerator(plan).generate_module()
     fired = bool(fp.fired)
     report = lint_text(source, plan=plan,
-                       label=f"mutant {mutant.id}")
+                       label=f"mutant {mutant.id}", dataflow=True)
     result = MutantResult(
         mutant=mutant,
         fired=fired,

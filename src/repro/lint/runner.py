@@ -33,9 +33,11 @@ LEVELS: dict[str, str] = {f"v{n}": f"GLAF-parallel v{n}" for n in range(4)}
 
 
 def lint_parsed(parsed: dict[str, FSourceFile], *, legacy=None,
-                label: str = "") -> LintReport:
+                label: str = "", dataflow: bool = False) -> LintReport:
     """Lint already-parsed files as one batch (modules defined in any of
-    the files resolve wildcard USEs in all of them)."""
+    the files resolve wildcard USEs in all of them).  With ``dataflow``,
+    the interprocedural fixpoint pass (use-before-def, dead stores,
+    bounds, INTENT) runs over the same batch."""
     report = LintReport(label=label)
     siblings: dict[str, FModule] = {}
     for out in parsed.values():
@@ -56,19 +58,24 @@ def lint_parsed(parsed: dict[str, FSourceFile], *, legacy=None,
             for sub in prog.subprograms:
                 syms = build_symbols(sub, legacy=legacy, siblings=siblings)
                 lint_unit_body(sub, syms, report)
+    if dataflow:
+        from .dataflow import run_dataflow
+
+        run_dataflow(parsed, report, legacy=legacy)
     return report
 
 
-def lint_sources(sources: dict[str, str], *, legacy=None,
-                 label: str = "") -> LintReport:
+def lint_sources(sources: dict[str, str], *, legacy=None, label: str = "",
+                 dataflow: bool = False) -> LintReport:
     parsed = {fname: parse_source(src) for fname, src in sorted(sources.items())}
-    return lint_parsed(parsed, legacy=legacy, label=label)
+    return lint_parsed(parsed, legacy=legacy, label=label, dataflow=dataflow)
 
 
-def lint_text(source: str, *, plan=None, label: str = "") -> LintReport:
+def lint_text(source: str, *, plan=None, label: str = "",
+              dataflow: bool = False) -> LintReport:
     """Lint one source text; with ``plan``, cross-check directives too."""
     parsed = {"<source>": parse_source(source)}
-    report = lint_parsed(parsed, label=label)
+    report = lint_parsed(parsed, label=label, dataflow=dataflow)
     if plan is not None:
         crosscheck_plan(plan, collect_units(parsed["<source>"]), report)
     return report
@@ -96,7 +103,8 @@ def _build_case(case: str):
     raise ValueError(f"unknown lint case {case!r}; expected 'sarb' or 'fun3d'")
 
 
-def lint_case(case: str, variant: str, *, spliced: bool = True) -> LintReport:
+def lint_case(case: str, variant: str, *, spliced: bool = True,
+              dataflow: bool = False) -> LintReport:
     """Lint one case study at one pruning variant.
 
     Covers the generated MODULE and (by default) the spliced legacy
@@ -106,10 +114,11 @@ def lint_case(case: str, variant: str, *, spliced: bool = True) -> LintReport:
     from ..observe import get_tracer
 
     with get_tracer().span("lint.case", case=case, variant=variant):
-        return _lint_case(case, variant, spliced=spliced)
+        return _lint_case(case, variant, spliced=spliced, dataflow=dataflow)
 
 
-def _lint_case(case: str, variant: str, *, spliced: bool) -> LintReport:
+def _lint_case(case: str, variant: str, *, spliced: bool,
+               dataflow: bool = False) -> LintReport:
     from ..codegen.fortran import FortranGenerator
     from ..integration.splice import splice_into_codebase
     from ..optimize.plan import make_plan
@@ -121,7 +130,7 @@ def _lint_case(case: str, variant: str, *, spliced: bool) -> LintReport:
     gen_source = FortranGenerator(plan).generate_module()
     gen_parsed = {"generated.f90": parse_source(gen_source)}
     report = lint_parsed(gen_parsed, legacy=legacy,
-                         label=f"{case} {variant}")
+                         label=f"{case} {variant}", dataflow=dataflow)
     crosscheck_plan(plan, collect_units(gen_parsed["generated.f90"]), report)
 
     if spliced:
@@ -131,7 +140,8 @@ def _lint_case(case: str, variant: str, *, spliced: bool) -> LintReport:
         if result.support_source:
             sources["glaf_support_module.f90"] = result.support_source
         parsed = {f: parse_source(src) for f, src in sorted(sources.items())}
-        spliced_report = lint_parsed(parsed, legacy=legacy)
+        spliced_report = lint_parsed(parsed, legacy=legacy,
+                                     dataflow=dataflow)
         all_units = {}
         for out in parsed.values():
             all_units.update(collect_units(out))
@@ -141,11 +151,38 @@ def _lint_case(case: str, variant: str, *, spliced: bool) -> LintReport:
 
 
 def lint_levels(levels: list[str] | None = None,
-                cases: tuple[str, ...] = ("sarb", "fun3d")) -> LintReport:
-    """Lint every case at every requested level; one merged report."""
+                cases: tuple[str, ...] = ("sarb", "fun3d"),
+                dataflow: bool = False) -> LintReport:
+    """Lint every case at every requested level; one merged deduplicated
+    report.
+
+    A finding that recurs at several pruning levels (the same rule on
+    the same unit and line) is reported once, with every level it
+    appeared at recorded in :attr:`LintFinding.levels` — so ``--json``
+    consumers see one entry with ``levels: [...]`` instead of four
+    copies.
+    """
+    from dataclasses import replace
+
     levels = levels or sorted(LEVELS)
     combined = LintReport(label=f"{'+'.join(cases)} @ {','.join(levels)}")
+    order: list[tuple[str, str, int]] = []
+    first: dict[tuple[str, str, int], "LintFinding"] = {}
+    seen_levels: dict[tuple[str, str, int], list[str]] = {}
     for case in cases:
         for level in levels:
-            combined.merge(lint_case(case, LEVELS[level]))
+            report = lint_case(case, LEVELS[level], dataflow=dataflow)
+            combined.units += report.units
+            combined.regions += report.regions
+            for f in report.findings:
+                key = (f.rule, f.unit, f.line)
+                if key not in first:
+                    first[key] = f
+                    seen_levels[key] = []
+                    order.append(key)
+                if level not in seen_levels[key]:
+                    seen_levels[key].append(level)
+    for key in order:
+        combined.findings.append(
+            replace(first[key], levels=tuple(seen_levels[key])))
     return combined

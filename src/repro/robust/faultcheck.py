@@ -231,17 +231,16 @@ def _check_watchdog(seed: int) -> SiteResult:
                           len(plan.fired), 1)
 
 
-def _check_omp_lint(seed: int) -> SiteResult:
-    """One representative clause mutant; ``repro lint`` must catch it.
+def _check_lint_mutant(site: str, mutant_id: str, seed: int) -> SiteResult:
+    """One representative mutant per codegen site; the linter must catch it.
 
-    The full 14-mutant corpus runs under ``repro lint --selftest`` (and in
-    CI); the sweep runs a single cheap mutant so every registered site has
-    a scenario here too.
+    The full mutant corpus runs under ``repro lint --selftest`` (and in
+    CI); the sweep runs a single cheap mutant per site so every registered
+    site has a scenario here too.
     """
     from ..lint.mutation import MUTANTS, run_mutant
 
-    site = "codegen.fortran.omp"
-    mutant = next(m for m in MUTANTS if m.id == "sarb-drop-reduction-lw")
+    mutant = next(m for m in MUTANTS if m.id == mutant_id)
     result, report = run_mutant(mutant, seed=seed)
     if not result.fired:
         return SiteResult(site, mutant.kind, "failed", "fault never fired", 0, 0)
@@ -377,7 +376,11 @@ def run_faultcheck(seed: int = 0) -> FaultCheckReport:
         "fortran.lex.tokens":
             lambda: _check_lexer(seed),
         "codegen.fortran.omp":
-            lambda: _check_omp_lint(seed),
+            lambda: _check_lint_mutant(
+                "codegen.fortran.omp", "sarb-drop-reduction-lw", seed),
+        "codegen.fortran.body":
+            lambda: _check_lint_mutant(
+                "codegen.fortran.body", "fun3d-drop-init-edge", seed),
         "analysis.parallelize.verdict":
             lambda: _check_guarded(
                 "analysis.parallelize.verdict", "misparallelize",

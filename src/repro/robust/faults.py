@@ -20,6 +20,7 @@ instrumented packages (``fortranlib``, ``analysis``, ``codegen``,
 
 from __future__ import annotations
 
+import re
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -72,6 +73,13 @@ SITES: dict[str, InjectionSite] = {
                    "drop-directive", "spurious-directive"),
             description="corrupt one emitted !$OMP directive clause set "
                         "(the mutants 'repro lint' must catch)",
+        ),
+        InjectionSite(
+            name="codegen.fortran.body",
+            module="repro.codegen.fortran",
+            kinds=("drop-init", "overrun-bound", "dead-store", "flip-intent"),
+            description="corrupt one generated subprogram body "
+                        "(the mutants 'repro lint --dataflow' must catch)",
         ),
         InjectionSite(
             name="exec.interp.step",
@@ -321,6 +329,103 @@ def _spurious_directive(d: Any, spec: FaultSpec, rng) -> tuple[Any, str]:
     return OmpDirective(), "added a spurious PARALLEL DO on a serial loop"
 
 
+# -- codegen.fortran.body: dataflow mutations for the lint self-test ---
+# The payload is one generated subprogram's body lines (list of str);
+# transforms return a *new* list (the original is never mutated) and
+# decline (_NO_EFFECT) when the unit offers no viable target, so a
+# FaultSpec stays armed until it reaches a unit that does.  These are the
+# seeded bugs the dataflow rules of 'repro lint --dataflow' must catch:
+# use-before-def, possible-oob, dead-store and intent-violation.
+
+def _drop_init(lines: Any, spec: FaultSpec, rng) -> tuple[Any, str]:
+    """Delete the only assignment to a scalar that is used elsewhere."""
+    stmt = [ln.split("!")[0] for ln in lines]
+    assigns: dict[str, list[int]] = {}
+    for i, ln in enumerate(stmt):
+        m = re.match(r"\s*(\w+)\s*=", ln)
+        if m and "::" not in ln:
+            assigns.setdefault(m.group(1).lower(), []).append(i)
+    cands = []
+    for name, idxs in sorted(assigns.items()):
+        if len(idxs) != 1:
+            continue
+        i = idxs[0]
+        used = any(j != i and "::" not in stmt[j]
+                   and re.search(rf"\b{name}\b", stmt[j], re.IGNORECASE)
+                   for j in range(len(stmt)))
+        if used:
+            cands.append((name, i))
+    if not cands:
+        return _NO_EFFECT, ""
+    name, i = cands[int(rng.integers(len(cands)))]
+    out = list(lines[:i]) + list(lines[i + 1:])
+    return out, (f"deleted the only assignment to {name!r}: "
+                 f"{lines[i].strip()!r}")
+
+
+def _overrun_bound(lines: Any, spec: FaultSpec, rng) -> tuple[Any, str]:
+    """Widen every literal ``DO v = 1, N`` upper bound in the unit by one
+    (off-by-one past the end of any array those loops index)."""
+    out = list(lines)
+    hit = []
+    for i, ln in enumerate(lines):
+        body = ln.split("!")[0].rstrip()
+        m = re.match(r"(\s*DO\s+(\w+)\s*=\s*1\s*,\s*)(\d+)$", body)
+        if m:
+            widened = int(m.group(3)) + 1
+            out[i] = f"{m.group(1)}{widened}"
+            hit.append(f"{m.group(2)}<={widened}")
+    if not hit:
+        return _NO_EFFECT, ""
+    return out, f"widened {len(hit)} literal DO bound(s): {', '.join(hit)}"
+
+
+def _dead_store_array(lines: Any, spec: FaultSpec, rng) -> tuple[Any, str]:
+    """Store into an allocated array that nothing else touches."""
+    stmt = [ln.split("!")[0] for ln in lines]
+    cands = []
+    for i, ln in enumerate(stmt):
+        m = re.match(r"(\s*)ALLOCATE\((\w+)\(([^()]*)\)\)", ln, re.IGNORECASE)
+        if not m:
+            continue
+        name = m.group(2)
+        low = name.lower()
+        used = any(j != i and "::" not in stmt[j]
+                   and not re.match(r"\s*(DE)?ALLOCATE\b", stmt[j],
+                                    re.IGNORECASE)
+                   and re.search(rf"\b{low}\b", stmt[j], re.IGNORECASE)
+                   for j in range(len(stmt)))
+        if not used:
+            rank = m.group(3).count(",") + 1
+            cands.append((i, m.group(1), name, rank))
+    if not cands:
+        return _NO_EFFECT, ""
+    i, indent, name, rank = cands[int(rng.integers(len(cands)))]
+    subs = ", ".join(["1"] * rank)
+    out = list(lines[:i + 1]) + [f"{indent}{name}({subs}) = 0.0D0"] \
+        + list(lines[i + 1:])
+    return out, f"stored to never-read array {name!r} after its ALLOCATE"
+
+
+def _flip_intent(lines: Any, spec: FaultSpec, rng) -> tuple[Any, str]:
+    """Rewrite one scalar INTENT(IN) declaration to INTENT(OUT)."""
+    cands = []
+    for i, ln in enumerate(lines):
+        if "INTENT(IN)" not in ln or "DIMENSION" in ln:
+            continue
+        ent = ln.split("::")[-1]
+        if "(" in ent or "," in ent:
+            continue
+        cands.append(i)
+    if not cands:
+        return _NO_EFFECT, ""
+    i = cands[int(rng.integers(len(cands)))]
+    out = list(lines)
+    out[i] = lines[i].replace("INTENT(IN)", "INTENT(OUT)")
+    name = lines[i].split("::")[-1].strip()
+    return out, f"flipped INTENT(IN) to INTENT(OUT) on dummy {name!r}"
+
+
 # -- numeric.sentinel: poison one assigned value ------------------------
 # The payload is the scalar about to be stored into a floating grid; the
 # interpreter only offers floating destinations, so the poison is always
@@ -350,6 +455,10 @@ _TRANSFORMS = {
     "widen-collapse": _widen_collapse,
     "drop-directive": _drop_directive,
     "spurious-directive": _spurious_directive,
+    "drop-init": _drop_init,
+    "overrun-bound": _overrun_bound,
+    "dead-store": _dead_store_array,
+    "flip-intent": _flip_intent,
     "nan": _poison_nan,
     "inf": _poison_inf,
     "overflow": _poison_overflow,

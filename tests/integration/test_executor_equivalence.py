@@ -362,7 +362,8 @@ class TestResourceExhaustion:
 
     def test_mid_write_trip_rolls_back_and_sticky_demotes(self, monkeypatch):
         # Simulate the wall-clock case: the budget trips after the lift
-        # has already written part of the grid.  Pre-step storage must be
+        # has already written part of the grid.  The grid is *live* on
+        # step entry (read-modify-write), so its pre-step storage must be
         # restored, and a later call on the same interpreter (fresh
         # budget) must serve the step through the scalar interpreter.
         from repro.errors import ResourceLimitError
@@ -372,7 +373,8 @@ class TestResourceExhaustion:
         def body(f):
             s = f.step("double")
             s.foreach(i=(1, "n"))
-            s.formula(ref("y", I("i")), ref("x", I("i")) * 2.0)
+            s.formula(ref("y", I("i")),
+                      ref("y", I("i")) + ref("x", I("i")) * 2.0)
         p = _kernel(body)
 
         def torn(self, frame, idx, step, plan):
@@ -394,6 +396,45 @@ class TestResourceExhaustion:
         # Demotion is sticky: the re-run never touches the (still
         # patched, still poisonous) lift path and produces the
         # interpreter's answer.
+        vec.call("f", [N, x, y])
+        assert np.array_equal(y, x * 2.0)
+
+    def test_mid_write_trip_on_dead_grid_skips_rollback(self, monkeypatch):
+        # A grid the liveness proof marks dead on step entry
+        # (unconditional pointwise overwrite, never read in the step)
+        # carries no rollback snapshot, so a terminal mid-write trip may
+        # leave it torn — same contract as a sentinel trip — and the
+        # sticky-demoted re-run fully overwrites it before any read, so
+        # the next call is still exactly right (docs/EXECUTORS.md).
+        from repro.errors import ResourceLimitError
+        from repro.glafexec.context import ExecutionContext
+        from repro.glafexec.vectorize import VectorizedInterpreter, compile_step
+
+        def body(f):
+            s = f.step("double")
+            s.foreach(i=(1, "n"))
+            s.formula(ref("y", I("i")), ref("x", I("i")) * 2.0)
+        p = _kernel(body)
+        assert compile_step(
+            p.find_function("f").steps[0]).snapshot_free == ("y",)
+
+        def torn(self, frame, idx, step, plan):
+            self._storage(frame, "y")[...] = 123.0  # partial garbage
+            raise ResourceLimitError("simulated mid-write budget trip")
+
+        monkeypatch.setattr(VectorizedInterpreter, "_exec_lifted", torn)
+        ctx = ExecutionContext(p, sizes={"n": N})
+        vec = VectorizedInterpreter(p, ctx)
+        x = _x()
+        y = np.zeros(N)
+        with pytest.raises(ResourceLimitError, match="mid-write"):
+            vec.call("f", [N, x, y])
+        # No snapshot was taken — the torn values survive the raise (the
+        # runtime proof that the copy was actually elided) ...
+        assert np.array_equal(y, np.full(N, 123.0))
+        assert ("f", 0) in vec._demoted
+        # ... and the demoted re-run overwrites every element before any
+        # read, so no later computation can observe them.
         vec.call("f", [N, x, y])
         assert np.array_equal(y, x * 2.0)
 

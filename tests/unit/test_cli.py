@@ -106,6 +106,13 @@ class TestCli:
         assert "lift: vectorized" in out
         assert "lift: interpreter fallback" in out
 
+    def test_analyze_ranges(self, project_file, capsys):
+        assert main(["analyze", project_file, "--ranges"]) == 0
+        out = capsys.readouterr().out
+        assert "ranges (generated FORTRAN, interval analysis):" in out
+        assert "possible-oob=0" in out
+        assert "proven=" in out
+
     def test_fuzz_clean_campaign_human_summary(self, tmp_path, capsys,
                                                monkeypatch):
         monkeypatch.chdir(tmp_path)
@@ -413,6 +420,20 @@ class TestLintCommand:
         out = capsys.readouterr().out
         assert "mutant(s) caught" in out
         assert "MISSED" not in out
+
+    def test_lint_dataflow_clean(self, capsys):
+        assert main(["lint", "--level", "v0", "--case", "sarb",
+                     "--dataflow"]) == 0
+        out = capsys.readouterr().out
+        assert "0 finding(s)" in out
+
+    def test_fuzz_crosscheck_flag(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["fuzz", "--seed", "7", "--count", "2",
+                     "--profile", "small", "--crosscheck"]) == 0
+        out = capsys.readouterr().out
+        assert "crosscheck:" in out
+        assert "refuted by the runtime" in out
 
 
 class TestRunLedgerCli:

@@ -1,0 +1,506 @@
+"""Unit tests for the interprocedural dataflow & value-range engine.
+
+Covers the CFG builders, the interval lattice, and the four analyses
+(may-uninitialized, liveness, ranges, bounds) through both the direct
+API and the ``lint --dataflow`` rules — including the edge cases the
+interval analysis must get right: negative DO strides, zero-trip loops,
+symbolic bounds from COMMON, 1-based off-by-one at array edges, and
+EXIT inside nested loops.
+"""
+
+import math
+
+from repro.analysis.dataflow import (
+    Interval,
+    TOP,
+    build_unit_cfg,
+)
+from repro.fortranlib.parser import parse_source
+from repro.lint import LintReport, lint_text
+from repro.lint.dataflow import analyze_batch_ranges
+
+
+def _lint(source: str) -> LintReport:
+    return lint_text(source, dataflow=True)
+
+
+def _rules(report: LintReport) -> set[str]:
+    return {f.rule for f in report.findings}
+
+
+def _ranges(source: str):
+    parsed = {"t.f90": parse_source(source)}
+    return {r.unit.lower(): r.summary for r in analyze_batch_ranges(parsed)}
+
+
+# ---------------------------------------------------------------------------
+# the interval lattice
+# ---------------------------------------------------------------------------
+
+class TestInterval:
+    def test_hull(self):
+        assert Interval(1, 3).hull(Interval(5, 9)) == Interval(1, 9)
+        assert Interval(2, 4).hull(Interval(1, 3)) == Interval(1, 4)
+
+    def test_top_absorbs(self):
+        assert Interval(1, 2).hull(TOP) == TOP
+        assert TOP.lo == -math.inf and TOP.hi == math.inf
+
+    def test_widen_blows_changed_bounds(self):
+        w = Interval(1, 5).widen(Interval(1, 9))
+        assert w.lo == 1 and w.hi == math.inf
+        w = Interval(0, 5).widen(Interval(-2, 5))
+        assert w.lo == -math.inf and w.hi == 5
+
+    def test_empty_is_bottom(self):
+        assert Interval(3, 1).is_empty
+        assert not Interval(3, 3).is_empty
+
+
+# ---------------------------------------------------------------------------
+# CFG shape
+# ---------------------------------------------------------------------------
+
+class TestCfg:
+    def test_do_loop_blocks_and_reachability(self):
+        src = """\
+subroutine s(a)
+  real(kind=8), intent(inout) :: a(10)
+  integer :: i
+  do i = 1, 10
+    a(i) = 0.0
+  end do
+end subroutine s
+"""
+        cfg = build_unit_cfg(parse_source(src).subprograms[0])
+        kinds = {a.kind for b in cfg.blocks for a in b.atoms}
+        assert {"do", "do-bind", "do-post", "stmt"} <= kinds
+        assert cfg.exit in cfg.reachable()
+
+    def test_code_after_return_is_unreachable(self):
+        src = """\
+subroutine s(a)
+  real(kind=8), intent(inout) :: a(10)
+  return
+  a(99) = 0.0
+end subroutine s
+"""
+        # The a(99) store is statically dead: no possible-oob finding.
+        assert _lint(src).ok
+
+
+# ---------------------------------------------------------------------------
+# use-before-def and INTENT contracts
+# ---------------------------------------------------------------------------
+
+class TestUninit:
+    def test_read_before_assign_on_some_path(self):
+        src = """\
+subroutine u(a, n)
+  integer, intent(in) :: n
+  real(kind=8), intent(inout) :: a(n)
+  real(kind=8) :: t
+  if (n > 3) then
+    t = 1.0
+  end if
+  a(1) = t
+end subroutine u
+"""
+        report = _lint(src)
+        assert _rules(report) == {"use-before-def"}
+        [f] = report.findings
+        assert f.variable == "t"
+
+    def test_assigned_on_all_paths_is_clean(self):
+        src = """\
+subroutine u(a, n)
+  integer, intent(in) :: n
+  real(kind=8), intent(inout) :: a(n)
+  real(kind=8) :: t
+  if (n > 3) then
+    t = 1.0
+  else
+    t = 2.0
+  end if
+  a(1) = t
+end subroutine u
+"""
+        assert _lint(src).ok
+
+    def test_zero_trip_loop_does_not_initialize(self):
+        src = """\
+subroutine z(a)
+  real(kind=8), intent(inout) :: a(10)
+  real(kind=8) :: t
+  integer :: i
+  do i = 1, 0
+    t = 1.0
+  end do
+  a(1) = t
+end subroutine z
+"""
+        assert "use-before-def" in _rules(_lint(src))
+
+    def test_interprocedural_out_summary_clears_uninit(self):
+        src = """\
+subroutine init(x)
+  real(kind=8), intent(out) :: x
+  x = 1.0
+end subroutine init
+
+subroutine driver(a)
+  real(kind=8), intent(inout) :: a(10)
+  real(kind=8) :: t
+  call init(t)
+  a(1) = t
+end subroutine driver
+"""
+        assert _lint(src).ok
+
+    def test_write_to_intent_in(self):
+        src = """\
+subroutine w(n)
+  integer, intent(in) :: n
+  n = 5
+end subroutine w
+"""
+        report = _lint(src)
+        assert "intent-violation" in _rules(report)
+        assert any("INTENT(IN)" in f.message for f in report.findings)
+
+    def test_read_of_uninit_intent_out(self):
+        src = """\
+subroutine r(x, y)
+  real(kind=8), intent(out) :: x
+  real(kind=8), intent(out) :: y
+  y = x + 1.0
+  x = 0.0
+end subroutine r
+"""
+        report = _lint(src)
+        assert "intent-violation" in _rules(report)
+        assert any(f.variable == "x" for f in report.findings)
+
+    def test_literal_actual_to_intent_out(self):
+        src = """\
+subroutine setv(x)
+  real(kind=8), intent(out) :: x
+  x = 1.0
+end subroutine setv
+
+subroutine caller()
+  call setv(3.0)
+end subroutine caller
+"""
+        report = _lint(src)
+        assert "intent-violation" in _rules(report)
+        assert any("non-variable actual" in f.message for f in report.findings)
+
+
+# ---------------------------------------------------------------------------
+# dead stores
+# ---------------------------------------------------------------------------
+
+class TestDeadStores:
+    def test_overwritten_scalar_store(self):
+        src = """\
+subroutine d(a)
+  real(kind=8), intent(inout) :: a(10)
+  real(kind=8) :: t
+  t = 1.0
+  t = 2.0
+  a(1) = t
+end subroutine d
+"""
+        report = _lint(src)
+        assert _rules(report) == {"dead-store"}
+        [f] = report.findings
+        assert f.variable == "t"
+
+    def test_never_read_local_array(self):
+        src = """\
+subroutine d(a)
+  real(kind=8), intent(inout) :: a(10)
+  real(kind=8) :: w(10)
+  integer :: i
+  do i = 1, 10
+    w(i) = a(i)
+  end do
+end subroutine d
+"""
+        report = _lint(src)
+        assert "dead-store" in _rules(report)
+        assert any(f.variable == "w" for f in report.findings)
+
+    def test_store_read_by_callee_is_live(self):
+        src = """\
+subroutine consume(x)
+  real(kind=8), intent(in) :: x
+  print *, x
+end subroutine consume
+
+subroutine d(a)
+  real(kind=8), intent(inout) :: a(10)
+  real(kind=8) :: t
+  t = a(1)
+  call consume(t)
+end subroutine d
+"""
+        assert _lint(src).ok
+
+
+# ---------------------------------------------------------------------------
+# ranges and bounds
+# ---------------------------------------------------------------------------
+
+class TestBounds:
+    def test_literal_do_over_declared_extent_proven(self):
+        src = """\
+subroutine b(a)
+  real(kind=8), intent(inout) :: a(10)
+  integer :: i
+  do i = 1, 10
+    a(i) = a(i) + 1.0
+  end do
+end subroutine b
+"""
+        assert _lint(src).ok
+        s = _ranges(src)["b"]
+        assert s.proven >= 2 and s.possible == 0
+
+    def test_off_by_one_high_at_array_edge(self):
+        src = """\
+subroutine b(a)
+  real(kind=8), intent(inout) :: a(10)
+  integer :: i
+  do i = 1, 10
+    a(i + 1) = 0.0
+  end do
+end subroutine b
+"""
+        report = _lint(src)
+        assert "possible-oob" in _rules(report)
+        assert _ranges(src)["b"].possible >= 1
+
+    def test_off_by_one_low_at_array_edge(self):
+        src = """\
+subroutine b(a)
+  real(kind=8), intent(inout) :: a(10)
+  integer :: i
+  do i = 1, 10
+    a(i - 1) = 0.0
+  end do
+end subroutine b
+"""
+        assert "possible-oob" in _rules(_lint(src))
+
+    def test_negative_stride_in_range(self):
+        src = """\
+subroutine b(a)
+  real(kind=8), intent(inout) :: a(10)
+  integer :: i
+  do i = 10, 1, -1
+    a(i) = 0.0
+  end do
+end subroutine b
+"""
+        assert _lint(src).ok
+        assert _ranges(src)["b"].proven >= 1
+
+    def test_negative_stride_underrun(self):
+        src = """\
+subroutine b(a)
+  real(kind=8), intent(inout) :: a(10)
+  integer :: i
+  do i = 10, 0, -1
+    a(i) = 0.0
+  end do
+end subroutine b
+"""
+        assert "possible-oob" in _rules(_lint(src))
+
+    def test_zero_trip_loop_body_is_dead(self):
+        src = """\
+subroutine b(a)
+  real(kind=8), intent(inout) :: a(10)
+  integer :: i
+  do i = 1, 0
+    a(i + 90) = 0.0
+  end do
+end subroutine b
+"""
+        # The body never executes; no possible-oob for the wild subscript.
+        assert _lint(src).ok
+
+    def test_symbolic_bound_from_common_stays_unknown(self):
+        src = """\
+subroutine b(a)
+  real(kind=8), intent(inout) :: a(10)
+  integer :: m, i
+  common /dims/ m
+  do i = 1, m
+    a(i) = 0.0
+  end do
+end subroutine b
+"""
+        assert _lint(src).ok
+        s = _ranges(src)["b"]
+        assert s.possible == 0 and s.unknown >= 1
+
+    def test_symbolic_same_symbol_extent_proves(self):
+        # The canonical legacy shape: DO i = 1, n over a(n).  The
+        # numeric intervals cannot bound i, but the subscript and the
+        # extent share the stable symbol n.
+        src = """\
+subroutine b(a, n)
+  integer, intent(in) :: n
+  real(kind=8), intent(inout) :: a(n)
+  integer :: i
+  do i = 1, n
+    a(i) = 0.0
+  end do
+end subroutine b
+"""
+        assert _lint(src).ok
+        s = _ranges(src)["b"]
+        assert s.proven >= 1 and s.possible == 0 and s.unknown == 0
+
+    def test_symbolic_offset_extent_proves(self):
+        # a(i+1) under DO i = 1, n-1: i <= n-1 so i+1 <= n == extent.
+        src = """\
+subroutine c(a, n)
+  integer, intent(in) :: n
+  real(kind=8), intent(inout) :: a(n)
+  integer :: i
+  do i = 1, n - 1
+    a(i + 1) = a(i)
+  end do
+end subroutine c
+"""
+        assert _lint(src).ok
+        s = _ranges(src)["c"]
+        assert s.proven >= 2 and s.possible == 0 and s.unknown == 0
+
+    def test_symbolic_proof_requires_stable_symbol(self):
+        # The extent symbol is reassigned after the ALLOCATE, so the
+        # extent-at-allocation equation no longer holds: no proof.
+        src = """\
+subroutine d(n)
+  integer, intent(in) :: n
+  real(kind=8), allocatable :: t(:)
+  integer :: i, m
+  m = n
+  allocate(t(m))
+  m = m + 1
+  do i = 1, m
+    t(i) = 0.0
+  end do
+end subroutine d
+"""
+        s = _ranges(src)["d"]
+        assert s.proven == 0 and s.unknown >= 1
+
+    def test_exit_in_nested_loops_clean(self):
+        src = """\
+subroutine b(a)
+  real(kind=8), intent(inout) :: a(10)
+  integer :: i, j
+  do i = 1, 10
+    do j = 1, 10
+      if (a(j) > 0.0) then
+        exit
+      end if
+      a(j) = 1.0
+    end do
+    a(i) = a(i) + 1.0
+  end do
+end subroutine b
+"""
+        assert _lint(src).ok
+
+    def test_index_read_after_loop_may_be_past_end(self):
+        src = """\
+subroutine b(a)
+  real(kind=8), intent(inout) :: a(10)
+  integer :: i
+  do i = 1, 10
+    if (a(i) > 0.0) then
+      exit
+    end if
+  end do
+  a(i) = -1.0
+end subroutine b
+"""
+        # After normal termination i == 11, so a(i) can escape the edge.
+        assert "possible-oob" in _rules(_lint(src))
+
+    def test_if_refinement_proves_bounds(self):
+        src = """\
+subroutine b(a, k)
+  real(kind=8), intent(inout) :: a(10)
+  integer, intent(in) :: k
+  if (k >= 1) then
+    if (k <= 10) then
+      a(k) = 0.0
+    end if
+  end if
+end subroutine b
+"""
+        assert _lint(src).ok
+        assert _ranges(src)["b"].proven >= 1
+
+
+# ---------------------------------------------------------------------------
+# const-false guards around parallel regions
+# ---------------------------------------------------------------------------
+
+class TestConstFalseGuard:
+    def test_constant_false_guard_flagged(self):
+        src = """\
+subroutine g(a, n)
+  integer, intent(in) :: n
+  real(kind=8), intent(inout) :: a(n)
+  integer :: i, flag
+  flag = 0
+  if (flag > 0) then
+    !$OMP PARALLEL DO
+    do i = 1, n
+      a(i) = a(i) * 2.0
+    end do
+  end if
+end subroutine g
+"""
+        assert "const-false-guard" in _rules(_lint(src))
+
+    def test_satisfiable_guard_clean(self):
+        src = """\
+subroutine g(a, n)
+  integer, intent(in) :: n
+  real(kind=8), intent(inout) :: a(n)
+  integer :: i
+  if (n > 0) then
+    !$OMP PARALLEL DO
+    do i = 1, n
+      a(i) = a(i) * 2.0
+    end do
+  end if
+end subroutine g
+"""
+        assert _lint(src).ok
+
+
+# ---------------------------------------------------------------------------
+# case-study gates: the shipped generated code stays dataflow-clean
+# ---------------------------------------------------------------------------
+
+class TestCaseStudiesClean:
+    def test_generated_cases_have_proven_subscripts(self):
+        from repro.lint.dataflow import analyze_case_ranges
+
+        for case in ("sarb", "fun3d"):
+            ranges = analyze_case_ranges(case, "GLAF-parallel v0")
+            assert sum(r.summary.possible for r in ranges) == 0
+            assert sum(r.summary.proven for r in ranges) > 0
+            # Deterministic: sorted by unit name.
+            names = [r.unit.lower() for r in ranges]
+            assert names == sorted(names)

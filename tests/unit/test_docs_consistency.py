@@ -91,9 +91,10 @@ class TestObservabilityDoc:
         families as their ``<placeholder>`` template)."""
         doc = (REPO / "docs" / "OBSERVABILITY.md").read_text()
         fixed = ["parallelize", "pruning", "advisor", "guard", "fault",
-                 "retry", "executor:fallback", "fuzz:item",
-                 "fuzz:signature", "fuzz:shrink", "fuzz:quarantine",
-                 "fuzz:campaign", "run:record", "sample:resource"]
+                 "retry", "executor:fallback", "executor:snapshot-elide",
+                 "fuzz:item", "fuzz:signature", "fuzz:shrink",
+                 "fuzz:quarantine", "fuzz:campaign", "run:record",
+                 "sample:resource"]
         missing = [s for s in fixed if f"`{s}`" not in doc]
         assert not missing, (
             f"docs/OBSERVABILITY.md event catalog is missing stage(s): "
@@ -167,14 +168,36 @@ class TestStaticAnalysisDoc:
         assert "STATIC_ANALYSIS.md" in (
             REPO / "docs" / "ROBUSTNESS.md").read_text()
 
+    def test_dataflow_surface_documented(self):
+        """The dataflow engine's CLI surface must be shown in the doc:
+        the lint flag, the range report, and the runtime crosscheck."""
+        doc = (REPO / "docs" / "STATIC_ANALYSIS.md").read_text()
+        for flag in ("--dataflow", "--ranges", "--crosscheck"):
+            assert flag in doc, f"STATIC_ANALYSIS.md does not show {flag}"
+        assert "repro.analysis.dataflow" in doc
+
+    def test_every_dataflow_mutant_kind_documented(self):
+        """Every corruption kind in the body-mutation corpus must appear
+        in the self-test section's table."""
+        doc = (REPO / "docs" / "STATIC_ANALYSIS.md").read_text()
+        from repro.lint.mutation import MUTANTS
+
+        kinds = {m.kind for m in MUTANTS}
+        missing = [k for k in sorted(kinds) if f"`{k}`" not in doc]
+        assert not missing, (
+            f"docs/STATIC_ANALYSIS.md is missing mutant kind(s): {missing}"
+        )
+
     def test_ci_runs_the_lint_gates(self):
         ci = (REPO / ".github" / "workflows" / "ci.yml").read_text()
         assert "repro lint" in ci
+        assert "lint --dataflow" in ci
         assert "lint --selftest" in ci
 
     def test_make_lint_target(self):
         make = (REPO / "Makefile").read_text()
         assert "repro lint" in make
+        assert "lint --dataflow" in make
         assert "lint --selftest" in make
 
 
@@ -343,12 +366,19 @@ class TestFuzzingDoc:
         assert "FUZZING.md" in (REPO / "README.md").read_text()
         assert "FUZZING.md" in (REPO / "docs" / "ROBUSTNESS.md").read_text()
 
+    def test_crosscheck_documented(self):
+        doc = (REPO / "docs" / "FUZZING.md").read_text()
+        assert "--crosscheck" in doc
+        assert "UnsoundBoundsProof" in doc
+
     def test_ci_runs_the_fuzz_campaign(self):
         ci = (REPO / ".github" / "workflows" / "ci.yml").read_text()
         assert "repro fuzz --seed 7 --count 25 --profile small" in ci
+        assert "--crosscheck" in ci    # static-vs-runtime bounds oracle
         assert "fuzz_quarantine" in ci       # bundles ship as artifacts
         make = (REPO / "Makefile").read_text()
         assert "repro fuzz --seed 7 --count 25 --profile small" in make
+        assert "--crosscheck" in make
 
 
 class TestRunLedgerDoc:

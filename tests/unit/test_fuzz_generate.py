@@ -94,3 +94,44 @@ class TestProgramRendering:
         cb = generate_codebase(7, "small", index=index)
         validate_program(cb.program)
         assert cb.sizes == {"n": cb.spec.extent}
+
+
+class TestCrosscheck:
+    """The fuzzer as a soundness oracle for the static bounds checker."""
+
+    def test_static_claims_classify_a_literal_kernel(self):
+        from repro.fuzz.runner import _static_bounds_claims
+
+        src = """\
+subroutine k1(a)
+  real(kind=8), intent(inout) :: a(10)
+  integer :: i
+  do i = 1, 10
+    a(i) = a(i) + 1.0
+  end do
+end subroutine k1
+"""
+        claim = _static_bounds_claims(src)["k1"]
+        assert claim.possible == 0 and claim.unknown == 0
+        assert claim.proven > 0
+
+    def test_run_item_crosscheck_refutes_nothing_on_clean_corpus(self):
+        from repro.fuzz.runner import run_item
+
+        sp = generate_spec(7, "small", index=0)
+        res = run_item(sp, "small", crosscheck=True)
+        assert res.claims_refuted == 0
+        assert not any(f.signature.stage == "crosscheck"
+                       for f in res.failures)
+        doc = res.to_json()
+        assert doc["claims_proven"] == res.claims_proven
+        assert doc["claims_refuted"] == 0
+
+    def test_item_result_claims_round_trip(self):
+        from repro.fuzz.runner import ItemResult
+
+        sp = generate_spec(7, "small", index=1)
+        res = ItemResult(index=1, spec=sp, claims_proven=3,
+                         claims_refuted=1)
+        back = ItemResult.from_json(res.to_json())
+        assert back.claims_proven == 3 and back.claims_refuted == 1

@@ -392,6 +392,27 @@ class TestMutationCorpus:
                 "drop-directive", "spurious-directive"} <= kinds
         assert {m.case for m in MUTANTS} == {"sarb", "fun3d"}
 
+    def test_dataflow_corpus_is_broad_enough(self):
+        # >= 6 body mutants spanning every dataflow corruption kind, both
+        # case studies, and more than one pruning level.
+        body = [m for m in MUTANTS if m.site == "codegen.fortran.body"]
+        assert len(body) >= 6
+        kinds = {m.kind for m in body}
+        assert {"drop-init", "overrun-bound", "dead-store",
+                "flip-intent"} == kinds
+        assert {m.case for m in body} == {"sarb", "fun3d"}
+        assert len({m.variant for m in body}) > 1
+
+    def test_dataflow_mutants_caught_by_dataflow_rules(self):
+        body = tuple(m for m in MUTANTS
+                     if m.site == "codegen.fortran.body")
+        results = run_mutation_selftest(mutants=body)
+        dataflow_rules = {"use-before-def", "dead-store", "possible-oob",
+                          "intent-violation", "const-false-guard"}
+        for r in results:
+            assert r.ok, r.mutant.id
+            assert set(r.rules) <= dataflow_rules, (r.mutant.id, r.rules)
+
     def test_every_mutant_fires_and_is_caught(self):
         results = run_mutation_selftest()
         missed = [r.mutant.id for r in results if not r.ok]
@@ -406,6 +427,39 @@ class TestMutationCorpus:
 class TestShippedOutputsClean:
     @pytest.mark.parametrize("case", ["sarb", "fun3d"])
     def test_spliced_output_lints_clean(self, case):
-        report = lint_case(case, LEVELS["v3"])
+        report = lint_case(case, LEVELS["v3"], dataflow=True)
         assert report.ok, report.render()
         assert report.units > 0 and report.regions > 0
+
+
+# ---------------------------------------------------------------------------
+# multi-level dedup
+# ---------------------------------------------------------------------------
+
+class TestLintLevels:
+    def test_recurring_finding_reported_once_with_levels(self, monkeypatch):
+        from repro.lint import runner
+        from repro.lint.findings import LintFinding
+
+        def fake_lint_case(case, level, dataflow=False):
+            rep = LintReport(label="fake")
+            rep.units = 1
+            rep.regions = 2
+            rep.add(LintFinding(rule="race-shared-write", unit="u", line=3,
+                                message="recurs at every level"))
+            return rep
+
+        monkeypatch.setattr(runner, "lint_case", fake_lint_case)
+        merged = runner.lint_levels(["v0", "v1"], cases=("sarb",))
+        [f] = merged.findings
+        assert f.levels == ("v0", "v1")
+        assert merged.units == 2 and merged.regions == 4
+
+    def test_levels_round_trip_in_json(self):
+        from repro.lint.findings import LintFinding
+
+        f = LintFinding(rule="dead-store", unit="u", line=1, message="m",
+                        levels=("v0", "v2"))
+        assert f.to_json()["levels"] == ["v0", "v2"]
+        bare = LintFinding(rule="dead-store", unit="u", line=1, message="m")
+        assert "levels" not in bare.to_json()

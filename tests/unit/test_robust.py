@@ -94,7 +94,8 @@ class TestFaultSpec:
         assert set(SITES) == {
             "fortran.lex.tokens", "analysis.parallelize.verdict",
             "codegen.python.assign", "codegen.fortran.omp",
-            "exec.interp.step", "exec.interp.iter", "numeric.sentinel",
+            "codegen.fortran.body", "exec.interp.step", "exec.interp.iter",
+            "numeric.sentinel",
         }
         for site in SITES.values():
             assert site.kinds and site.description and site.module
