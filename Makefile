@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint ci bench examples figures outputs clean
+.PHONY: install test lint batch ci bench examples figures outputs clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -19,17 +19,41 @@ lint:
 	PYTHONPATH=src $(PYTHON) -m repro lint --dataflow
 	PYTHONPATH=src $(PYTHON) -m repro lint --selftest
 
+# Batch-compiler smoke (docs/BATCH.md): a small corpus with one
+# deliberately hostile item through the crash-isolated parallel driver.
+# Exit 1 from the first run is the *expected* outcome — the poison item
+# must be quarantined, not fatal — and the warm rerun must serve every
+# healthy item from the content-addressed artifact cache.
+batch:
+	rm -rf .repro/batch-smoke
+	rc=0; PYTHONPATH=src $(PYTHON) -m repro batch fuzz:7:8 poison:crash \
+	  --jobs 2 --retries 1 --timeout 10 \
+	  --cache .repro/batch-smoke/cache \
+	  --checkpoint .repro/batch-smoke/ckpt \
+	  --quarantine .repro/batch-smoke/quarantine \
+	  --manifest .repro/batch-smoke/manifest.json || rc=$$?; \
+	  test "$$rc" -eq 1
+	ls .repro/batch-smoke/quarantine/batch-*.json
+	PYTHONPATH=src $(PYTHON) -m repro batch fuzz:7:8 --jobs 2 \
+	  --cache .repro/batch-smoke/cache \
+	  --checkpoint .repro/batch-smoke/ckpt \
+	  --quarantine .repro/batch-smoke/quarantine \
+	  --manifest .repro/batch-smoke/warm.json | grep "8 hit(s)"
+
 # What .github/workflows/ci.yml runs: compile check, full suite (once on
 # the reference interpreter, once with REPRO_EXECUTOR=vectorized so the
 # array executor serves every interpreter-mode run — docs/EXECUTORS.md),
 # lint gate, fault sweep (includes the numeric.sentinel scenario), the
 # fixed-seed differential fuzz campaign (docs/FUZZING.md), the
-# resume-integrity smoke (kill a recording, resume it, verify digest +
-# schema — docs/NUMERICS.md), the run-ledger selftest (append,
-# stale-index reconciliation, quarantine, every exporter —
-# docs/RUN_LEDGER.md), and the benchmark regression gates against
-# the committed baseline (interpreter and vectorized legs).
-ci: lint
+# crash-isolated batch-compiler smoke (docs/BATCH.md), the
+# resume-integrity smoke (kill a bench recording *and* a batch
+# campaign, resume both, verify digests — docs/NUMERICS.md,
+# docs/BATCH.md), the run-ledger selftest (append, stale-index
+# reconciliation, quarantine, every exporter — docs/RUN_LEDGER.md),
+# and the benchmark regression gates against the committed baseline
+# (interpreter and vectorized legs; the recorded artifacts carry the
+# X1 executor-speedup and X2 warm-cache gates).
+ci: lint batch
 	$(PYTHON) -m compileall -q src
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
 	REPRO_EXECUTOR=vectorized PYTHONPATH=src $(PYTHON) -m pytest -x -q

@@ -1,11 +1,13 @@
 #!/usr/bin/env python
-"""Resume-integrity smoke test: kill a recording mid-sweep, resume it,
-and prove the resumed artifact is as trustworthy as an uninterrupted one.
+"""Resume-integrity smoke test: kill work mid-run, resume it, and prove
+the resumed artifact is as trustworthy as an uninterrupted one.
 
-What it does (against the real CLI, in subprocesses — no test doubles):
+Two phases, both against the real CLI in subprocesses — no test doubles.
 
-1. start ``repro bench record`` with a checkpoint directory, wait until
-   at least one per-repeat checkpoint has landed, then SIGKILL it;
+**bench phase** (``repro bench record``):
+
+1. start a recording with a checkpoint directory, wait until at least
+   one per-repeat checkpoint has landed, then SIGKILL it;
 2. resume with ``--resume`` and require it to report restored repeats;
 3. verify the artifact loads with its ``content_sha256`` digest intact
    (``load_bench`` raises ``BenchArtifactError`` on mismatch), covers
@@ -16,9 +18,21 @@ What it does (against the real CLI, in subprocesses — no test doubles):
    counts) — wall-clock values differ, the shape must not;
 5. require the spent checkpoint directory to have been cleared.
 
+**batch phase** (``repro batch``, docs/BATCH.md):
+
+1. start a parallel batch campaign (fuzz corpus + a poison item), wait
+   for per-item checkpoints, SIGKILL the driver mid-campaign;
+2. finish with ``--resume`` and require restored items;
+3. run an uninterrupted control campaign in fresh directories and
+   require the two digest-stamped manifests to have *identical*
+   ``content_sha256`` — an interruption must be observationally
+   invisible in the digested outcome;
+4. require the poison item quarantined in both runs and the spent
+   checkpoints cleared.
+
 Exit 0 on success, 1 with a diagnostic on any failure.  CI runs this
 (see ``.github/workflows/ci.yml``) and ``make ci``; the machinery is
-documented in docs/NUMERICS.md.
+documented in docs/NUMERICS.md and docs/BATCH.md.
 """
 
 import json
@@ -48,9 +62,104 @@ def _record_cmd(out: Path, ckpt: Path, *extra: str) -> list:
             "--checkpoint", str(ckpt), *extra]
 
 
+BATCH_INPUTS = ["fuzz:5:40", "poison:crash"]
+
+
+def _batch_cmd(tmp: Path, tag: str, *extra: str) -> list:
+    base = tmp / tag
+    return [sys.executable, "-m", "repro", "batch", *BATCH_INPUTS,
+            "--jobs", "2", "--retries", "1", "--seed", "5",
+            # The deadline must dominate worker *startup* latency under
+            # contention (see tests/integration/test_batch_chaos.py).
+            "--timeout", "10",
+            "--checkpoint", str(base / "ckpt"),
+            "--quarantine", str(base / "quar"),
+            "--cache", str(base / "cache"),
+            "--manifest", str(base / "manifest.json"),
+            "--no-ledger", *extra]
+
+
 def fail(msg: str) -> "None":
     print(f"resume_smoke: FAIL: {msg}", file=sys.stderr)
     sys.exit(1)
+
+
+def _kill_once_checkpointed(proc, ckpt: Path, want: int, what: str) -> list:
+    """Wait for >= *want* checkpoints, SIGKILL *proc*, return survivors."""
+    deadline = time.monotonic() + 120.0
+    while time.monotonic() < deadline:
+        if len(list(ckpt.glob("*.ckpt.json"))) >= want:
+            break
+        if proc.poll() is not None:
+            fail(f"{what} exited before it could be killed "
+                 f"(rc={proc.returncode}); too few checkpoints to "
+                 "exercise resume")
+        time.sleep(0.02)
+    else:
+        proc.kill()
+        fail(f"no {what} checkpoints appeared within 120s")
+    proc.send_signal(signal.SIGKILL)
+    proc.wait()
+    survivors = sorted(p.name for p in ckpt.glob("*.ckpt.json"))
+    print(f"resume_smoke: killed {what} with {len(survivors)} "
+          f"checkpoint(s) on disk")
+    return survivors
+
+
+def _batch_phase(tmp: Path) -> None:
+    """SIGKILL a parallel batch campaign, resume it, and require the
+    resumed manifest digest to equal an uninterrupted control run's."""
+    manifest = tmp / "batch" / "manifest.json"
+    ckpt = tmp / "batch" / "ckpt"
+
+    # 1. start the campaign, kill it once item checkpoints land.
+    proc = subprocess.Popen(_batch_cmd(tmp, "batch"), env=_env(),
+                            stdout=subprocess.DEVNULL,
+                            stderr=subprocess.DEVNULL)
+    _kill_once_checkpointed(proc, ckpt, 2, "batch driver")
+    if manifest.exists():
+        fail("batch manifest exists after SIGKILL — the kill came too "
+             "late to test resume")
+
+    # 2. finish with --resume.  rc is 1 by design: the poison item is
+    # quarantined, and a campaign with casualties reports failure.
+    res = subprocess.run(_batch_cmd(tmp, "batch", "--resume"), env=_env(),
+                         capture_output=True, text=True, timeout=600)
+    if res.returncode != 1:
+        fail(f"batch --resume exited {res.returncode} (expected 1 — the "
+             f"poison item must be quarantined): {res.stderr.strip()}")
+
+    sys.path.insert(0, SRC)
+    from repro.batch import load_manifest   # noqa: E402
+
+    doc = load_manifest(manifest)            # raises on digest mismatch
+    if doc["run"]["resumed"] < 1:
+        fail(f"run.resumed = {doc['run']['resumed']}, expected >= 1")
+    quarantined = [i for i in doc["items"] if i["status"] == "quarantined"]
+    if len(quarantined) != 1:
+        fail(f"expected exactly 1 quarantined item, got "
+             f"{[i['id'] for i in quarantined]}")
+    print(f"resume_smoke: batch resume restored {doc['run']['resumed']} "
+          f"item(s), quarantined {quarantined[0]['id']}")
+
+    # 3. uninterrupted control campaign in fresh directories must be
+    # digest-identical: the interruption is observationally invisible.
+    res = subprocess.run(_batch_cmd(tmp, "control"), env=_env(),
+                         capture_output=True, text=True, timeout=600)
+    if res.returncode != 1:
+        fail(f"batch control run exited {res.returncode} (expected 1): "
+             f"{res.stderr.strip()}")
+    control = load_manifest(tmp / "control" / "manifest.json")
+    if doc["content_sha256"] != control["content_sha256"]:
+        fail("resumed batch manifest digest diverges from the "
+             f"uninterrupted run: {doc['content_sha256'][:12]}… vs "
+             f"{control['content_sha256'][:12]}…")
+    print(f"resume_smoke: batch manifests digest-identical "
+          f"({doc['content_sha256'][:12]}…)")
+
+    # 4. spent checkpoints must be gone.
+    if ckpt.is_dir() and list(ckpt.glob("*.ckpt.json")):
+        fail("spent batch checkpoints not cleared")
 
 
 def main() -> None:
@@ -63,23 +172,7 @@ def main() -> None:
         proc = subprocess.Popen(_record_cmd(out, ckpt), env=_env(),
                                 stdout=subprocess.DEVNULL,
                                 stderr=subprocess.DEVNULL)
-        deadline = time.monotonic() + 120.0
-        while time.monotonic() < deadline:
-            if len(list(ckpt.glob("*.ckpt.json"))) >= 2:
-                break
-            if proc.poll() is not None:
-                fail("recorder exited before it could be killed "
-                     f"(rc={proc.returncode}); too few checkpoints to "
-                     "exercise resume")
-            time.sleep(0.02)
-        else:
-            proc.kill()
-            fail("no checkpoints appeared within 120s")
-        proc.send_signal(signal.SIGKILL)
-        proc.wait()
-        survivors = sorted(p.name for p in ckpt.glob("*.ckpt.json"))
-        print(f"resume_smoke: killed recorder with {len(survivors)} "
-              f"checkpoint(s) on disk: {', '.join(survivors)}")
+        _kill_once_checkpointed(proc, ckpt, 2, "recorder")
         if out.exists():
             fail("artifact exists after SIGKILL — the kill came too late "
                  "to test resume")
@@ -143,6 +236,8 @@ def main() -> None:
         if leftovers:
             fail(f"spent checkpoints not cleared: "
                  f"{[p.name for p in leftovers]}")
+
+        _batch_phase(tmp)
 
     print("resume_smoke: OK")
 

@@ -1,0 +1,147 @@
+"""Content-addressed artifact cache for the batch compiler.
+
+The transformation pipeline is a pure function of (source text, pipeline
+options) — the property the fuzz shrinker already leans on — so the same
+input must never be compiled twice.  :class:`ArtifactCache` stores one
+JSON entry per compile, addressed by the sha256 of the canonical-JSON
+``(content digest, item kind, pipeline options)`` tuple and fanned into
+``<digest[:2]>/<digest>.json`` shards.
+
+Robustness over raw speed:
+
+* entries are written with :func:`repro.numeric.integrity.atomic_write_json`
+  (temp + fsync + rename), so a SIGKILLed batch never leaves a torn
+  entry behind;
+* every read re-verifies the entry's embedded sha256 over its payload —
+  a tampered or bit-rotted entry is *discarded* (unlinked), counted in
+  the ``batch.cache.corrupt`` metric, flagged with a
+  ``cache:corrupt-entry`` DecisionLog event, and reported as a miss so
+  the driver simply recompiles;
+* ``max_entries`` bounds the cache with oldest-first (mtime) eviction,
+  counted in ``batch.cache.evictions``.
+
+Hit/miss accounting lives in the driver (the cache cannot know whether
+a ``None`` became a recompile); see ``docs/BATCH.md``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..numeric.integrity import atomic_write_json, content_digest
+
+__all__ = ["CACHE_SCHEMA", "ArtifactCache"]
+
+CACHE_SCHEMA = "repro.batch.cache/v1"
+
+
+class ArtifactCache:
+    """A sharded directory of digest-verified compile artifacts."""
+
+    def __init__(self, directory: str | Path, *, max_entries: int = 0):
+        self.dir = Path(directory)
+        self.max_entries = int(max_entries)
+        self.corrupt_discarded = 0
+        self.evicted = 0
+
+    # -- addressing ----------------------------------------------------
+    @staticmethod
+    def key_for(content_sha: str, kind: str, options: dict) -> str:
+        """The cache address of one (source, pipeline options) pair."""
+        return content_digest({
+            "schema": CACHE_SCHEMA,
+            "content_sha": content_sha,
+            "kind": kind,
+            "options": options,
+        })
+
+    def path_for(self, key: str) -> Path:
+        return self.dir / key[:2] / f"{key}.json"
+
+    # -- reading -------------------------------------------------------
+    def get(self, key: str) -> dict | None:
+        """The artifacts stored under ``key``; ``None`` on miss.
+
+        A present-but-invalid entry (truncated JSON, wrong schema, key or
+        digest mismatch) is deleted and reported as a miss — the caller
+        recompiles, and the corruption is observable via
+        :attr:`corrupt_discarded` / ``batch.cache.corrupt`` /
+        the ``cache:corrupt-entry`` decision.
+        """
+        path = self.path_for(key)
+        if not path.exists():
+            return None
+        reason = ""
+        try:
+            doc = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as e:
+            doc, reason = None, f"unreadable entry ({e})"
+        if doc is not None and not reason:
+            if not isinstance(doc, dict) or doc.get("schema") != CACHE_SCHEMA:
+                reason = "wrong schema"
+            elif doc.get("key") != key:
+                reason = "key mismatch"
+            elif doc.get("sha256") != content_digest(
+                    {k: v for k, v in doc.items() if k != "sha256"}):
+                reason = "content digest mismatch"
+        if reason:
+            path.unlink(missing_ok=True)
+            self.corrupt_discarded += 1
+            self._note_corrupt(key, reason)
+            return None
+        return doc["artifacts"]
+
+    def _note_corrupt(self, key: str, reason: str) -> None:
+        from ..observe import get_decisions, get_metrics
+
+        m = get_metrics()
+        if m.enabled:
+            m.counter("batch.cache.corrupt").inc()
+        dl = get_decisions()
+        if dl.enabled:
+            dl.record("cache:corrupt-entry", "cache", -1, key[:12],
+                      "discarded", reasons=(reason,))
+
+    # -- writing -------------------------------------------------------
+    def put(self, key: str, *, content_sha: str, kind: str, options: dict,
+            artifacts: dict) -> Path:
+        """Store one compile's artifacts atomically; returns the path."""
+        doc = {
+            "schema": CACHE_SCHEMA,
+            "key": key,
+            "content_sha": content_sha,
+            "kind": kind,
+            "options": options,
+            "artifacts": artifacts,
+        }
+        doc["sha256"] = content_digest(doc)
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        atomic_write_json(path, doc)
+        if self.max_entries > 0:
+            self._evict(keep=path)
+        return path
+
+    def entry_paths(self) -> list[Path]:
+        if not self.dir.is_dir():
+            return []
+        return sorted(self.dir.glob("??/*.json"))
+
+    def _evict(self, keep: Path) -> None:
+        """Drop the oldest entries beyond ``max_entries`` (never the one
+        just written — the current batch still wants it)."""
+        entries = self.entry_paths()
+        if len(entries) <= self.max_entries:
+            return
+        by_age = sorted(entries, key=lambda p: (p.stat().st_mtime, p.name))
+        doomed = [p for p in by_age if p != keep]
+        doomed = doomed[:len(entries) - self.max_entries]
+        from ..observe import get_metrics
+
+        m = get_metrics()
+        for p in doomed:
+            p.unlink(missing_ok=True)
+            self.evicted += 1
+            if m.enabled:
+                m.counter("batch.cache.evictions").inc()

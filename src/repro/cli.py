@@ -235,6 +235,76 @@ def build_parser() -> argparse.ArgumentParser:
                            "oracle; docs/FUZZING.md)")
     _add_ledger_flags(fuzz)
 
+    batch = sub.add_parser(
+        "batch",
+        help="compile a corpus of projects / legacy sources in "
+             "crash-isolated parallel workers (docs/BATCH.md)",
+    )
+    batch.add_argument("inputs", nargs="+", metavar="INPUT",
+                       help="corpus inputs: project JSON files, legacy "
+                            "FORTRAN files, directories of either, "
+                            "fuzz:SEED:COUNT generator specs, or "
+                            "poison:KIND[:N] fault directives "
+                            "(crash/hang/oom)")
+    batch.add_argument("--jobs", type=int, default=1,
+                       help="worker processes (default 1: serial, "
+                            "in-process)")
+    batch.add_argument("--variant", default="GLAF-parallel v0",
+                       help="pruning variant to plan and generate for")
+    batch.add_argument("--target",
+                       choices=["fortran", "c", "opencl", "python"],
+                       default="fortran",
+                       help="codegen back-end (default: fortran)")
+    batch.add_argument("--profile", dest="fuzz_profile",
+                       choices=["small", "full"], default="small",
+                       help="size profile for fuzz:SEED:COUNT inputs "
+                            "(default: small)")
+    batch.add_argument("--timeout", type=float, default=60.0,
+                       help="parent-side per-item deadline in seconds; a "
+                            "worker past it is SIGKILLed (default 60)")
+    batch.add_argument("--retries", type=int, default=1,
+                       help="worker re-spawns before an item is "
+                            "quarantined as poison (default 1)")
+    batch.add_argument("--seed", type=int, default=0,
+                       help="retry-backoff jitter seed (default 0)")
+    batch.add_argument("--max-wall", type=float, default=30.0,
+                       metavar="SECONDS", dest="max_wall",
+                       help="in-worker wall-clock budget per item "
+                            "(default 30)")
+    batch.add_argument("--max-iterations", type=int, default=2_000_000,
+                       dest="max_iterations",
+                       help="in-worker loop-iteration budget per item")
+    batch.add_argument("--max-memory", type=int, default=2048,
+                       metavar="MB", dest="max_memory",
+                       help="per-worker address-space budget in MB "
+                            "(RLIMIT_AS; default 2048; 0 disables)")
+    batch.add_argument("--cache", metavar="DIR", default=None,
+                       help="content-addressed artifact cache directory "
+                            "(default: .repro/batch-cache)")
+    batch.add_argument("--no-cache", action="store_true",
+                       help="compile every item even when cached")
+    batch.add_argument("--cache-max-entries", type=int, default=0,
+                       metavar="N",
+                       help="evict oldest cache entries beyond N "
+                            "(default 0: unbounded)")
+    batch.add_argument("--resume", action="store_true",
+                       help="continue a killed batch from its per-item "
+                            "checkpoints")
+    batch.add_argument("--checkpoint", metavar="DIR", default=None,
+                       help="checkpoint directory (default: "
+                            ".repro_batch.ckpt)")
+    batch.add_argument("--quarantine", metavar="DIR", default=None,
+                       help="poison-bundle directory (default: "
+                            "batch_quarantine)")
+    batch.add_argument("--manifest", metavar="FILE", default=None,
+                       help="write the digest-stamped aggregate manifest "
+                            "JSON to FILE")
+    batch.add_argument("--json", dest="json_path", nargs="?",
+                       const=_JSON_STDOUT, default=None, metavar="FILE",
+                       help="emit the run summary as JSON (to stdout, or "
+                            "to FILE when given)")
+    _add_ledger_flags(batch)
+
     sloc = sub.add_parser("sloc", help="SLOC of the generated FORTRAN")
     sloc.add_argument("project")
 
@@ -767,6 +837,76 @@ def _cmd_fuzz(args) -> int:
     return 1 if summary.failed else 0
 
 
+def _cmd_batch(args) -> int:
+    from .batch import (
+        DEFAULT_CACHE_DIR,
+        DEFAULT_CHECKPOINT_DIR,
+        DEFAULT_QUARANTINE_DIR,
+        BatchOptions,
+        ingest_corpus,
+        run_batch,
+        write_manifest,
+    )
+
+    items = ingest_corpus(args.inputs, fuzz_profile=args.fuzz_profile)
+    options = BatchOptions(
+        variant=args.variant,
+        target=args.target,
+        jobs=args.jobs,
+        timeout=args.timeout,
+        retries=args.retries,
+        seed=args.seed,
+        max_loop_iterations=args.max_iterations or None,
+        max_wall_seconds=args.max_wall or None,
+        max_memory_mb=args.max_memory or None,
+        fuzz_profile=args.fuzz_profile,
+        cache_dir=(None if args.no_cache
+                   else args.cache or DEFAULT_CACHE_DIR),
+        cache_max_entries=args.cache_max_entries,
+        checkpoint_dir=args.checkpoint or DEFAULT_CHECKPOINT_DIR,
+        resume=args.resume,
+        quarantine_dir=args.quarantine or DEFAULT_QUARANTINE_DIR,
+    )
+    result = run_batch(items, options)
+    if args.manifest:
+        write_manifest(args.manifest, result.manifest)
+        print(f"manifest written to {args.manifest}", file=sys.stderr)
+    doc = {"manifest_sha256": result.manifest["content_sha256"],
+           "stats": result.stats,
+           "items": [o.to_json() for o in result.outcomes]}
+    if args.json_path is not None:
+        if args.json_path is _JSON_STDOUT:
+            json.dump(doc, sys.stdout, indent=2)
+            print()
+        else:
+            _write_json(args.json_path, doc)
+            print(f"summary written to {args.json_path}", file=sys.stderr)
+    if args.json_path is not _JSON_STDOUT:
+        s = result.stats
+        print(f"batch: {s['items']} item(s), {s['mode']} "
+              f"(jobs {s['jobs']}), {s['wall_s']:.2f}s")
+        print(f"  ok {s['ok']}  failed {s['failed']}  "
+              f"quarantined {s['quarantined']}"
+              + (f"  resumed {s['resumed']}" if s['resumed'] else ""))
+        c = s["cache"]
+        if c["enabled"]:
+            print(f"  cache: {c['hits']} hit(s), {c['misses']} miss(es)"
+                  + (f", {c['corrupt']} corrupt entry(ies) discarded"
+                     if c['corrupt'] else "")
+                  + (f", {c['evictions']} evicted"
+                     if c['evictions'] else ""))
+        for o in result.outcomes:
+            if o.status == "quarantined":
+                print(f"  quarantined {o.id} -> "
+                      f"{options.quarantine_dir}/{o.bundle}")
+            elif o.status == "failed":
+                first = o.failures[0] if o.failures else {}
+                print(f"  failed {o.id}: [{first.get('stage', '?')}] "
+                      f"{first.get('message', '')}")
+        print(f"  manifest sha256 {result.manifest['content_sha256']}")
+    return 0 if result.ok else 1
+
+
 def _cmd_runs(args) -> int:
     from . import observe
 
@@ -908,6 +1048,7 @@ _COMMANDS = {
     "faultcheck": _cmd_faultcheck,
     "lint": _cmd_lint,
     "fuzz": _cmd_fuzz,
+    "batch": _cmd_batch,
     "bench": _cmd_bench,
     "runs": _cmd_runs,
 }
@@ -915,7 +1056,7 @@ _COMMANDS = {
 #: Commands that append a ``repro.run/v1`` record by default.  ``bench``
 #: is ledgered only for ``bench record`` (compare/trend are read-only).
 _LEDGERED = ("experiments", "generate", "profile", "faultcheck", "lint",
-             "fuzz", "bench")
+             "fuzz", "batch", "bench")
 
 
 def _ledgered_command(args) -> str | None:

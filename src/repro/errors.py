@@ -31,6 +31,7 @@ class FortranSyntaxError(GlafError):
     """The FORTRAN-subset lexer/parser rejected the input source."""
 
     def __init__(self, message: str, line: int | None = None, col: int | None = None):
+        self.message = message
         self.line = line
         self.col = col
         parts = []
@@ -40,6 +41,16 @@ class FortranSyntaxError(GlafError):
             parts.append(f"col {col}")
         loc = f" ({', '.join(parts)})" if parts else ""
         super().__init__(message + loc)
+
+    def __reduce__(self):
+        # BaseException's default pickling replays ``cls(*self.args)``, but
+        # args[0] is the message *with* the location suffix already
+        # appended — unpickling would append it a second time.  Rebuild
+        # from the raw constructor inputs instead; the state dict keeps
+        # any extra attributes (batch workers annotate ``batch_stage``
+        # before shipping these across process boundaries; docs/BATCH.md).
+        return (type(self), (self.message, self.line, self.col),
+                dict(self.__dict__))
 
 
 class DiagnosticBundle(FortranSyntaxError):
@@ -67,6 +78,14 @@ class DiagnosticBundle(FortranSyntaxError):
         if first is not None:
             self.line = getattr(first, "line", None)
             self.col = getattr(first, "col", None)
+
+    def __reduce__(self):
+        # The inherited pickling would replay ``cls(*args)`` with the
+        # summary *string*, which ``__init__`` iterates character by
+        # character as the diagnostics list — the round trip silently
+        # corrupts the bundle.  Rebuild from the real constructor inputs.
+        return (type(self), (self.diagnostics, self.partial),
+                dict(self.__dict__))
 
 
 class FortranRuntimeError(GlafError):
@@ -130,3 +149,28 @@ class BenchArtifactError(GlafError):
 class RunLedgerError(GlafError):
     """A ``.repro/runs`` record or index is malformed, missing, or fails
     its content-digest check (see ``docs/RUN_LEDGER.md``)."""
+
+
+class BatchError(GlafError):
+    """A ``repro batch`` corpus or configuration is invalid
+    (see ``docs/BATCH.md``)."""
+
+
+class WorkerCrashError(GlafError):
+    """A batch worker process died without reporting a typed result.
+
+    ``kind`` is ``"crash"`` (the worker exited or was killed by a signal
+    before sending its result) or ``"hang"`` (the parent-side deadline
+    expired and the worker was SIGKILLed).  Deliberately *not* an
+    :class:`ExecutionError` subclass reused from the interpreter: worker
+    death is a process-level event, retried by the batch driver under
+    :func:`repro.numeric.retry.retry_call` — an item whose worker keeps
+    dying is quarantined as poison (``docs/BATCH.md``).
+    """
+
+    def __init__(self, message: str, *, item: str = "", kind: str = "crash",
+                 exit_code: int | None = None):
+        self.item = item
+        self.kind = kind
+        self.exit_code = exit_code
+        super().__init__(message)

@@ -9,24 +9,29 @@ keep that one?") can be answered from a single ``repro profile`` run.
 
 Stages and their verdict vocabularies:
 
-=====================  ==============================================
-``parallelize``        ``parallel`` | ``serial``
-``pruning``            ``kept`` | ``pruned`` | ``not-parallel``
-``advisor``            ``omp`` | ``simd`` | ``none``
-``guard``              ``serial-fallback``
-``fault``              ``injected``
-``lint:<rule>``        ``violation``
-``numeric:<kind>``     ``detected``
-``retry``              ``retried`` | ``gave-up``
-``executor:fallback``  ``interpreter``
-``fuzz:item``          ``clean`` | ``failed``
-``fuzz:signature``     ``new`` | ``duplicate``
-``fuzz:shrink``        ``minimized``
-``fuzz:quarantine``    ``written``
-``fuzz:campaign``      ``clean`` | ``failed``
-``run:record``         ``opened``
-``sample:resource``    ``started`` | ``stopped``
-=====================  ==============================================
+=======================  ============================================
+``parallelize``          ``parallel`` | ``serial``
+``pruning``              ``kept`` | ``pruned`` | ``not-parallel``
+``advisor``              ``omp`` | ``simd`` | ``none``
+``guard``                ``serial-fallback``
+``fault``                ``injected``
+``lint:<rule>``          ``violation``
+``numeric:<kind>``       ``detected``
+``retry``                ``retried`` | ``gave-up``
+``executor:fallback``    ``interpreter``
+``fuzz:item``            ``clean`` | ``failed``
+``fuzz:signature``       ``new`` | ``duplicate``
+``fuzz:shrink``          ``minimized``
+``fuzz:quarantine``      ``written``
+``fuzz:campaign``        ``clean`` | ``failed``
+``run:record``           ``opened``
+``sample:resource``      ``started`` | ``stopped``
+``batch:item``           ``ok`` | ``failed`` | ``quarantined``
+``batch:quarantine``     ``written`` | ``sticky``
+``batch:degraded``       ``serial``
+``batch:campaign``       ``completed`` | ``failed``
+``cache:corrupt-entry``  ``discarded``
+=======================  ============================================
 
 The ``guard`` stage is emitted by :class:`repro.glafexec.GuardedRunner`
 when a divergence guard demotes a parallel step to serial; the ``fault``
@@ -55,7 +60,15 @@ a ledgered run opens (attrs carry the ledger directory and the previous
 run id, so consecutive records link into a chain), and
 ``sample:resource`` by the background
 :class:`repro.observe.sample.ResourceSampler` when it starts and stops —
-see ``docs/RUN_LEDGER.md``.
+see ``docs/RUN_LEDGER.md``.  The ``batch:*`` stages narrate a
+``repro batch`` campaign — one ``batch:item`` per corpus item (with
+cache/resume/attempt attrs), ``batch:quarantine`` when a poison item's
+bundle is written (or recognized ``sticky`` from a prior campaign),
+``batch:degraded`` when multiprocessing is unavailable and the driver
+compiles in-process, and one closing ``batch:campaign`` carrying the
+manifest digest; ``cache:corrupt-entry`` is emitted by the
+content-addressed artifact cache whenever a tampered or truncated entry
+is detected, discarded, and recompiled — see ``docs/BATCH.md``.
 """
 
 from __future__ import annotations

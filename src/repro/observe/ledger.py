@@ -30,7 +30,9 @@ from __future__ import annotations
 
 import os
 import re
+import threading
 import time
+from contextlib import contextmanager
 from pathlib import Path
 
 from ..errors import RunLedgerError
@@ -204,19 +206,90 @@ class RunLedger:
         so a crash between the two steps can only leave the index *stale*
         — never pointing at a record that does not exist.  ``entries()``
         heals staleness by rebuilding from the directory.
+
+        Safe under concurrent writers (two simultaneous ``repro``
+        invocations, a ``repro batch`` parent next to another CLI): the
+        record-then-index critical section runs under an ``index.lock``
+        directory lock, and the record file itself is claimed with
+        O_EXCL-style ``os.link`` semantics — if two writers ever race the
+        same id (a stolen stale lock), the loser re-draws the next id
+        instead of silently overwriting the winner's record.
         """
         self.dir.mkdir(parents=True, exist_ok=True)
         record = dict(record)
         record.setdefault("schema", RUN_SCHEMA)
-        record["id"] = self.next_id()
-        record.pop("sha256", None)
-        record["sha256"] = content_digest(record)
-        atomic_write_json(self.path_for(record["id"]), record)
-        entries = self._index_entries_tolerant()
-        entries = [e for e in entries if e.get("id") != record["id"]]
-        entries.append(self._entry_for(record))
-        self._write_index(entries)
+        with self._locked():
+            self._claim_and_write(record)
+            entries = self._index_entries_tolerant()
+            entries = [e for e in entries if e.get("id") != record["id"]]
+            entries.append(self._entry_for(record))
+            self._write_index(entries)
         return record
+
+    #: Seconds a writer waits for ``index.lock`` before assuming its
+    #: holder crashed and stealing it (appends are sub-millisecond; a
+    #: lock this old is an orphan, not a slow writer).
+    LOCK_STALE_S = 30.0
+
+    @contextmanager
+    def _locked(self):
+        """Advisory directory lock for the record-then-index protocol.
+
+        O_CREAT|O_EXCL on ``index.lock``; holders that die are detected
+        by lock-file age and the lock is stolen rather than deadlocking —
+        correctness then rests on the O_EXCL record claim in
+        :meth:`_claim_and_write`, never on the lock alone.
+        """
+        lock = self.dir / "index.lock"
+        while True:
+            try:
+                fd = os.open(lock, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+                os.write(fd, str(os.getpid()).encode())
+                os.close(fd)
+                break
+            except FileExistsError:
+                try:
+                    age = time.time() - lock.stat().st_mtime
+                except OSError:
+                    continue          # released between open and stat
+                if age > self.LOCK_STALE_S:
+                    lock.unlink(missing_ok=True)
+                    continue
+                time.sleep(0.003)
+        try:
+            yield
+        finally:
+            lock.unlink(missing_ok=True)
+
+    def _claim_and_write(self, record: dict) -> None:
+        """Stamp ``record`` with the next free id and persist it.
+
+        The write is atomic *and* exclusive: the payload is fsynced to a
+        temp file, then ``os.link``ed to its final name — link fails with
+        EEXIST instead of clobbering, so a concurrent writer that won the
+        same id costs us a re-draw, never a lost record.
+        """
+        import json
+
+        while True:
+            record["id"] = self.next_id()
+            record.pop("sha256", None)
+            record["sha256"] = content_digest(record)
+            path = self.path_for(record["id"])
+            tmp = path.parent / (f".{path.name}.tmp.{os.getpid()}"
+                                 f".{threading.get_ident()}")
+            with open(tmp, "w") as fh:
+                json.dump(record, fh, indent=2)
+                fh.write("\n")
+                fh.flush()
+                os.fsync(fh.fileno())
+            try:
+                os.link(tmp, path)
+                return
+            except FileExistsError:
+                continue              # lost the id race: re-draw
+            finally:
+                tmp.unlink(missing_ok=True)
 
     def _entry_for(self, record: dict) -> dict:
         entry = {"id": record["id"], "file": f"{record['id']}.json"}

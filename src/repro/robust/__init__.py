@@ -39,10 +39,11 @@ from .faults import (
     get_fault_plan,
     inject,
 )
-from .watchdog import Budget, ResourceLimits, wall_clock_guard
+from .watchdog import (Budget, ResourceLimits, apply_memory_limit,
+                       wall_clock_guard)
 
 __all__ = [
     "SITES", "FaultEvent", "FaultPlan", "FaultSpec", "InjectionSite",
     "fault_injection", "get_fault_plan", "inject",
-    "Budget", "ResourceLimits", "wall_clock_guard",
+    "Budget", "ResourceLimits", "apply_memory_limit", "wall_clock_guard",
 ]

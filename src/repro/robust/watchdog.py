@@ -23,7 +23,8 @@ from typing import Iterator
 
 from ..errors import ResourceLimitError
 
-__all__ = ["ResourceLimits", "Budget", "wall_clock_guard"]
+__all__ = ["ResourceLimits", "Budget", "wall_clock_guard",
+           "apply_memory_limit"]
 
 
 @dataclass(frozen=True)
@@ -32,17 +33,48 @@ class ResourceLimits:
 
     ``max_loop_iterations`` bounds the total number of innermost loop-body
     executions (IR interpreter only); ``max_wall_seconds`` bounds elapsed
-    wall-clock time (IR interpreter and generated Python).
+    wall-clock time (IR interpreter and generated Python);
+    ``max_memory_mb`` bounds the address space of an isolated batch
+    worker process (enforced by :func:`apply_memory_limit` at worker
+    startup — the parent process is never limited).
     """
 
     max_loop_iterations: int | None = None
     max_wall_seconds: float | None = None
+    max_memory_mb: int | None = None
 
     def __post_init__(self) -> None:
         if self.max_loop_iterations is not None and self.max_loop_iterations <= 0:
             raise ValueError("max_loop_iterations must be positive")
         if self.max_wall_seconds is not None and self.max_wall_seconds <= 0:
             raise ValueError("max_wall_seconds must be positive")
+        if self.max_memory_mb is not None and self.max_memory_mb <= 0:
+            raise ValueError("max_memory_mb must be positive")
+
+
+def apply_memory_limit(max_memory_mb: int) -> bool:
+    """Cap this process's address space at ``max_memory_mb`` MiB.
+
+    Uses ``RLIMIT_AS``, so an over-budget allocation surfaces as a clean
+    :class:`MemoryError` inside the process (which the batch worker
+    converts to a typed :class:`repro.errors.ResourceLimitError`) instead
+    of inviting the kernel OOM killer.  Returns ``False`` when the
+    platform has no ``resource`` module or refuses the limit — callers
+    degrade to wall-clock budgets only.
+    """
+    try:
+        import resource
+    except ImportError:              # pragma: no cover - non-POSIX
+        return False
+    limit = int(max_memory_mb) * 1024 * 1024
+    try:
+        _soft, hard = resource.getrlimit(resource.RLIMIT_AS)
+        if hard != resource.RLIM_INFINITY:
+            limit = min(limit, hard)
+        resource.setrlimit(resource.RLIMIT_AS, (limit, hard))
+    except (ValueError, OSError):    # pragma: no cover - platform refusal
+        return False
+    return True
 
 
 class Budget:

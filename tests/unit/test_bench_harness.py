@@ -43,7 +43,7 @@ class TestHarness:
 class TestRegistry:
     def test_all_paper_artifacts_registered(self):
         assert set(EXPERIMENTS) == {"T1", "T2", "F5", "F6", "F7", "C1", "C2",
-                                    "X1"}
+                                    "X1", "X2"}
 
     def test_get_experiment(self):
         assert get_experiment("F5").paper_ref == "Figure 5"

@@ -436,6 +436,60 @@ class TestLintCommand:
         assert "refuted by the runtime" in out
 
 
+class TestBatchCli:
+    def _run(self, tmp_path, monkeypatch, *extra):
+        monkeypatch.chdir(tmp_path)
+        return main(["batch", *extra, "--retries", "0", "--no-ledger"])
+
+    def test_healthy_corpus_exits_zero(self, tmp_path, monkeypatch, capsys):
+        rc = self._run(tmp_path, monkeypatch, "fuzz:3:2",
+                       "--manifest", "m.json")
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "ok 2  failed 0  quarantined 0" in out
+        assert "manifest sha256" in out
+        doc = json.loads((tmp_path / "m.json").read_text())
+        assert doc["schema"] == "repro.batch.manifest/v1"
+        assert len(doc["items"]) == 2
+
+    def test_poison_quarantine_exits_one(self, tmp_path, monkeypatch,
+                                         capsys):
+        rc = self._run(tmp_path, monkeypatch, "fuzz:3:1", "poison:crash")
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "quarantined 1" in out
+        assert "batch_quarantine/batch-" in out
+        assert list((tmp_path / "batch_quarantine").glob("batch-*.json"))
+
+    def test_json_summary(self, tmp_path, monkeypatch, capsys):
+        rc = self._run(tmp_path, monkeypatch, "fuzz:3:1", "--json")
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["stats"]["ok"] == 1
+        assert doc["items"][0]["status"] == "ok"
+        assert doc["manifest_sha256"]
+
+    def test_warm_cache_via_cli(self, tmp_path, monkeypatch, capsys):
+        assert self._run(tmp_path, monkeypatch, "fuzz:3:2") == 0
+        assert self._run(tmp_path, monkeypatch, "fuzz:3:2") == 0
+        out = capsys.readouterr().out
+        assert "cache: 2 hit(s), 0 miss(es)" in out
+
+    def test_bad_input_is_usage_error(self, tmp_path, monkeypatch, capsys):
+        rc = self._run(tmp_path, monkeypatch, "fuzz:banana")
+        assert rc == 2
+        assert "bad fuzz corpus spec" in capsys.readouterr().err
+
+    def test_ledgered_by_default(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        assert main(["batch", "fuzz:3:1", "--retries", "0",
+                     "--ledger", str(tmp_path / "runs")]) == 0
+        capsys.readouterr()
+        record = observe.RunLedger(tmp_path / "runs").resolve("latest")
+        assert record["command"] == "batch"
+        assert record["checkpoint"] == {"dir": None, "resume": False}
+
+
 class TestRunLedgerCli:
     """Every pipeline entry point appends a repro.run/v1 record, and the
     `repro runs` family reads it back (docs/RUN_LEDGER.md)."""

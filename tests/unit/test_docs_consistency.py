@@ -94,7 +94,8 @@ class TestObservabilityDoc:
                  "retry", "executor:fallback", "executor:snapshot-elide",
                  "fuzz:item", "fuzz:signature", "fuzz:shrink",
                  "fuzz:quarantine", "fuzz:campaign", "run:record",
-                 "sample:resource"]
+                 "sample:resource", "batch:item", "batch:quarantine",
+                 "batch:degraded", "batch:campaign", "cache:corrupt-entry"]
         missing = [s for s in fixed if f"`{s}`" not in doc]
         assert not missing, (
             f"docs/OBSERVABILITY.md event catalog is missing stage(s): "
@@ -432,6 +433,84 @@ class TestRunLedgerDoc:
         assert ".repro/runs" in ci        # ledger ships as failure artifact
         make = (REPO / "Makefile").read_text()
         assert "runs selftest" in make
+
+
+class TestBatchDocs:
+    """docs/BATCH.md must track the batch-compiler machinery."""
+
+    def test_exists_and_names_the_schemas(self):
+        doc = (REPO / "docs" / "BATCH.md").read_text()
+        from repro.batch import (ARTIFACT_SCHEMA, CACHE_SCHEMA,
+                                 MANIFEST_SCHEMA, POISON_SCHEMA)
+
+        for schema in (ARTIFACT_SCHEMA, CACHE_SCHEMA, MANIFEST_SCHEMA,
+                       POISON_SCHEMA):
+            assert schema in doc, f"BATCH.md does not name {schema}"
+        assert "repro batch" in doc
+
+    def test_shows_the_cli_surface(self):
+        doc = (REPO / "docs" / "BATCH.md").read_text()
+        for flag in ("--jobs", "--resume", "--timeout", "--retries",
+                     "--seed", "--max-iterations", "--max-wall",
+                     "--max-memory", "--cache", "--no-cache",
+                     "--cache-max-entries", "--checkpoint",
+                     "--quarantine", "--manifest"):
+            assert flag in doc, f"BATCH.md does not show {flag}"
+
+    def test_every_poison_kind_and_exit_code_documented(self):
+        doc = (REPO / "docs" / "BATCH.md").read_text()
+        from repro.batch import (POISON_CRASH_EXIT, POISON_KINDS,
+                                 POISON_OOM_EXIT)
+
+        missing = [k for k in POISON_KINDS if f"`{k}`" not in doc]
+        assert not missing, (
+            f"docs/BATCH.md is missing poison kind(s): {missing}"
+        )
+        assert f"`{POISON_CRASH_EXIT}`" in doc
+        assert f"`{POISON_OOM_EXIT}`" in doc
+
+    def test_documents_the_spawn_safety_contract(self):
+        """Embedders must be told about the multiprocessing __main__
+        guard, and the serial-degradation escape hatch must be named."""
+        doc = (REPO / "docs" / "BATCH.md").read_text()
+        assert 'if __name__ == "__main__"' in doc
+        assert "batch:degraded" in doc
+
+    def test_names_the_warm_cache_gates(self):
+        doc = (REPO / "docs" / "BATCH.md").read_text()
+        from repro.bench import EXPERIMENTS
+        from repro.bench.experiments import (WARM_CACHE_HIT_GATE,
+                                             WARM_CACHE_SPEEDUP_GATE)
+
+        assert "X2" in EXPERIMENTS
+        assert "X2" in doc
+        assert f"{WARM_CACHE_HIT_GATE:.0%}" in doc
+        assert f"{WARM_CACHE_SPEEDUP_GATE:g}x" in doc
+
+    def test_linked_from_companion_docs(self):
+        assert "BATCH.md" in (REPO / "README.md").read_text()
+        assert "BATCH.md" in (REPO / "docs" / "ROBUSTNESS.md").read_text()
+        assert "BATCH.md" in (REPO / "docs" / "ARCHITECTURE.md").read_text()
+        assert "BATCH.md" in (
+            REPO / "docs" / "OBSERVABILITY.md").read_text()
+        assert "repro batch" in (REPO / "docs" / "TUTORIAL.md").read_text()
+
+    def test_resume_smoke_covers_batch(self):
+        script = (REPO / "scripts" / "resume_smoke.py").read_text()
+        assert '"batch"' in script and "--resume" in script
+        assert "load_manifest" in script
+
+    def test_ci_runs_the_batch_smoke(self):
+        ci = (REPO / ".github" / "workflows" / "ci.yml").read_text()
+        assert "repro batch" in ci
+        assert "poison:" in ci               # quarantine is exercised
+        make = (REPO / "Makefile").read_text()
+        assert "repro batch" in make
+        assert "poison:" in make
+
+    def test_chaos_test_exists(self):
+        assert (REPO / "tests" / "integration"
+                / "test_batch_chaos.py").exists()
 
 
 class TestTutorialFlags:

@@ -240,6 +240,103 @@ class TestCrashSafety:
             == ["run-000001"]
 
 
+_APPENDER = r"""
+import sys
+sys.path.insert(0, {src!r})
+from repro import observe
+
+ledger = observe.RunLedger({dir!r})
+for i in range({count}):
+    ledger.append(observe.build_record(
+        command="stress", argv=["w", {tag!r}, str(i)],
+        environment={{"python": "3", "git_sha": "deadbeef"}}))
+print("done")
+"""
+
+
+class TestConcurrentAppend:
+    """Many writers, one ledger: every record lands exactly once.
+
+    The append protocol (advisory ``index.lock`` around the record-claim
+    + index write, with hard-link record claiming underneath) must hold
+    across *processes*, not just threads — concurrent ``repro batch``
+    invocations share one ``.repro/runs``.
+    """
+
+    PROCS = 4
+    PER_PROC = 5
+
+    def _src(self):
+        return os.path.abspath(os.path.join(
+            os.path.dirname(__file__), "..", "..", "src"))
+
+    def test_parallel_processes_never_lose_or_collide(self, tmp_path):
+        ledger_dir = str(tmp_path / "runs")
+        procs = [
+            subprocess.Popen(
+                [sys.executable, "-c", _APPENDER.format(
+                    src=self._src(), dir=ledger_dir,
+                    count=self.PER_PROC, tag=f"w{i}")],
+                stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True)
+            for i in range(self.PROCS)
+        ]
+        for p in procs:
+            out, err = p.communicate(timeout=120)
+            assert p.returncode == 0, err
+            assert out.strip() == "done"
+
+        ledger = observe.RunLedger(ledger_dir)
+        entries = ledger.entries()
+        ids = [e["id"] for e in entries]
+        assert len(ids) == self.PROCS * self.PER_PROC
+        assert len(set(ids)) == len(ids)          # no id ever reused
+        # Every record is digest-valid and every writer's appends all
+        # landed (none overwritten by a racing claim).
+        tags = []
+        for entry in entries:
+            record = ledger.load(entry["id"])     # digest-verified
+            tags.append(tuple(record["argv"][1:]))
+        assert len(set(tags)) == self.PROCS * self.PER_PROC
+        quarantined = (list(ledger.quarantine_dir.glob("*.json"))
+                       if ledger.quarantine_dir.exists() else [])
+        assert quarantined == []
+
+    def test_parallel_threads_within_one_process(self, tmp_path):
+        import threading
+
+        ledger = observe.RunLedger(tmp_path / "runs")
+        errors = []
+
+        def work(tag):
+            try:
+                for i in range(self.PER_PROC):
+                    ledger.append(observe.build_record(
+                        command="stress", argv=[tag, str(i)],
+                        environment={"python": "3", "git_sha": "d"}))
+            except Exception as e:                # pragma: no cover
+                errors.append(e)
+
+        threads = [threading.Thread(target=work, args=(f"t{i}",))
+                   for i in range(self.PROCS)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert errors == []
+        ids = [e["id"] for e in ledger.entries()]
+        assert len(ids) == len(set(ids)) == self.PROCS * self.PER_PROC
+
+    def test_stale_lock_is_broken(self, tmp_path):
+        ledger = observe.RunLedger(tmp_path / "runs")
+        ledger.dir.mkdir(parents=True, exist_ok=True)
+        lock = ledger.dir / "index.lock"
+        lock.write_text("99999")
+        old = time.time() - 120                   # well past LOCK_STALE_S
+        os.utime(lock, (old, old))
+        ledger.append(_record())                  # must not deadlock
+        assert len(ledger.entries()) == 1
+
+
 class TestResourceSampler:
     def test_collects_monotone_ticks(self):
         sampler = observe.ResourceSampler(interval=0.01)

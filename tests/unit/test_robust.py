@@ -2,6 +2,8 @@
 `repro.glafexec.guard`): fault plans, the divergence guard with serial
 fallback, watchdogs, parser error recovery, and the faultcheck sweep."""
 
+import os
+
 import numpy as np
 import pytest
 
@@ -345,6 +347,40 @@ class TestWatchdog:
         with wall_clock_guard(ResourceLimits(max_wall_seconds=0.01),
                               what="generated"):
             time.sleep(0.05)   # plain frames: never traced, never killed
+
+
+class TestMemoryLimit:
+    """The RLIMIT_AS budget batch workers arm at startup."""
+
+    def test_memory_limit_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ResourceLimits(max_memory_mb=0)
+        assert ResourceLimits(max_memory_mb=256).max_memory_mb == 256
+        assert ResourceLimits().max_memory_mb is None
+
+    def test_apply_memory_limit_in_subprocess(self):
+        # Never lower RLIMIT_AS in the test process itself — a child
+        # proves the limit arms and that breaching it is a MemoryError,
+        # not a hard kill (the batch worker turns it into a typed
+        # ResourceLimitError).
+        import subprocess
+        import sys
+
+        code = (
+            "import sys\n"
+            "sys.path.insert(0, %r)\n"
+            "from repro.robust import apply_memory_limit\n"
+            "assert apply_memory_limit(128)\n"
+            "try:\n"
+            "    hoard = [bytearray(16 * 1024 * 1024) for _ in range(64)]\n"
+            "except MemoryError:\n"
+            "    print('tripped')\n"
+        ) % os.path.abspath(os.path.join(
+            os.path.dirname(__file__), "..", "..", "src"))
+        res = subprocess.run([sys.executable, "-c", code],
+                             capture_output=True, text=True, timeout=60)
+        assert res.returncode == 0, res.stderr
+        assert res.stdout.strip() == "tripped"
 
 
 # ----------------------------------------------------------------------
